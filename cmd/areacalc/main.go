@@ -1,0 +1,62 @@
+// Command areacalc prints the Sec. 4.3 area model: per-bit transistor
+// ledger for the baseline and proposed interface structures, the
+// per-memory overhead fractions, and the global wire counts.
+//
+// Usage:
+//
+//	areacalc [-n words] [-c width]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/area"
+	"repro/internal/report"
+)
+
+func main() {
+	n := flag.Int("n", 512, "memory words")
+	c := flag.Int("c", 100, "memory width")
+	flag.Parse()
+
+	perBit := report.NewTable("Per-IO-bit interface structures",
+		"scheme", "structure", "transistors", "6T cells")
+	perBit.AddRowf("baseline [7,8]|4:1 mux + latch|%d|%.1f",
+		area.BaselinePerBit(), area.Cells(area.BaselinePerBit()))
+	perBit.AddRowf("proposed|SPC DFF + PSC scan DFF + 2x 2:1 mux|%d|%.1f",
+		area.ProposedPerBit(), area.Cells(area.ProposedPerBit()))
+	perBit.AddRowf("extra vs [7,8]|—|%d|%.1f",
+		area.ProposedPerBit()-area.BaselinePerBit(), area.ExtraPerBitCells())
+	must(perBit.Render(os.Stdout))
+
+	fmt.Println()
+	mem := report.NewTable(fmt.Sprintf("Per-memory overhead for %dx%d", *n, *c),
+		"scheme", "interface", "addr gen", "NWRTM", "total", "% of cells")
+	b := area.BaselineOverhead(*n, *c)
+	p := area.ProposedOverhead(*n, *c)
+	mem.AddRowf("baseline [7,8]|%d|%d|%d|%d|%s", b.InterfaceTransistors,
+		b.AddressGenTransistors, b.NWRTMTransistors, b.Total(), report.Pct(b.Fraction()))
+	mem.AddRowf("proposed|%d|%d|%d|%d|%s", p.InterfaceTransistors,
+		p.AddressGenTransistors, p.NWRTMTransistors, p.Total(), report.Pct(p.Fraction()))
+	must(mem.Render(os.Stdout))
+	fmt.Printf("\ncombined (both schemes applied, paper's Sec. 4.3 basis): %s of cell area\n",
+		report.Pct(area.CombinedOverheadFraction(*n, *c)))
+
+	fmt.Println()
+	wires := report.NewTable("Global diagnosis wires",
+		"scheme", "serial data", "control", "scan_en", "NWRTM", "total")
+	bw := area.BaselineWires()
+	pw := area.ProposedWires(true)
+	wires.AddRowf("baseline [7,8]|%d|%d|%d|%d|%d", bw.SerialData, bw.Control, bw.ScanEn, bw.NWRTM, bw.Total())
+	wires.AddRowf("proposed (+NWRTM)|%d|%d|%d|%d|%d", pw.SerialData, pw.Control, pw.ScanEn, pw.NWRTM, pw.Total())
+	must(wires.Render(os.Stdout))
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "areacalc:", err)
+		os.Exit(1)
+	}
+}

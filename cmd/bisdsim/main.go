@@ -1,0 +1,164 @@
+// Command bisdsim runs a full fleet diagnosis with a selected scheme —
+// the proposed SPC/PSC architecture (Fig. 3), the [7,8] baseline
+// (Fig. 1) or the single-directional interface of [9,10] — against a
+// JSON SoC configuration (or a built-in example), then prints the
+// per-memory diagnosis and, optionally, a scheme comparison.
+//
+// Usage:
+//
+//	bisdsim [-config file.json | -fleet hetero|benchmark]
+//	        [-scheme proposed|baseline|singledir] [-drf] [-compare]
+//	        [-spare-words n] [-spare-cells n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/diagnose"
+	"repro/internal/repair"
+	"repro/internal/report"
+	"repro/internal/scanout"
+)
+
+func main() {
+	cfgPath := flag.String("config", "", "JSON SoC configuration file")
+	fleet := flag.String("fleet", "hetero", "built-in fleet: hetero or benchmark")
+	scheme := flag.String("scheme", "proposed", "scheme: proposed, baseline, singledir")
+	drf := flag.Bool("drf", false, "include data-retention-fault diagnosis")
+	compare := flag.Bool("compare", false, "run proposed vs baseline and report reduction")
+	spareWords := flag.Int("spare-words", 0, "spare words per memory for repair")
+	spareCells := flag.Int("spare-cells", 0, "spare cells per memory for repair")
+	classify := flag.Bool("classify", false, "run off-line failure classification per memory (proposed scheme)")
+	scanOut := flag.Bool("scanout", false, "report the scan-out stream size per memory")
+	flag.Parse()
+
+	soc, err := loadSoC(*cfgPath, *fleet)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *compare {
+		cmp, err := core.CompareSchemes(soc, *drf)
+		if err != nil {
+			fatal(err)
+		}
+		tb := report.NewTable(fmt.Sprintf("Scheme comparison on %q (DRF=%v)", soc.Name, *drf),
+			"scheme", "cycles", "time", "iterations k", "located")
+		tb.AddRowf("%s|%d|%s|%d|%d", cmp.Baseline.SchemeName, cmp.Baseline.Report.Cycles,
+			report.Ns(cmp.Baseline.TimeNs()), cmp.Baseline.Report.Iterations, totalLocated(cmp.Baseline))
+		tb.AddRowf("%s|%d|%s|%d|%d", cmp.Proposed.SchemeName, cmp.Proposed.Report.Cycles,
+			report.Ns(cmp.Proposed.TimeNs()), cmp.Proposed.Report.Iterations, totalLocated(cmp.Proposed))
+		if err := tb.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nmeasured reduction R = %.1f   analytic (Eq.3/4 with measured k) = %.1f\n",
+			cmp.MeasuredReduction, cmp.AnalyticReduction)
+		return
+	}
+
+	opts := core.Options{IncludeDRF: *drf}
+	switch *scheme {
+	case "proposed":
+		opts.Scheme = core.Proposed
+	case "baseline":
+		opts.Scheme = core.Baseline78
+	case "singledir":
+		opts.Scheme = core.SingleDirectional
+	default:
+		fatal(fmt.Errorf("unknown scheme %q", *scheme))
+	}
+	if *spareWords > 0 || *spareCells > 0 {
+		opts.SpareBudget = repair.Budget{SpareWords: *spareWords, SpareCells: *spareCells}
+	}
+
+	res, err := core.Diagnose(soc, opts)
+	if err != nil {
+		fatal(err)
+	}
+	tb := report.NewTable(
+		fmt.Sprintf("%s scheme on %q: %s (%d cycles, retention %s)",
+			res.SchemeName, soc.Name, report.Ns(res.TimeNs()), res.Report.Cycles,
+			report.Ns(res.Report.RetentionNs)),
+		"memory", "geometry", "injected", "detectable", "located-true", "false-pos", "repair")
+	for _, md := range res.Memories {
+		repairStr := "-"
+		if md.Repair != nil {
+			if md.Repair.Repaired() {
+				repairStr = "full"
+			} else {
+				repairStr = fmt.Sprintf("%d unrepaired", len(md.Repair.Unrepaired))
+			}
+		}
+		tb.AddRowf("%s|%dx%d|%d|%d|%d|%d|%s", md.Name, md.Words, md.Width,
+			md.Injected, md.Detectable, md.TruthLocated, md.FalsePositives, repairStr)
+	}
+	if err := tb.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if res.Yield != nil {
+		fmt.Printf("\nyield: %s\n", res.Yield)
+	}
+
+	if *classify && opts.Scheme == core.Proposed {
+		cMax := 0
+		for _, m := range soc.Memories {
+			if m.Width > cMax {
+				cMax = m.Width
+			}
+		}
+		test := core.DefaultTest(cMax, *drf)
+		fmt.Println("\noff-line classification:")
+		for i, mr := range res.Report.Memories {
+			for _, d := range diagnose.Classify(test, cMax, mr) {
+				fmt.Printf("  %s %s\n", soc.Memories[i].Name, d)
+			}
+		}
+	}
+	if *scanOut {
+		fmt.Println("\nscan-out streams:")
+		for i, mr := range res.Report.Memories {
+			data, err := scanout.Encode(mr.Failures)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  %s: %d records, %d bytes (%d scan clocks)\n",
+				soc.Memories[i].Name, len(mr.Failures), len(data),
+				scanout.StreamBits(len(mr.Failures)))
+		}
+	}
+}
+
+func loadSoC(path, fleet string) (config.SoC, error) {
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return config.SoC{}, err
+		}
+		return config.Parse(data)
+	}
+	switch fleet {
+	case "hetero":
+		return config.HeterogeneousExample(), nil
+	case "benchmark":
+		return config.Benchmark16(), nil
+	default:
+		return config.SoC{}, fmt.Errorf("unknown built-in fleet %q", fleet)
+	}
+}
+
+func totalLocated(r *core.Result) int {
+	n := 0
+	for _, md := range r.Memories {
+		n += len(md.Located)
+	}
+	return n
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bisdsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// Command diagtime evaluates the paper's diagnosis-time equations
+// (1)-(4) and reproduces the Sec. 4.2 case study: the reduction factor
+// of the proposed scheme over the baseline [7,8], with and without
+// data-retention-fault diagnosis.
+//
+// Usage:
+//
+//	diagtime [-n words] [-c width] [-t clock_ns] [-k iterations]
+//	         [-faults n] [-m1 fraction] [-sweep]
+//
+// Without flags it prints the paper's exact case study (n=512, c=100,
+// t=10ns, 256 faults, 75% M1 coverage, k=96).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/report"
+	"repro/internal/timing"
+)
+
+func main() {
+	n := flag.Int("n", 512, "words of the largest e-SRAM")
+	c := flag.Int("c", 100, "IO width of the widest e-SRAM")
+	t := flag.Float64("t", 10, "diagnosis clock period in ns")
+	k := flag.Int("k", 0, "baseline M1 iterations (0 = derive from -faults and -m1)")
+	faults := flag.Int("faults", 256, "assumed total fault count")
+	m1 := flag.Float64("m1", 0.75, "fraction of faults the M1 element covers")
+	sweep := flag.Bool("sweep", false, "sweep k and print R curves instead of one point")
+	flag.Parse()
+
+	cs := timing.CaseStudy{
+		Params:      timing.Params{N: *n, C: *c, ClockNs: *t},
+		TotalFaults: *faults,
+		M1Fraction:  *m1,
+	}
+	if *k == 0 {
+		cs.Params.K = cs.K()
+	} else {
+		cs.Params.K = *k
+	}
+	if err := cs.Params.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *sweep {
+		runSweep(cs.Params)
+		return
+	}
+
+	p := cs.Params
+	tb := report.NewTable(
+		fmt.Sprintf("Diagnosis time (n=%d, c=%d, t=%.0fns, k=%d)", p.N, p.C, p.ClockNs, p.K),
+		"quantity", "no DRF", "with DRF")
+	tb.AddRow("T[7,8]   (Eq.1)", report.Ns(timing.BaselineNs(p)), report.Ns(timing.BaselineWithDRFNs(p)))
+	tb.AddRow("T_prop   (Eq.2)", report.Ns(timing.ProposedNs(p)), report.Ns(timing.ProposedWithDRFNs(p)))
+	tb.AddRowf("R (Eq.3/Eq.4)|%.1f|%.1f", timing.ReductionNoDRF(p), timing.ReductionWithDRF(p))
+	if err := tb.Render(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\npaper reports: R >= 84 without DRFs, R >= 145 with DRFs (k = %d)\n", cs.K())
+}
+
+func runSweep(p timing.Params) {
+	tb := report.NewTable(
+		fmt.Sprintf("Reduction factor sweep (n=%d, c=%d, t=%.0fns)", p.N, p.C, p.ClockNs),
+		"k", "T[7,8]", "T_prop", "R no-DRF", "R with-DRF")
+	for _, k := range []int{1, 2, 4, 8, 16, 32, 64, 96, 128, 192, 256} {
+		q := p
+		q.K = k
+		tb.AddRowf("%d|%s|%s|%.1f|%.1f", k,
+			report.Ns(timing.BaselineNs(q)), report.Ns(timing.ProposedNs(q)),
+			timing.ReductionNoDRF(q), timing.ReductionWithDRF(q))
+	}
+	if err := tb.Render(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,67 @@
+// Heterogeneous SoC: the paper's motivating scenario — many small,
+// distributed e-SRAMs of different sizes and widths between
+// computational blocks, all diagnosed in parallel by one shared BISD
+// controller. Demonstrates the wrap-around handling for smaller
+// memories and compares the proposed scheme's time against the [7,8]
+// baseline on the same fleet.
+//
+// Run with: go run ./examples/heterosoc
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func main() {
+	soc := config.HeterogeneousExample()
+	fmt.Printf("fleet %q: %d e-SRAMs sharing one BISD controller\n\n", soc.Name, len(soc.Memories))
+
+	cmp, err := core.CompareSchemes(soc, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tb := report.NewTable("Parallel fleet diagnosis (no DRF phase)",
+		"scheme", "cycles", "time", "k", "faults located")
+	for _, r := range []*core.Result{cmp.Baseline, cmp.Proposed} {
+		located := 0
+		for _, md := range r.Memories {
+			located += md.TruthLocated
+		}
+		tb.AddRowf("%s|%d|%s|%d|%d", r.SchemeName, r.Report.Cycles,
+			report.Ns(r.TimeNs()), r.Report.Iterations, located)
+	}
+	if err := tb.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreduction factor R = %.1f (the baseline iterates its M1 element %d times\n",
+		cmp.MeasuredReduction, cmp.Baseline.Report.Iterations)
+	fmt.Println("because its serial interface identifies at most two faults per iteration;")
+	fmt.Println("the SPC/PSC scheme reads whole words and needs a single March CW pass)")
+
+	// Per-memory detail from the proposed run: smaller memories wrap
+	// their addresses under the shared controller, and the comparator
+	// tolerates the redundant operations.
+	fmt.Println()
+	detail := report.NewTable("Proposed scheme, per memory",
+		"memory", "geometry", "wraps", "injected", "located", "false+")
+	nMax := 0
+	for _, m := range soc.Memories {
+		if m.Words > nMax {
+			nMax = m.Words
+		}
+	}
+	for _, md := range cmp.Proposed.Memories {
+		detail.AddRowf("%s|%dx%d|%dx|%d|%d|%d", md.Name, md.Words, md.Width,
+			nMax/md.Words, md.Detectable, md.TruthLocated, md.FalsePositives)
+	}
+	if err := detail.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+// Package area implements the transistor-count and global-wire area
+// model of the paper's Sec. 4.3. Costs are expressed both in
+// transistors and in the paper's unit of account, equivalent 6T SRAM
+// cells: a D flip-flop counts as two cells, a latch as one.
+package area
+
+import "fmt"
+
+// Transistor-count constants. The mux sizes follow the paper's
+// equivalences so that the bi-directional interface (one 4:1 mux + one
+// latch per bit) totals 3 cells/bit and the SPC+PSC pair (two DFFs +
+// two 2:1 muxes per bit) totals 6 cells/bit — a difference of exactly
+// "three 6T SRAM cells per bit" (Sec. 4.3).
+const (
+	// TransistorsPerCell is a 6T SRAM cell.
+	TransistorsPerCell = 6
+	// TransistorsPerDFF: a D flip-flop is equivalent to two 6T cells.
+	TransistorsPerDFF = 12
+	// TransistorsPerLatch: a transparent latch equals one 6T cell.
+	TransistorsPerLatch = 6
+	// TransistorsPerMux2 is a 2:1 multiplexer.
+	TransistorsPerMux2 = 6
+	// TransistorsPerMux4 is a 4:1 multiplexer.
+	TransistorsPerMux4 = 12
+	// TransistorsPerNWRTMGate is the single precharge-control gate the
+	// NWRTM hook adds per memory (Sec. 3.4: "a single control gate for
+	// the entire e-SRAM").
+	TransistorsPerNWRTMGate = 4
+)
+
+// Cells converts a transistor count to equivalent 6T cells.
+func Cells(transistors int) float64 {
+	return float64(transistors) / TransistorsPerCell
+}
+
+// BaselinePerBit is the per-IO-bit transistor cost of the [7,8]
+// bi-directional serial interface: a 4:1 multiplexer (normal input,
+// left neighbour, right neighbour, serial) plus a transparent latch.
+func BaselinePerBit() int { return TransistorsPerMux4 + TransistorsPerLatch }
+
+// ProposedPerBit is the per-IO-bit transistor cost of the SPC/PSC pair:
+// one SPC DFF, one PSC scan DFF, and two 2:1 multiplexers (normal-vs-
+// test input select, scan DFF input select).
+func ProposedPerBit() int { return 2*TransistorsPerDFF + 2*TransistorsPerMux2 }
+
+// ExtraPerBitCells is the proposed scheme's per-bit overhead beyond the
+// baseline, in equivalent 6T cells — the paper's "three 6T SRAM cells
+// per bit".
+func ExtraPerBitCells() float64 {
+	return Cells(ProposedPerBit() - BaselinePerBit())
+}
+
+// MemoryOverhead itemizes the DFT area attached to one e-SRAM of n
+// words by c bits.
+type MemoryOverhead struct {
+	// Words and Width are the memory geometry.
+	Words, Width int
+	// InterfaceTransistors is the per-bit interface structure total.
+	InterfaceTransistors int
+	// AddressGenTransistors is the local address generator: a
+	// ceil(log2 n)-bit counter of DFFs.
+	AddressGenTransistors int
+	// NWRTMTransistors is the precharge control gate (proposed only).
+	NWRTMTransistors int
+}
+
+// Total returns the overhead transistor count.
+func (o MemoryOverhead) Total() int {
+	return o.InterfaceTransistors + o.AddressGenTransistors + o.NWRTMTransistors
+}
+
+// CellArea returns the memory's own cell-array transistor count.
+func (o MemoryOverhead) CellArea() int {
+	return o.Words * o.Width * TransistorsPerCell
+}
+
+// Fraction returns the overhead as a fraction of the cell-array area.
+func (o MemoryOverhead) Fraction() float64 {
+	return float64(o.Total()) / float64(o.CellArea())
+}
+
+// String summarizes the overhead.
+func (o MemoryOverhead) String() string {
+	return fmt.Sprintf("%dx%d: %d transistors (%.2f%% of cell area)",
+		o.Words, o.Width, o.Total(), 100*o.Fraction())
+}
+
+func ceilLog2(x int) int {
+	n := 0
+	for (1 << uint(n)) < x {
+		n++
+	}
+	return n
+}
+
+// BaselineOverhead returns the [7,8] scheme's per-memory overhead.
+func BaselineOverhead(n, c int) MemoryOverhead {
+	return MemoryOverhead{
+		Words: n, Width: c,
+		InterfaceTransistors:  c * BaselinePerBit(),
+		AddressGenTransistors: ceilLog2(n) * TransistorsPerDFF,
+	}
+}
+
+// ProposedOverhead returns the proposed scheme's per-memory overhead:
+// SPC+PSC per bit, the local address generator, and the NWRTM gate.
+func ProposedOverhead(n, c int) MemoryOverhead {
+	return MemoryOverhead{
+		Words: n, Width: c,
+		InterfaceTransistors:  c * ProposedPerBit(),
+		AddressGenTransistors: ceilLog2(n) * TransistorsPerDFF,
+		NWRTMTransistors:      TransistorsPerNWRTMGate,
+	}
+}
+
+// CombinedOverheadFraction is the Sec. 4.3 figure of merit: the area of
+// "applying both that in [7,8] and the proposed diagnosis scheme",
+// relative to the memory cell area — around 1.8 % for the benchmark
+// e-SRAM (n=512, c=100). The address generator is shared, counted once.
+func CombinedOverheadFraction(n, c int) float64 {
+	base := BaselineOverhead(n, c)
+	prop := ProposedOverhead(n, c)
+	total := base.InterfaceTransistors + prop.InterfaceTransistors +
+		prop.AddressGenTransistors + prop.NWRTMTransistors
+	return float64(total) / float64(base.CellArea())
+}
+
+// GlobalWires counts the diagnosis wires routed from the shared BISD
+// controller to the memories.
+type GlobalWires struct {
+	// SerialData is the pattern-delivery/response pair.
+	SerialData int
+	// Control covers the read/write enable and address-trigger lines.
+	Control int
+	// ScanEn is the PSC scan enable — the one wire the proposed scheme
+	// adds over [7,8] (Sec. 4.3).
+	ScanEn int
+	// NWRTM is the global precharge-disable line for DRF diagnosis.
+	NWRTM int
+}
+
+// Total sums the wire counts.
+func (w GlobalWires) Total() int { return w.SerialData + w.Control + w.ScanEn + w.NWRTM }
+
+// BaselineWires returns the [7,8] scheme's global wiring.
+func BaselineWires() GlobalWires {
+	return GlobalWires{SerialData: 2, Control: 3}
+}
+
+// ProposedWires returns the proposed scheme's global wiring: the
+// baseline's plus scan_en, plus the NWRTM line when DRF diagnosis is
+// wired.
+func ProposedWires(withNWRTM bool) GlobalWires {
+	w := BaselineWires()
+	w.ScanEn = 1
+	if withNWRTM {
+		w.NWRTM = 1
+	}
+	return w
+}

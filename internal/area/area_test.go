@@ -1,0 +1,110 @@
+package area
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtraPerBitIsThreeCells(t *testing.T) {
+	// Sec. 4.3: "this total area overhead extra to [7,8] is three 6T
+	// SRAM cells per bit."
+	if got := ExtraPerBitCells(); got != 3 {
+		t.Fatalf("extra per bit = %v cells, want 3", got)
+	}
+}
+
+func TestPerBitComposition(t *testing.T) {
+	if got := BaselinePerBit(); got != 18 { // 4:1 mux + latch
+		t.Errorf("baseline per bit = %d transistors, want 18", got)
+	}
+	if got := ProposedPerBit(); got != 36 { // 2 DFFs + 2 2:1 muxes
+		t.Errorf("proposed per bit = %d transistors, want 36", got)
+	}
+}
+
+func TestCellsConversion(t *testing.T) {
+	if Cells(TransistorsPerDFF) != 2 {
+		t.Error("a DFF must equal two 6T cells")
+	}
+	if Cells(TransistorsPerLatch) != 1 {
+		t.Error("a latch must equal one 6T cell")
+	}
+}
+
+// TestBenchmarkOverheadIs1Point8Percent reproduces the paper's Sec. 4.3
+// number: "around 1.8% for the benchmark e-SRAMs in [16] when applying
+// both that in [7,8] and the proposed diagnosis scheme."
+func TestBenchmarkOverheadIs1Point8Percent(t *testing.T) {
+	got := 100 * CombinedOverheadFraction(512, 100)
+	if got < 1.7 || got > 1.9 {
+		t.Fatalf("combined overhead = %.3f%%, want ~1.8%%", got)
+	}
+}
+
+func TestProposedAloneUnderBenchmark(t *testing.T) {
+	o := ProposedOverhead(512, 100)
+	pct := 100 * o.Fraction()
+	if pct < 1.1 || pct > 1.3 {
+		t.Fatalf("proposed overhead alone = %.3f%%, want ~1.2%%", pct)
+	}
+	if !strings.Contains(o.String(), "512x100") {
+		t.Errorf("overhead string = %q", o.String())
+	}
+}
+
+func TestOverheadScalesDownWithMemorySize(t *testing.T) {
+	// The interface cost is per IO bit, so big arrays amortize it:
+	// overhead fraction must shrink as words grow.
+	small := ProposedOverhead(64, 16).Fraction()
+	large := ProposedOverhead(4096, 16).Fraction()
+	if large >= small {
+		t.Fatalf("overhead did not shrink: %v -> %v", small, large)
+	}
+}
+
+func TestSmallWideMemoriesHurtMost(t *testing.T) {
+	// The paper's motivating corner: many small, wide buffers. For a
+	// fixed cell count, a wider aspect ratio costs more overhead.
+	tall := ProposedOverhead(1024, 8).Fraction() // 8K cells
+	wide := ProposedOverhead(64, 128).Fraction() // 8K cells
+	if wide <= tall {
+		t.Fatalf("wide aspect %v not worse than tall %v", wide, tall)
+	}
+}
+
+func TestAddressGeneratorSize(t *testing.T) {
+	o := ProposedOverhead(512, 100)
+	if want := 9 * TransistorsPerDFF; o.AddressGenTransistors != want { // log2(512)=9
+		t.Fatalf("address gen = %d transistors, want %d", o.AddressGenTransistors, want)
+	}
+	o2 := ProposedOverhead(513, 100)
+	if want := 10 * TransistorsPerDFF; o2.AddressGenTransistors != want {
+		t.Fatalf("address gen (513 words) = %d, want %d", o2.AddressGenTransistors, want)
+	}
+}
+
+func TestWireCounts(t *testing.T) {
+	// Sec. 4.3: "the proposed scheme adds only one extra global wire
+	// for the control of the PSC", plus the NWRTM line when wired.
+	base := BaselineWires()
+	prop := ProposedWires(false)
+	if prop.Total()-base.Total() != 1 {
+		t.Fatalf("proposed adds %d wires, want 1 (scan_en)", prop.Total()-base.Total())
+	}
+	withN := ProposedWires(true)
+	if withN.Total()-prop.Total() != 1 {
+		t.Fatalf("NWRTM adds %d wires, want 1", withN.Total()-prop.Total())
+	}
+	if prop.ScanEn != 1 || withN.NWRTM != 1 {
+		t.Fatal("wire attribution wrong")
+	}
+}
+
+func TestBaselineHasNoNWRTMGate(t *testing.T) {
+	if BaselineOverhead(512, 100).NWRTMTransistors != 0 {
+		t.Fatal("baseline charged for NWRTM gate")
+	}
+	if ProposedOverhead(512, 100).NWRTMTransistors == 0 {
+		t.Fatal("proposed missing NWRTM gate")
+	}
+}

@@ -1,0 +1,161 @@
+package bisd
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/march"
+	"repro/internal/serial"
+	"repro/internal/sram"
+)
+
+// The shared BISD controller of Fig. 3, decomposed into the blocks the
+// figure names. Each block is deliberately small; together they drive
+// the per-memory SPC/PSC pairs in the proposed engine.
+
+// AddressTrigger enables the local address generators and steps them
+// through a March element's address order. The controller is designed
+// for the largest memory (Sec. 3.1): it issues nMax logical addresses
+// and each local generator wraps them into its own range.
+type AddressTrigger struct {
+	nMax int
+}
+
+// NewAddressTrigger returns a trigger sized for the largest memory.
+func NewAddressTrigger(nMax int) *AddressTrigger {
+	if nMax <= 0 {
+		panic(fmt.Sprintf("bisd: invalid trigger size %d", nMax))
+	}
+	return &AddressTrigger{nMax: nMax}
+}
+
+// Sequence returns the logical address visit order for an element.
+func (a *AddressTrigger) Sequence(o march.Order) []int {
+	out := make([]int, a.nMax)
+	for i := range out {
+		if o == march.Down {
+			out[i] = a.nMax - 1 - i
+		} else {
+			out[i] = i
+		}
+	}
+	return out
+}
+
+// LocalAddressGenerator is the per-memory address counter; it wraps the
+// controller's logical address into the memory's smaller range, the
+// wrap-around behaviour of Sec. 3.1.
+type LocalAddressGenerator struct {
+	n int
+}
+
+// NewLocalAddressGenerator returns a generator for an n-word memory.
+func NewLocalAddressGenerator(n int) *LocalAddressGenerator {
+	return &LocalAddressGenerator{n: n}
+}
+
+// Map converts a logical address to the physical address, wrapping.
+func (g *LocalAddressGenerator) Map(logical int) int { return logical % g.n }
+
+// Wrapped reports whether the logical address has wrapped at least once.
+func (g *LocalAddressGenerator) Wrapped(logical int) bool { return logical >= g.n }
+
+// BackgroundGenerator is the Data Background Generator: it serializes
+// the background pattern of the widest memory, MSB first (Sec. 3.2), or
+// LSB first when configured to demonstrate the Fig. 4 hazard.
+type BackgroundGenerator struct {
+	cMax  int
+	order serial.Order
+}
+
+// NewBackgroundGenerator returns a generator for the widest IO width.
+func NewBackgroundGenerator(cMax int, order serial.Order) *BackgroundGenerator {
+	if cMax <= 0 {
+		panic(fmt.Sprintf("bisd: invalid background width %d", cMax))
+	}
+	return &BackgroundGenerator{cMax: cMax, order: order}
+}
+
+// Pattern returns background bg (index into bitvec.Backgrounds) at the
+// widest width.
+func (b *BackgroundGenerator) Pattern(bg int) bitvec.Vector {
+	return bitvec.Background(b.cMax, bg)
+}
+
+// Deliver streams the pattern into every SPC; this is the once-per-
+// element serial delivery and costs cMax cycles.
+func (b *BackgroundGenerator) Deliver(pattern bitvec.Vector, spcs []*serial.SPC) int {
+	for _, s := range spcs {
+		s.Deliver(pattern, b.order)
+	}
+	return b.cMax
+}
+
+// ComparatorArray compares, bit by bit, each memory's serialized
+// response against the expected value and registers the diagnosis
+// information. The expected state lives in a per-memory shadow of what
+// a fault-free memory would hold; because the shadow is updated on
+// every (possibly redundant, wrapped) write, the comparison tolerates
+// the address wrap-around of smaller memories (Sec. 3.1).
+type ComparatorArray struct {
+	// expected[i][addr] is the fault-free word of memory i.
+	expected [][]bitvec.Vector
+}
+
+// NewComparatorArray sizes the shadow state for the fleet.
+func NewComparatorArray(mems []*sram.Memory) *ComparatorArray {
+	ca := &ComparatorArray{expected: make([][]bitvec.Vector, len(mems))}
+	for i, m := range mems {
+		ca.expected[i] = make([]bitvec.Vector, m.N())
+		for a := range ca.expected[i] {
+			ca.expected[i][a] = bitvec.New(m.C())
+		}
+	}
+	return ca
+}
+
+// NoteWrite updates the shadow for a write of word to memory i at the
+// physical address.
+func (ca *ComparatorArray) NoteWrite(i, physAddr int, word bitvec.Vector) {
+	ca.expected[i][physAddr] = word.Clone()
+}
+
+// Expected returns the shadow word for memory i at the physical address.
+func (ca *ComparatorArray) Expected(i, physAddr int) bitvec.Vector {
+	return ca.expected[i][physAddr]
+}
+
+// Compare checks a drained response word against the shadow and returns
+// the failing bit positions.
+func (ca *ComparatorArray) Compare(i, physAddr int, got bitvec.Vector) []int {
+	want := ca.expected[i][physAddr]
+	if got.Equal(want) {
+		return nil
+	}
+	diff := got.Xor(want)
+	var bits []int
+	for b := 0; b < diff.Width(); b++ {
+		if diff.Get(b) {
+			bits = append(bits, b)
+		}
+	}
+	return bits
+}
+
+// ControlGenerator produces the per-op control signals: read/write
+// enables, the scan_en for the PSCs (the one extra global wire the
+// proposed scheme adds, Sec. 4.3) and the global NWRTM precharge-
+// disable line (Sec. 3.4).
+type ControlGenerator struct {
+	// NWRTMWired reports whether the fleet has the NWRTM DFT hook; a
+	// test containing NWRC ops requires it.
+	NWRTMWired bool
+}
+
+// Check validates that the test's control needs are wired.
+func (cg *ControlGenerator) Check(t march.Test) error {
+	if t.HasNWRC() && !cg.NWRTMWired {
+		return fmt.Errorf("bisd: test %q needs the NWRTM control wire, which is not present", t.Name)
+	}
+	return nil
+}

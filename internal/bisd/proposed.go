@@ -1,0 +1,198 @@
+package bisd
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/march"
+	"repro/internal/serial"
+	"repro/internal/sram"
+	"repro/internal/trace"
+)
+
+// ProposedOptions configures the proposed-scheme engine.
+type ProposedOptions struct {
+	// ClockNs is the diagnosis clock period t in nanoseconds (10 ns in
+	// the paper's case study). Zero defaults to 10.
+	ClockNs float64
+	// DeliveryOrder is the background serialization order. MSBFirst is
+	// the paper's design; LSBFirst reproduces the Fig. 4 coverage
+	// hazard for heterogeneous widths.
+	DeliveryOrder serial.Order
+	// DisableNWRTM removes the NWRTM control wire; running a test with
+	// NWRC ops then fails, as it would on silicon without the hook.
+	DisableNWRTM bool
+	// Trace, when non-nil, receives cycle-stamped events (deliveries,
+	// element starts, miscompares) for debugging.
+	Trace *trace.Recorder
+}
+
+// RunProposed executes the proposed diagnosis scheme (Fig. 3) over a
+// fleet of e-SRAMs in parallel, cycle-accurately:
+//
+//   - before each March element that writes, the background pattern is
+//     serially delivered to every SPC (cMax cycles, widest memory);
+//   - each write op applies the SPC word in parallel (1 cycle);
+//   - each read op captures into the PSC (1 cycle) and shifts the
+//     response back bit by bit while the memory idles (cMax cycles),
+//     where the comparator array checks it against the controller's
+//     wrap-tolerant expected state.
+//
+// The cycle accounting reproduces the paper's Eq. (2) exactly; the test
+// to run is a parameter so the same engine measures March C-, March CW
+// and their NWRTM merges.
+func RunProposed(mems []*sram.Memory, test march.Test, opt ProposedOptions) (*Report, error) {
+	if len(mems) == 0 {
+		return nil, fmt.Errorf("bisd: empty fleet")
+	}
+	if err := test.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.ClockNs == 0 {
+		opt.ClockNs = 10
+	}
+	cg := &ControlGenerator{NWRTMWired: !opt.DisableNWRTM}
+	if err := cg.Check(test); err != nil {
+		return nil, err
+	}
+
+	nMax, cMax, geoms := fleetGeometry(mems)
+	trigger := NewAddressTrigger(nMax)
+	bgGen := NewBackgroundGenerator(cMax, opt.DeliveryOrder)
+	comp := NewComparatorArray(mems)
+	coll := newCollector(geoms)
+
+	spcs := make([]*serial.SPC, len(mems))
+	pscs := make([]*serial.PSC, len(mems))
+	addrGens := make([]*LocalAddressGenerator, len(mems))
+	for i, m := range mems {
+		spcs[i] = serial.NewSPC(m.C())
+		pscs[i] = serial.NewPSC(m.C())
+		addrGens[i] = NewLocalAddressGenerator(m.N())
+	}
+
+	rep := &Report{Scheme: "proposed (SPC/PSC)", ClockNs: opt.ClockNs}
+	nBgs := bitvec.NumBackgrounds(cMax)
+	if test.BackgroundCount < nBgs {
+		nBgs = test.BackgroundCount
+	}
+
+	elemIdx := 0
+	runElement := func(e march.Element, bgIdx int) {
+		if e.DelayMs > 0 {
+			for _, m := range mems {
+				m.Hold(e.DelayMs)
+			}
+			rep.RetentionNs += e.DelayMs * 1e6
+		}
+		opt.Trace.Emitf(rep.Cycles, trace.ElementStart, "ctrl", "elem %d bg %d: %s", elemIdx, bgIdx, e)
+		pattern := bgGen.Pattern(bgIdx)
+		if e.Writes() > 0 {
+			opt.Trace.Emitf(rep.Cycles, trace.Delivery, "bggen", "pattern %s", pattern)
+			rep.Cycles += int64(bgGen.Deliver(pattern, spcs))
+		}
+		for _, logical := range trigger.Sequence(e.Order) {
+			for opIdx, op := range e.Ops {
+				switch op.Kind {
+				case march.WriteWeak:
+					// A weak write cannot change a fault-free memory,
+					// so the expected shadow is untouched.
+					rep.Cycles++
+					for i, m := range mems {
+						word := spcs[i].Word()
+						if op.Inverted {
+							word = word.Not()
+						}
+						m.WriteWeak(addrGens[i].Map(logical), word)
+					}
+				case march.Write, march.WriteNWRC:
+					rep.Cycles++
+					for i, m := range mems {
+						phys := addrGens[i].Map(logical)
+						// The memory receives whatever the SPC actually
+						// holds; the comparator expects what the
+						// controller *intended* to deliver, DP[c_i-1:0].
+						// With MSB-first delivery the two coincide; with
+						// the hazardous LSB-first order of Fig. 4 they
+						// diverge and diagnosis breaks down.
+						word := spcs[i].Word()
+						intended := pattern.Truncate(m.C())
+						if op.Inverted {
+							word = word.Not()
+							intended = intended.Not()
+						}
+						if op.Kind == march.WriteNWRC {
+							m.WriteNWRC(phys, word)
+						} else {
+							m.Write(phys, word)
+						}
+						// A fault-free memory accepts either write kind,
+						// so the expected shadow updates identically.
+						comp.NoteWrite(i, phys, intended)
+					}
+				case march.Read:
+					rep.Cycles += 1 + int64(cMax)
+					for i, m := range mems {
+						phys := addrGens[i].Map(logical)
+						pscs[i].Capture(m.Read(phys))
+						got := pscs[i].Drain()
+						for _, bit := range comp.Compare(i, phys, got) {
+							opt.Trace.Emitf(rep.Cycles, trace.Miscompare,
+								fmt.Sprintf("mem%d", i), "addr %d bit %d", phys, bit)
+							coll.record(FailureRecord{
+								Memory: i, LogicalAddr: logical, PhysicalAddr: phys,
+								Bit: bit, Element: elemIdx, Background: bgIdx, Op: opIdx,
+							})
+						}
+					}
+				}
+			}
+		}
+		elemIdx++
+	}
+
+	for i := 0; i < len(test.Elements); {
+		if !repeatedElement(test, i) {
+			runElement(test.Elements[i], 0)
+			i++
+			continue
+		}
+		j := i
+		for j < len(test.Elements) && repeatedElement(test, j) {
+			j++
+		}
+		for bg := 1; bg < nBgs; bg++ {
+			for k := i; k < j; k++ {
+				runElement(test.Elements[k], bg)
+			}
+		}
+		i = j
+	}
+
+	rep.Memories = coll.finish()
+	return rep, nil
+}
+
+// repeatedElement mirrors march.Test's per-background repetition flag.
+func repeatedElement(t march.Test, i int) bool {
+	if t.BackgroundCount <= 1 || t.PerBackground == nil {
+		return false
+	}
+	return t.PerBackground[i]
+}
+
+// fleetGeometry computes the controller sizing (largest and widest
+// memory, Sec. 3.1) and the per-memory geometries.
+func fleetGeometry(mems []*sram.Memory) (nMax, cMax int, geoms []geometry) {
+	geoms = make([]geometry, len(mems))
+	for i, m := range mems {
+		geoms[i] = geometry{n: m.N(), c: m.C()}
+		if m.N() > nMax {
+			nMax = m.N()
+		}
+		if m.C() > cMax {
+			cMax = m.C()
+		}
+	}
+	return nMax, cMax, geoms
+}

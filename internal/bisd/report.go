@@ -1,0 +1,144 @@
+// Package bisd implements the built-in self-diagnosis architectures the
+// paper compares, at cycle accuracy:
+//
+//   - the proposed scheme (Fig. 3): a shared BISD controller (address
+//     trigger, data background generator, control generator, comparator
+//     array) with, local to each e-SRAM, an address generator, a
+//     Serial-to-Parallel Converter on the write path and a Parallel-to-
+//     Serial Converter on the read path;
+//   - the baseline scheme of [7,8] (Fig. 1): the same shared controller
+//     with a bi-directional serial cell interface per memory, which
+//     identifies at most one fault per March element per direction and
+//     therefore needs k iterations of its M1 element;
+//   - the single-directional serial interface of [9,10], retained as a
+//     second baseline to demonstrate serial fault masking.
+//
+// All memories are diagnosed in parallel; global cycle counts follow
+// the widest/largest memory, as the paper's controller design does.
+package bisd
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fault"
+)
+
+// FailureRecord is one registered miscompare: the diagnosis information
+// the scheme either stores for on-chip repair or scans out for off-line
+// analysis (Sec. 3.1).
+type FailureRecord struct {
+	// Memory is the index of the e-SRAM in the fleet.
+	Memory int
+	// LogicalAddr is the controller-side address; PhysicalAddr is the
+	// address inside the (possibly smaller, wrapped) memory.
+	LogicalAddr, PhysicalAddr int
+	// Bit is the failing bit position.
+	Bit int
+	// Element and Background identify the March element execution;
+	// Op is the read's index within the element's op list.
+	Element, Background, Op int
+}
+
+// String renders the record as a scan-out log line.
+func (r FailureRecord) String() string {
+	return fmt.Sprintf("mem %d addr %d(log %d) bit %d elem %d bg %d",
+		r.Memory, r.PhysicalAddr, r.LogicalAddr, r.Bit, r.Element, r.Background)
+}
+
+// MemoryResult is the per-memory diagnosis outcome.
+type MemoryResult struct {
+	// Index is the memory's position in the fleet.
+	Index int
+	// Words and Width are the memory geometry.
+	Words, Width int
+	// Failures are the registered miscompares in execution order.
+	Failures []FailureRecord
+	// Located is the deduplicated, sorted set of failing cells.
+	Located []fault.Cell
+}
+
+// LocatedCell reports whether the cell is in the located set.
+func (m MemoryResult) LocatedCell(c fault.Cell) bool {
+	for _, l := range m.Located {
+		if l == c {
+			return true
+		}
+	}
+	return false
+}
+
+// Report is the outcome of a fleet diagnosis run.
+type Report struct {
+	// Scheme names the architecture that produced the report.
+	Scheme string
+	// Cycles is the total diagnosis clock cycle count (global, all
+	// memories in parallel).
+	Cycles int64
+	// ClockNs is the diagnosis clock period t in nanoseconds.
+	ClockNs float64
+	// RetentionNs is wall-clock spent in retention pauses (delay-based
+	// DRF testing); zero for the proposed NWRTM scheme.
+	RetentionNs float64
+	// Iterations is the number of M1 iterations the baseline needed
+	// (its k); zero for the proposed scheme.
+	Iterations int
+	// Memories holds per-memory results, fleet order.
+	Memories []MemoryResult
+}
+
+// TimeNs is the total diagnosis time in nanoseconds: cycle time plus
+// retention pauses.
+func (r *Report) TimeNs() float64 {
+	return float64(r.Cycles)*r.ClockNs + r.RetentionNs
+}
+
+// TotalLocated returns the number of located cells across the fleet.
+func (r *Report) TotalLocated() int {
+	n := 0
+	for _, m := range r.Memories {
+		n += len(m.Located)
+	}
+	return n
+}
+
+// collector gathers failure records and produces MemoryResults.
+type collector struct {
+	results []MemoryResult
+	seen    []map[fault.Cell]bool
+}
+
+func newCollector(geoms []geometry) *collector {
+	c := &collector{
+		results: make([]MemoryResult, len(geoms)),
+		seen:    make([]map[fault.Cell]bool, len(geoms)),
+	}
+	for i, g := range geoms {
+		c.results[i] = MemoryResult{Index: i, Words: g.n, Width: g.c}
+		c.seen[i] = make(map[fault.Cell]bool)
+	}
+	return c
+}
+
+type geometry struct{ n, c int }
+
+func (c *collector) record(rec FailureRecord) {
+	c.results[rec.Memory].Failures = append(c.results[rec.Memory].Failures, rec)
+	c.seen[rec.Memory][fault.Cell{Addr: rec.PhysicalAddr, Bit: rec.Bit}] = true
+}
+
+func (c *collector) recordCell(mem int, cell fault.Cell) {
+	c.seen[mem][cell] = true
+}
+
+func (c *collector) finish() []MemoryResult {
+	for i := range c.results {
+		cells := make([]fault.Cell, 0, len(c.seen[i]))
+		for cell := range c.seen[i] {
+			cells = append(cells, cell)
+		}
+		sort.Slice(cells, func(a, b int) bool { return cells[a].Less(cells[b]) })
+		c.results[i].Located = cells
+	}
+	return c.results
+}

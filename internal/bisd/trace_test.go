@@ -1,0 +1,50 @@
+package bisd
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/march"
+	"repro/internal/sram"
+	"repro/internal/trace"
+)
+
+func TestProposedEmitsTrace(t *testing.T) {
+	m := sram.New(16, 4)
+	mustInject(t, m, fault.Fault{Class: fault.SA0, Victim: fault.Cell{Addr: 3, Bit: 2}})
+	rec := trace.NewRecorder(0)
+	_, err := RunProposed([]*sram.Memory{m}, march.MarchCMinus(),
+		ProposedOptions{Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Filter(trace.ElementStart)) != 6 {
+		t.Errorf("element events = %d, want 6", len(rec.Filter(trace.ElementStart)))
+	}
+	// March C-: 5 elements with writes -> 5 deliveries.
+	if len(rec.Filter(trace.Delivery)) != 5 {
+		t.Errorf("delivery events = %d, want 5", len(rec.Filter(trace.Delivery)))
+	}
+	mis := rec.Filter(trace.Miscompare)
+	if len(mis) == 0 {
+		t.Fatal("no miscompare events for a faulty memory")
+	}
+	if !strings.Contains(mis[0].Detail, "addr 3 bit 2") {
+		t.Errorf("miscompare detail = %q", mis[0].Detail)
+	}
+	var sb strings.Builder
+	if err := rec.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "MISMATCH") {
+		t.Error("dump missing miscompare line")
+	}
+}
+
+func TestProposedNilTraceIsFree(t *testing.T) {
+	m := sram.New(16, 4)
+	if _, err := RunProposed([]*sram.Memory{m}, march.MarchCMinus(), ProposedOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}

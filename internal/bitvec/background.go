@@ -1,0 +1,108 @@
+package bitvec
+
+import "fmt"
+
+// Data backgrounds for multi-background March tests.
+//
+// March CW (Wu et al., RAMSES) extends March C- by repeating a
+// read/write element set over ceil(log2 c)+1 data backgrounds so that
+// every pair of bits inside a word is exercised with both equal and
+// complementary values. Background 0 is the solid background (all
+// zeros); background j (1-based) assigns bit i the value of bit (j-1)
+// of i's binary index. Background 1 is therefore the classic
+// checkerboard 0101... pattern across the word.
+
+// NumBackgrounds returns the number of data backgrounds March CW needs
+// for IO width c: ceil(log2 c) + 1, and 1 for c <= 1.
+func NumBackgrounds(c int) int {
+	if c <= 1 {
+		return 1
+	}
+	return ceilLog2(c) + 1
+}
+
+// ceilLog2 returns ceil(log2(x)) for x >= 1.
+func ceilLog2(x int) int {
+	if x < 1 {
+		panic(fmt.Sprintf("bitvec: ceilLog2 of %d", x))
+	}
+	n := 0
+	for (1 << uint(n)) < x {
+		n++
+	}
+	return n
+}
+
+// CeilLog2 returns ceil(log2(x)) for x >= 1. It is exported because the
+// paper's Eq. (2) scales the March CW extension by this factor.
+func CeilLog2(x int) int { return ceilLog2(x) }
+
+// Background returns background j (0-based) for IO width c.
+// Background 0 is solid zeros; background j>0 sets bit i to bit (j-1) of
+// i's index. It panics if j is out of range for NumBackgrounds(c).
+func Background(c, j int) Vector {
+	if j < 0 || j >= NumBackgrounds(c) {
+		panic(fmt.Sprintf("bitvec: background %d out of range for width %d", j, c))
+	}
+	v := New(c)
+	if j == 0 {
+		return v
+	}
+	for i := 0; i < c; i++ {
+		if i>>(uint(j-1))&1 == 1 {
+			v.Set(i, true)
+		}
+	}
+	return v
+}
+
+// Backgrounds returns all NumBackgrounds(c) backgrounds for IO width c,
+// in order.
+func Backgrounds(c int) []Vector {
+	out := make([]Vector, NumBackgrounds(c))
+	for j := range out {
+		out[j] = Background(c, j)
+	}
+	return out
+}
+
+// Solid returns a width-c vector with every bit set to b.
+func Solid(c int, b bool) Vector {
+	v := New(c)
+	v.Fill(b)
+	return v
+}
+
+// Checkerboard returns the alternating 0101... background of width c
+// (bit 0 = 0, bit 1 = 1, ...), the pattern the DiagRSMarch extra
+// elements of the baseline scheme use.
+func Checkerboard(c int) Vector {
+	if c <= 1 {
+		return New(c)
+	}
+	return Background(c, 1)
+}
+
+// DistinguishesAllBitPairs reports whether the given background set
+// assigns, for every pair of distinct bit positions below c, both an
+// equal and an unequal value in at least one background each. This is
+// the property that gives March CW its intra-word coupling-fault
+// coverage; it is exposed for tests and for the coverage experiment E6.
+func DistinguishesAllBitPairs(c int, bgs []Vector) bool {
+	for i := 0; i < c; i++ {
+		for j := i + 1; j < c; j++ {
+			equal, unequal := false, false
+			for _, bg := range bgs {
+				if bg.Get(i) == bg.Get(j) {
+					equal = true
+				} else {
+					unequal = true
+				}
+			}
+			if !equal || !unequal {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,125 @@
+package bitvec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNumBackgrounds(t *testing.T) {
+	cases := []struct{ c, want int }{
+		{1, 1}, {2, 2}, {3, 3}, {4, 3}, {5, 4}, {8, 4}, {9, 5},
+		{16, 5}, {32, 6}, {64, 7}, {100, 8}, {128, 8},
+	}
+	for _, tc := range cases {
+		if got := NumBackgrounds(tc.c); got != tc.want {
+			t.Errorf("NumBackgrounds(%d) = %d, want %d", tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := []struct{ x, want int }{{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {100, 7}, {128, 7}, {129, 8}}
+	for _, tc := range cases {
+		if got := CeilLog2(tc.x); got != tc.want {
+			t.Errorf("CeilLog2(%d) = %d, want %d", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestBackgroundZeroIsSolid(t *testing.T) {
+	bg := Background(100, 0)
+	if bg.OnesCount() != 0 {
+		t.Fatalf("background 0 has %d ones", bg.OnesCount())
+	}
+}
+
+func TestBackgroundOneIsCheckerboard(t *testing.T) {
+	bg := Background(8, 1)
+	want := "10101010" // bit i set iff i odd
+	if got := bg.String(); got != want {
+		t.Fatalf("background 1 = %s, want %s", got, want)
+	}
+	if !bg.Equal(Checkerboard(8)) {
+		t.Fatal("Checkerboard differs from background 1")
+	}
+}
+
+func TestBackgroundOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Background out of range did not panic")
+		}
+	}()
+	Background(8, NumBackgrounds(8))
+}
+
+func TestBackgroundsDistinguishAllBitPairs(t *testing.T) {
+	for _, c := range []int{2, 3, 4, 7, 8, 16, 33, 100} {
+		bgs := Backgrounds(c)
+		if !DistinguishesAllBitPairs(c, bgs) {
+			t.Errorf("width %d: backgrounds do not distinguish all bit pairs", c)
+		}
+	}
+}
+
+func TestSolidBackgroundAloneInsufficient(t *testing.T) {
+	// A single solid background can never give two bits unequal values;
+	// this is exactly why March C- alone misses intra-word coupling
+	// faults and March CW adds log2(c) backgrounds.
+	if DistinguishesAllBitPairs(4, []Vector{Solid(4, false)}) {
+		t.Fatal("solid background alone reported as sufficient")
+	}
+}
+
+func TestSolid(t *testing.T) {
+	if got := Solid(5, true).String(); got != "11111" {
+		t.Errorf("Solid(5,true) = %s", got)
+	}
+	if got := Solid(5, false).String(); got != "00000" {
+		t.Errorf("Solid(5,false) = %s", got)
+	}
+}
+
+func TestCheckerboardWidthOne(t *testing.T) {
+	cb := Checkerboard(1)
+	if cb.Width() != 1 || cb.OnesCount() != 0 {
+		t.Fatalf("Checkerboard(1) = %v", cb)
+	}
+}
+
+// Property: for any width 2..120 and any two distinct bit positions,
+// some background separates them and some equates them.
+func TestQuickBackgroundPairProperty(t *testing.T) {
+	f := func(cw, iw, jw uint8) bool {
+		c := int(cw%119) + 2
+		i := int(iw) % c
+		j := int(jw) % c
+		if i == j {
+			return true
+		}
+		bgs := Backgrounds(c)
+		equal, unequal := false, false
+		for _, bg := range bgs {
+			if bg.Get(i) == bg.Get(j) {
+				equal = true
+			} else {
+				unequal = true
+			}
+		}
+		return equal && unequal
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the number of backgrounds grows logarithmically: doubling c
+// adds exactly one background for powers of two.
+func TestQuickBackgroundGrowth(t *testing.T) {
+	for c := 2; c <= 1024; c *= 2 {
+		if NumBackgrounds(2*c) != NumBackgrounds(c)+1 {
+			t.Errorf("NumBackgrounds(%d)=%d, NumBackgrounds(%d)=%d; want +1",
+				2*c, NumBackgrounds(2*c), c, NumBackgrounds(c))
+		}
+	}
+}

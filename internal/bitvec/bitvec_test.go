@@ -1,0 +1,270 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZero(t *testing.T) {
+	for _, w := range []int{0, 1, 7, 64, 65, 100, 200} {
+		v := New(w)
+		if v.Width() != w {
+			t.Fatalf("width = %d, want %d", v.Width(), w)
+		}
+		if v.OnesCount() != 0 {
+			t.Fatalf("new vector width %d has %d ones", w, v.OnesCount())
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetGetFlip(t *testing.T) {
+	v := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if v.Get(i) {
+			t.Fatalf("bit %d set in zero vector", i)
+		}
+		v.Set(i, true)
+		if !v.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+		if got := v.Flip(i); got {
+			t.Fatalf("Flip(%d) = true, want false", i)
+		}
+		if got := v.Flip(i); !got {
+			t.Fatalf("second Flip(%d) = false, want true", i)
+		}
+	}
+	if v.OnesCount() != 8 {
+		t.Fatalf("OnesCount = %d, want 8", v.OnesCount())
+	}
+}
+
+func TestGetOutOfRangePanics(t *testing.T) {
+	v := New(10)
+	for _, i := range []int{-1, 10, 11} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Get(%d) did not panic", i)
+				}
+			}()
+			v.Get(i)
+		}()
+	}
+}
+
+func TestFillAndInvert(t *testing.T) {
+	v := New(100)
+	v.Fill(true)
+	if v.OnesCount() != 100 {
+		t.Fatalf("OnesCount after Fill(true) = %d, want 100", v.OnesCount())
+	}
+	v.Invert()
+	if v.OnesCount() != 0 {
+		t.Fatalf("OnesCount after Invert = %d, want 0", v.OnesCount())
+	}
+}
+
+func TestNotDoesNotAlias(t *testing.T) {
+	v := New(65)
+	n := v.Not()
+	if n.OnesCount() != 65 {
+		t.Fatalf("Not OnesCount = %d, want 65", n.OnesCount())
+	}
+	if v.OnesCount() != 0 {
+		t.Fatal("Not mutated its receiver")
+	}
+	n.Set(3, false)
+	if v.Get(3) {
+		t.Fatal("Not aliases receiver storage")
+	}
+}
+
+func TestLogicOps(t *testing.T) {
+	a := MustParse("1100")
+	b := MustParse("1010")
+	if got := a.Xor(b).String(); got != "0110" {
+		t.Errorf("Xor = %s, want 0110", got)
+	}
+	if got := a.And(b).String(); got != "1000" {
+		t.Errorf("And = %s, want 1000", got)
+	}
+	if got := a.Or(b).String(); got != "1110" {
+		t.Errorf("Or = %s, want 1110", got)
+	}
+}
+
+func TestWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Xor with mismatched widths did not panic")
+		}
+	}()
+	New(4).Xor(New(5))
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	for _, s := range []string{"", "0", "1", "0101", "111000111", "10000000000000000000000000000000000000000000000000000000000000001"} {
+		v, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if got := v.String(); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+	if _, err := Parse("01x1"); err == nil {
+		t.Error("Parse accepted invalid character")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	v := MustParse("1101")
+	tr := v.Truncate(3)
+	if got := tr.String(); got != "101" {
+		t.Errorf("Truncate(3) = %s, want 101", got)
+	}
+	if tr.Width() != 3 {
+		t.Errorf("truncated width = %d, want 3", tr.Width())
+	}
+}
+
+func TestTruncateTooWidePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Truncate beyond width did not panic")
+		}
+	}()
+	New(3).Truncate(4)
+}
+
+func TestSerializeMSBFirst(t *testing.T) {
+	v := MustParse("1011") // bit3=1 bit2=0 bit1=1 bit0=1
+	got := v.SerializeMSBFirst()
+	want := []bool{true, false, true, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MSB-first bit %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	back := DeserializeMSBFirst(got)
+	if !back.Equal(v) {
+		t.Fatalf("deserialize mismatch: %s vs %s", back, v)
+	}
+}
+
+func TestSerializeLSBFirst(t *testing.T) {
+	v := MustParse("1011")
+	got := v.SerializeLSBFirst()
+	want := []bool{true, true, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LSB-first bit %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEqualAndClone(t *testing.T) {
+	v := MustParse("110")
+	c := v.Clone()
+	if !v.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Set(0, true)
+	if v.Equal(c) {
+		t.Fatal("clone aliases original")
+	}
+	if v.Equal(New(4)) {
+		t.Fatal("vectors of different width reported equal")
+	}
+}
+
+func TestFromUint64(t *testing.T) {
+	v := FromUint64(4, 0b1011)
+	if got := v.String(); got != "1011" {
+		t.Errorf("FromUint64 = %s, want 1011", got)
+	}
+	v = FromUint64(3, 0b1111) // masked to width
+	if got := v.String(); got != "111" {
+		t.Errorf("FromUint64 masked = %s, want 111", got)
+	}
+	v = FromUint64(0, 5)
+	if v.Width() != 0 {
+		t.Errorf("zero width FromUint64 width = %d", v.Width())
+	}
+}
+
+// Property: double inversion is the identity.
+func TestQuickInvertInvolution(t *testing.T) {
+	f := func(bits []bool) bool {
+		v := New(len(bits))
+		for i, b := range bits {
+			v.Set(i, b)
+		}
+		w := v.Not().Not()
+		return w.Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: XOR with self is zero; XOR is commutative.
+func TestQuickXorProperties(t *testing.T) {
+	f := func(seed int64, width uint8) bool {
+		w := int(width%100) + 1
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randomVec(rng, w), randomVec(rng, w)
+		if a.Xor(a).OnesCount() != 0 {
+			return false
+		}
+		return a.Xor(b).Equal(b.Xor(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MSB-first serialization round-trips for arbitrary vectors.
+func TestQuickSerializeRoundTrip(t *testing.T) {
+	f := func(seed int64, width uint8) bool {
+		w := int(width % 200)
+		rng := rand.New(rand.NewSource(seed))
+		v := randomVec(rng, w)
+		return DeserializeMSBFirst(v.SerializeMSBFirst()).Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: OnesCount(v) + OnesCount(~v) = width.
+func TestQuickOnesCountComplement(t *testing.T) {
+	f := func(seed int64, width uint8) bool {
+		w := int(width % 200)
+		rng := rand.New(rand.NewSource(seed))
+		v := randomVec(rng, w)
+		return v.OnesCount()+v.Not().OnesCount() == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomVec(rng *rand.Rand, width int) Vector {
+	v := New(width)
+	for i := 0; i < width; i++ {
+		v.Set(i, rng.Intn(2) == 1)
+	}
+	return v
+}

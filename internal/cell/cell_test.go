@@ -1,0 +1,279 @@
+package cell
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGoodCellWriteRead(t *testing.T) {
+	c := New()
+	if c.Value() {
+		t.Fatal("fresh cell stores 1")
+	}
+	c.Write(true)
+	if !c.Read() {
+		t.Fatal("read 0 after write 1")
+	}
+	c.Write(false)
+	if c.Read() {
+		t.Fatal("read 1 after write 0")
+	}
+}
+
+func TestGoodCellNWRCFlipsBothWays(t *testing.T) {
+	// Paper, Sec. 3.4: "a good cell has no problem writing a ONE
+	// because node B can be pulled down by the bitline BLb and the
+	// cell can flip due to the latch mechanism."
+	c := New()
+	c.WriteNWRC(true)
+	if !c.Read() {
+		t.Fatal("good cell failed NWRC write 1")
+	}
+	c.WriteNWRC(false)
+	if c.Read() {
+		t.Fatal("good cell failed NWRC write 0")
+	}
+}
+
+func TestOpenPullUpAFailsNWRCWrite1(t *testing.T) {
+	// The DRF cell of Fig. 6: open pull-up PMOS on node A. Writing 1
+	// via NWRC must fail: BL is at float GND (no charge sharing) and
+	// the pull-up is missing, so node A can never exceed node B.
+	c := NewWithOpen(PullUpA)
+	c.Write(false) // establish a clean 0
+	c.WriteNWRC(true)
+	if c.Read() {
+		t.Fatal("DRF cell flipped under NWRC write 1")
+	}
+}
+
+func TestOpenPullUpBFailsNWRCWrite0(t *testing.T) {
+	c := NewWithOpen(PullUpB)
+	c.Write(true)
+	if !c.Read() {
+		t.Fatal("setup: normal write 1 failed")
+	}
+	c.WriteNWRC(false)
+	if !c.Read() {
+		t.Fatal("DRF cell (pull-up B open) flipped under NWRC write 0")
+	}
+}
+
+func TestOpenPullUpAcceptsNormalWrite(t *testing.T) {
+	// A normal write drives both bitlines, so the faulty cell still
+	// accepts the value — it just cannot retain it. This is why DRFs
+	// escape ordinary March tests without a retention pause.
+	c := NewWithOpen(PullUpA)
+	c.Write(true)
+	if !c.Read() {
+		t.Fatal("normal write 1 failed on DRF cell")
+	}
+}
+
+func TestDRFDecaysUnderHold(t *testing.T) {
+	c := NewWithOpen(PullUpA)
+	c.Write(true)
+	c.Hold(10) // short pause: still reads 1
+	if !c.Read() {
+		t.Fatal("DRF cell lost data after only 10 ms")
+	}
+	c.Hold(100) // the conventional retention pause
+	if c.Read() {
+		t.Fatal("DRF cell retained 1 through 100 ms hold")
+	}
+}
+
+func TestGoodCellRetains(t *testing.T) {
+	c := New()
+	c.Write(true)
+	c.Hold(1000)
+	if !c.Read() {
+		t.Fatal("good cell lost 1 during hold")
+	}
+	c.Write(false)
+	c.Hold(1000)
+	if c.Read() {
+		t.Fatal("good cell lost 0 during hold")
+	}
+}
+
+func TestOpenPullDownNotNWRCDetectable(t *testing.T) {
+	// An open pull-down also causes a retention problem (the node
+	// leaks upward) but NWRTM does not catch it: the NWRC write can
+	// still flip the cell because the *driven* bitline does the work.
+	c := NewWithOpen(PullDownA)
+	c.Write(true)
+	c.WriteNWRC(false)
+	if c.Read() {
+		t.Fatal("open pull-down A cell failed NWRC write 0; expected success")
+	}
+}
+
+func TestOpenPullDownRetention(t *testing.T) {
+	c := NewWithOpen(PullDownA)
+	c.Write(false)
+	c.Hold(5)
+	if c.Read() {
+		t.Fatal("open pull-down cell lost 0 after 5 ms")
+	}
+	c.Hold(200)
+	if !c.Read() {
+		t.Fatal("open pull-down A cell retained 0 through a long pause; expected upward leak")
+	}
+}
+
+func TestNWRCDetectsClassification(t *testing.T) {
+	want := map[Transistor]bool{
+		PullUpA: true, PullUpB: true,
+		PullDownA: false, PullDownB: false,
+		AccessA: false, AccessB: false,
+	}
+	for tr, w := range want {
+		if got := NWRCDetects(tr); got != w {
+			t.Errorf("NWRCDetects(%s) = %v, want %v", tr, got, w)
+		}
+	}
+}
+
+func TestRetentionVictimValue(t *testing.T) {
+	cases := []struct {
+		tr       Transistor
+		value    bool
+		affected bool
+	}{
+		{PullUpA, true, true},
+		{PullUpB, false, true},
+		{PullDownA, false, true},
+		{PullDownB, true, true},
+		{AccessA, false, false},
+		{AccessB, false, false},
+	}
+	for _, tc := range cases {
+		v, a := RetentionVictimValue(tc.tr)
+		if a != tc.affected || (a && v != tc.value) {
+			t.Errorf("RetentionVictimValue(%s) = (%v,%v), want (%v,%v)",
+				tc.tr, v, a, tc.value, tc.affected)
+		}
+	}
+}
+
+func TestNWRCBehaviourMatchesClassification(t *testing.T) {
+	// Cross-check the electrical model against the analytic
+	// classification. Pull-down opens must never fail an NWRC write
+	// (the driven bitline does the work); pull-up opens must fail for
+	// their polarity. Access-transistor opens may also fail an NWRC
+	// write — those cells are defective in their own right (read
+	// faults), so flagging them is not a false detection.
+	for _, tr := range []Transistor{PullDownA, PullDownB} {
+		for _, v := range []bool{false, true} {
+			c := NewWithOpen(tr)
+			c.Write(v)
+			if c.Read() != v {
+				continue // defect breaks even normal writes; not an NWRC question
+			}
+			c.WriteNWRC(!v)
+			if c.Read() != !v {
+				t.Errorf("open %s, polarity %v: NWRC failed but pull-down opens must pass", tr, v)
+			}
+		}
+	}
+	// And both pull-up opens must fail for their polarity.
+	cA := NewWithOpen(PullUpA)
+	cA.Write(false)
+	cA.WriteNWRC(true)
+	if cA.Read() {
+		t.Error("open PullUpA: NWRC write-1 unexpectedly succeeded")
+	}
+	cB := NewWithOpen(PullUpB)
+	cB.Write(true)
+	cB.WriteNWRC(false)
+	if !cB.Read() {
+		t.Error("open PullUpB: NWRC write-0 unexpectedly succeeded")
+	}
+}
+
+func TestAccessOpenReadsStale(t *testing.T) {
+	// With both access paths intact a read refreshes the sense latch;
+	// with the discharging side open the sense amp sees no
+	// differential and repeats its previous value.
+	c := NewWithOpen(AccessA)
+	c.Write(true) // only BLb side effective: vb=0, feedback raises va
+	_ = c.Read()
+	got := c.Read()
+	if got != c.Read() {
+		t.Error("repeated reads of access-open cell disagree")
+	}
+}
+
+func TestVoltagesFullRailAfterWrite(t *testing.T) {
+	c := New()
+	c.Write(true)
+	va, vb := c.Voltages()
+	if va != 1.0 || vb != 0.0 {
+		t.Fatalf("voltages after write 1 = (%v,%v), want (1,0)", va, vb)
+	}
+}
+
+func TestSetDecayControlsRetentionWindow(t *testing.T) {
+	c := NewWithOpen(PullUpA)
+	c.SetDecay(0.5) // very leaky: dies within 2 ms
+	c.Write(true)
+	c.Hold(2)
+	if c.Read() {
+		t.Fatal("leaky cell survived 2 ms at decay 0.5/ms")
+	}
+}
+
+func TestTransistorString(t *testing.T) {
+	if PullUpA.String() != "PullUpA" || AccessB.String() != "AccessB" {
+		t.Error("transistor names wrong")
+	}
+	if Transistor(42).String() == "" {
+		t.Error("unknown transistor String empty")
+	}
+	if A.String() != "A" || B.String() != "B" {
+		t.Error("node names wrong")
+	}
+}
+
+// Property: for a good cell, any sequence of normal and NWRC writes
+// always leaves the cell storing the last written value.
+func TestQuickGoodCellSequence(t *testing.T) {
+	f := func(ops []bool, kinds []bool) bool {
+		c := New()
+		last := false
+		n := len(ops)
+		if len(kinds) < n {
+			n = len(kinds)
+		}
+		for i := 0; i < n; i++ {
+			if kinds[i] {
+				c.WriteNWRC(ops[i])
+			} else {
+				c.Write(ops[i])
+			}
+			last = ops[i]
+		}
+		return c.Read() == last
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a DRF cell never reads 1 after (write 0, NWRC write 1),
+// regardless of interleaved holds.
+func TestQuickDRFNeverFlipsUnderNWRC(t *testing.T) {
+	f := func(holds []uint8) bool {
+		c := NewWithOpen(PullUpA)
+		c.Write(false)
+		for _, h := range holds {
+			c.Hold(float64(h))
+		}
+		c.WriteNWRC(true)
+		return !c.Read()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,93 @@
+package cell
+
+import "testing"
+
+// Electrical-level tests for the Weak Write Test Mode [14,15], the DFT
+// technique the paper's Sec. 3.4 contrasts NWRTM against.
+
+func TestWeakWriteDoesNotFlipGoodCell(t *testing.T) {
+	c := New()
+	c.Write(true)
+	c.WriteWeak(false)
+	if !c.Read() {
+		t.Fatal("weak write flipped a healthy cell")
+	}
+	c.Write(false)
+	c.WriteWeak(true)
+	if c.Read() {
+		t.Fatal("weak write-1 flipped a healthy cell")
+	}
+}
+
+func TestWeakWriteFlipsDRFCell(t *testing.T) {
+	// Open pull-up A: a stored 1 is dynamic; the weak write-0 wins.
+	c := NewWithOpen(PullUpA)
+	c.Write(true)
+	if !c.Read() {
+		t.Fatal("setup: normal write-1 failed")
+	}
+	c.WriteWeak(false)
+	if c.Read() {
+		t.Fatal("weak write-0 failed to flip the dynamic node")
+	}
+}
+
+func TestWeakWriteFlipsDRFCellOppositePolarity(t *testing.T) {
+	c := NewWithOpen(PullUpB)
+	c.Write(false) // stored 0 is the vulnerable value here
+	c.WriteWeak(true)
+	if !c.Read() {
+		t.Fatal("weak write-1 failed to flip the open-pull-up-B cell")
+	}
+}
+
+func TestWeakWriteSameValueNoop(t *testing.T) {
+	c := NewWithOpen(PullUpA)
+	c.Write(true)
+	c.WriteWeak(true) // writing the held value changes nothing
+	if !c.Read() {
+		t.Fatal("weak write of the held value disturbed the cell")
+	}
+}
+
+func TestWeakWriteWrongPolarityOnDRF(t *testing.T) {
+	// The DRF<1> cell holding 0 is statically stable; a weak write-1
+	// cannot flip it (it would have to fight the healthy pull-down).
+	c := NewWithOpen(PullUpA)
+	c.Write(false)
+	c.WriteWeak(true)
+	if c.Read() {
+		t.Fatal("weak write-1 flipped a statically held 0")
+	}
+}
+
+func TestWWTMAndNWRCAgreeOnDetectability(t *testing.T) {
+	// Both techniques target exactly the pull-up opens; verify both
+	// flag the same defects via their respective disciplines.
+	for _, tr := range []Transistor{PullUpA, PullUpB} {
+		vulnerable, _ := RetentionVictimValue(tr)
+
+		nwrc := NewWithOpen(tr)
+		nwrc.Write(!vulnerable)
+		nwrc.WriteNWRC(vulnerable) // fails to flip -> reads !vulnerable
+		nwrcDetects := nwrc.Read() != vulnerable
+
+		wwtm := NewWithOpen(tr)
+		wwtm.Write(vulnerable)
+		wwtm.WriteWeak(!vulnerable) // flips the dynamic node -> reads !vulnerable
+		wwtmDetects := wwtm.Read() != vulnerable
+
+		if !nwrcDetects || !wwtmDetects {
+			t.Errorf("open %s: NWRC detects=%v WWTM detects=%v, want both", tr, nwrcDetects, wwtmDetects)
+		}
+	}
+}
+
+func TestWeakWriteIgnoresPullDownOpens(t *testing.T) {
+	c := NewWithOpen(PullDownA)
+	c.Write(true)
+	c.WriteWeak(false)
+	if !c.Read() {
+		t.Fatal("weak write flipped a cell whose pull-ups are intact")
+	}
+}

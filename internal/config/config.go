@@ -1,0 +1,159 @@
+// Package config describes SoC e-SRAM fleets for the diagnosis
+// engines: per-memory geometry and defect profile, plus the diagnosis
+// clock. Configurations round-trip through JSON so fleets can be
+// described in files for the command-line tools.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/sram"
+)
+
+// Memory describes one e-SRAM and its (synthetic) defect population.
+type Memory struct {
+	// Name labels the instance, e.g. "pktbuf0".
+	Name string `json:"name"`
+	// Words and Width are the geometry (n and c).
+	Words int `json:"words"`
+	Width int `json:"width"`
+	// DefectRate is the fraction of defective cells (0.01 in the
+	// paper's case study); zero means a clean memory.
+	DefectRate float64 `json:"defect_rate"`
+	// DRFCount injects this many additional data-retention faults,
+	// the defect class the paper adds NWRTM for.
+	DRFCount int `json:"drf_count"`
+	// Seed makes the defect draw reproducible.
+	Seed int64 `json:"seed"`
+}
+
+// Validate rejects non-physical entries.
+func (m Memory) Validate() error {
+	if m.Words <= 0 || m.Width <= 0 {
+		return fmt.Errorf("config: memory %q has invalid geometry %dx%d", m.Name, m.Words, m.Width)
+	}
+	if m.DefectRate < 0 || m.DefectRate > 1 {
+		return fmt.Errorf("config: memory %q defect rate %v out of [0,1]", m.Name, m.DefectRate)
+	}
+	if m.DRFCount < 0 {
+		return fmt.Errorf("config: memory %q negative DRF count", m.Name)
+	}
+	return nil
+}
+
+// SoC is a fleet of distributed e-SRAMs sharing one BISD controller.
+type SoC struct {
+	// Name labels the configuration.
+	Name string `json:"name"`
+	// ClockNs is the diagnosis clock period t in ns.
+	ClockNs float64 `json:"clock_ns"`
+	// Memories is the fleet.
+	Memories []Memory `json:"memories"`
+}
+
+// Validate checks the whole fleet.
+func (s SoC) Validate() error {
+	if len(s.Memories) == 0 {
+		return fmt.Errorf("config: SoC %q has no memories", s.Name)
+	}
+	if s.ClockNs <= 0 {
+		return fmt.Errorf("config: SoC %q clock %v ns", s.Name, s.ClockNs)
+	}
+	for _, m := range s.Memories {
+		if err := m.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Build instantiates the fleet: behavioural memories with the defect
+// populations injected. The returned fault lists (per memory) are the
+// ground truth for evaluating diagnosis results.
+func (s SoC) Build() ([]*sram.Memory, [][]fault.Fault, error) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
+	mems := make([]*sram.Memory, len(s.Memories))
+	truth := make([][]fault.Fault, len(s.Memories))
+	for i, mc := range s.Memories {
+		m := sram.New(mc.Words, mc.Width)
+		gen := fault.NewGenerator(mc.Words, mc.Width, mc.Seed)
+		var injected []fault.Fault
+		for _, f := range gen.FleetTyped(mc.DefectRate, fault.PaperDefectTypes()) {
+			if err := m.Inject(f); err != nil {
+				return nil, nil, fmt.Errorf("config: memory %q: %v", mc.Name, err)
+			}
+			injected = append(injected, f)
+		}
+		// DRFs are drawn until the requested count is placed; draws
+		// whose victim collides with an earlier fault are redrawn
+		// (deterministically, from the same seeded stream).
+		for placed, attempts := 0, 0; placed < mc.DRFCount; attempts++ {
+			if attempts > 100*mc.DRFCount+100 {
+				return nil, nil, fmt.Errorf("config: memory %q cannot place %d DRFs", mc.Name, mc.DRFCount)
+			}
+			f := gen.Random(fault.DRF)
+			if err := m.Inject(f); err != nil {
+				continue
+			}
+			injected = append(injected, f)
+			placed++
+		}
+		fault.Sort(injected)
+		mems[i] = m
+		truth[i] = injected
+	}
+	return mems, truth, nil
+}
+
+// Marshal renders the configuration as indented JSON.
+func (s SoC) Marshal() ([]byte, error) { return json.MarshalIndent(s, "", "  ") }
+
+// Parse reads a JSON configuration.
+func Parse(data []byte) (SoC, error) {
+	var s SoC
+	if err := json.Unmarshal(data, &s); err != nil {
+		return SoC{}, fmt.Errorf("config: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		return SoC{}, err
+	}
+	return s, nil
+}
+
+// Benchmark16 is the benchmark e-SRAM configuration of [16] used by the
+// paper's case study: n = 512 words, c = 100 bits, t = 10 ns. The
+// paper assumes 1 % of cells defective and, following [8]'s defect-to-
+// fault mapping, a maximum of 256 observable faults per e-SRAM; the
+// configuration draws those 256 faults directly (rate 0.005 of the
+// 51,200 cells).
+func Benchmark16() SoC {
+	return SoC{
+		Name:    "benchmark-[16]",
+		ClockNs: 10,
+		Memories: []Memory{
+			{Name: "esram0", Words: 512, Width: 100, DefectRate: 0.005, Seed: 16},
+		},
+	}
+}
+
+// HeterogeneousExample is a small distributed fleet in the spirit of
+// the paper's motivation: several buffers of different sizes and
+// widths between computational blocks. The sizes are kept modest so
+// the bit-accurate serial baseline (O((n·c)²) per shift pass) runs in
+// seconds; paper-scale fleets use the analytic baseline mode.
+func HeterogeneousExample() SoC {
+	return SoC{
+		Name:    "heterogeneous-example",
+		ClockNs: 10,
+		Memories: []Memory{
+			{Name: "pktbuf", Words: 64, Width: 16, DefectRate: 0.005, Seed: 1},
+			{Name: "hdrfifo", Words: 32, Width: 12, DefectRate: 0.01, Seed: 2},
+			{Name: "statsq", Words: 48, Width: 8, DefectRate: 0.008, DRFCount: 2, Seed: 3},
+			{Name: "dmadesc", Words: 16, Width: 10, DefectRate: 0, DRFCount: 1, Seed: 4},
+		},
+	}
+}

@@ -1,0 +1,126 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+func TestBenchmark16Shape(t *testing.T) {
+	s := Benchmark16()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Memories[0]
+	if m.Words != 512 || m.Width != 100 || s.ClockNs != 10 {
+		t.Fatalf("benchmark parameters wrong: %+v", s)
+	}
+	// The paper's 1% defective cells map to 256 observable faults
+	// under [8]'s model; the configuration draws those directly.
+	if got := int(float64(m.Words*m.Width) * m.DefectRate); got != 256 {
+		t.Fatalf("benchmark fault count = %d, want 256", got)
+	}
+}
+
+func TestHeterogeneousExampleValid(t *testing.T) {
+	if err := HeterogeneousExample().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []SoC{
+		{Name: "no-mems", ClockNs: 10},
+		{Name: "bad-clock", Memories: []Memory{{Name: "m", Words: 4, Width: 4}}},
+		{Name: "bad-geom", ClockNs: 10, Memories: []Memory{{Name: "m", Words: 0, Width: 4}}},
+		{Name: "bad-rate", ClockNs: 10, Memories: []Memory{{Name: "m", Words: 4, Width: 4, DefectRate: 2}}},
+		{Name: "bad-drf", ClockNs: 10, Memories: []Memory{{Name: "m", Words: 4, Width: 4, DRFCount: -1}}},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: validated", s.Name)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	s := HeterogeneousExample()
+	_, t1, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, t2, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range t1 {
+		if len(t1[i]) != len(t2[i]) {
+			t.Fatalf("memory %d: truth size differs", i)
+		}
+		for j := range t1[i] {
+			if t1[i][j] != t2[i][j] {
+				t.Fatalf("memory %d fault %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestBuildInjectsRequestedDefects(t *testing.T) {
+	s := SoC{Name: "t", ClockNs: 10, Memories: []Memory{
+		{Name: "m", Words: 64, Width: 8, DefectRate: 0.05, DRFCount: 3, Seed: 7},
+	}}
+	mems, truth, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mems) != 1 {
+		t.Fatal("wrong fleet size")
+	}
+	base := int(64 * 8 * 5 / 100)
+	drfs := 0
+	for _, f := range truth[0] {
+		if f.Class == fault.DRF {
+			drfs++
+		}
+	}
+	if drfs == 0 || drfs > 3 {
+		t.Fatalf("DRF count = %d, want 1..3", drfs)
+	}
+	if len(truth[0]) < base {
+		t.Fatalf("truth %d < base %d", len(truth[0]), base)
+	}
+	if got := len(mems[0].Faults()); got != len(truth[0]) {
+		t.Fatalf("memory holds %d faults, truth %d", got, len(truth[0]))
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := HeterogeneousExample()
+	data, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "pktbuf") {
+		t.Fatal("marshal lost memory names")
+	}
+	got, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != s.Name || len(got.Memories) != len(s.Memories) {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if got.Memories[2].DRFCount != s.Memories[2].DRFCount {
+		t.Fatal("DRF count lost")
+	}
+}
+
+func TestParseRejectsBadJSON(t *testing.T) {
+	if _, err := Parse([]byte("{")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	if _, err := Parse([]byte(`{"name":"x","clock_ns":10,"memories":[]}`)); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

@@ -1,0 +1,30 @@
+package config
+
+import "testing"
+
+// FuzzParse: arbitrary JSON must never panic, and accepted
+// configurations must survive a marshal/parse round trip.
+func FuzzParse(f *testing.F) {
+	seed, _ := HeterogeneousExample().Marshal()
+	f.Add(seed)
+	f.Add([]byte(`{"name":"x","clock_ns":10,"memories":[{"name":"m","words":4,"width":4}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"memories":[{"words":-1}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		soc, err := Parse(data)
+		if err != nil {
+			return
+		}
+		out, err := soc.Marshal()
+		if err != nil {
+			t.Fatalf("accepted config failed to marshal: %v", err)
+		}
+		again, err := Parse(out)
+		if err != nil {
+			t.Fatalf("marshal output rejected: %v", err)
+		}
+		if again.Name != soc.Name || len(again.Memories) != len(soc.Memories) {
+			t.Fatal("round trip changed the configuration")
+		}
+	})
+}

@@ -1,0 +1,260 @@
+// Package core is the public face of the library: it wires the SoC
+// fleet configuration, the March algorithm library, the BISD engines,
+// and the repair substrate into one call — "diagnose this fleet with
+// this scheme" — and evaluates the outcome against the injected ground
+// truth.
+//
+// The three schemes correspond to the architectures the paper compares:
+// the proposed SPC/PSC scheme (Fig. 3), the bi-directional serial
+// baseline of [7,8] (Fig. 1), and the single-directional serial
+// interface of [9,10].
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bisd"
+	"repro/internal/bitvec"
+	"repro/internal/config"
+	"repro/internal/fault"
+	"repro/internal/march"
+	"repro/internal/repair"
+	"repro/internal/serial"
+	"repro/internal/timing"
+)
+
+// Scheme selects the diagnosis architecture.
+type Scheme int
+
+const (
+	// Proposed is the paper's SPC/PSC scheme with March CW and,
+	// optionally, the NWRTM merge for data-retention faults.
+	Proposed Scheme = iota
+	// Baseline78 is the bi-directional serial scheme of [7,8] with its
+	// iterated M1 element and, optionally, delay-based DRF testing.
+	Baseline78
+	// SingleDirectional is the serial interface of [9,10], kept for
+	// the fault-masking comparison.
+	SingleDirectional
+)
+
+var schemeNames = map[Scheme]string{
+	Proposed: "proposed", Baseline78: "baseline-[7,8]", SingleDirectional: "single-dir-[9,10]",
+}
+
+// String names the scheme.
+func (s Scheme) String() string {
+	if n, ok := schemeNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// Options configures a diagnosis run.
+type Options struct {
+	// Scheme selects the architecture; Proposed is the zero value.
+	Scheme Scheme
+	// IncludeDRF enables data-retention-fault diagnosis: the NWRTM
+	// merge for the proposed scheme (no added delay), the 2x100 ms
+	// delay phase for the baseline.
+	IncludeDRF bool
+	// Test overrides the March test for the proposed scheme; nil
+	// selects March CW sized for the fleet's widest memory (merged
+	// with NWRTM when IncludeDRF is set).
+	Test *march.Test
+	// DeliveryOrder is the proposed scheme's background serialization
+	// order; MSBFirst is correct, LSBFirst reproduces the Fig. 4
+	// hazard.
+	DeliveryOrder serial.Order
+	// SpareBudget, when non-zero, runs repair allocation per memory
+	// after diagnosis.
+	SpareBudget repair.Budget
+	// AnalyticBaseline forces the baseline's coarse accounting model
+	// (see bisd.BaselineOptions.Analytic). It is auto-enabled when the
+	// largest memory exceeds AnalyticThresholdCells, where bit-level
+	// chain simulation becomes impractical.
+	AnalyticBaseline bool
+}
+
+// AnalyticThresholdCells is the largest memory (in cells) the
+// bit-accurate baseline simulation is attempted for.
+const AnalyticThresholdCells = 16384
+
+// MemoryDiagnosis is the evaluated per-memory outcome.
+type MemoryDiagnosis struct {
+	// Name and geometry from the configuration.
+	Name         string
+	Words, Width int
+	// Located is the scheme's diagnosis.
+	Located []fault.Cell
+	// Injected is the ground-truth fault count; Detectable excludes
+	// faults outside the run's reach (DRFs when IncludeDRF is off).
+	Injected, Detectable int
+	// TruthLocated counts injected faults whose victim cell appears in
+	// Located; FalsePositives counts located cells with no injected
+	// fault.
+	TruthLocated, FalsePositives int
+	// Repair is the spare allocation when a budget was configured.
+	Repair *repair.Allocation
+}
+
+// Result is a full fleet diagnosis outcome.
+type Result struct {
+	// SchemeName echoes the architecture.
+	SchemeName string
+	// Report is the engine's cycle-level outcome.
+	Report *bisd.Report
+	// Memories holds the evaluated per-memory results.
+	Memories []MemoryDiagnosis
+	// Yield summarizes repair over the fleet when a budget was set.
+	Yield *repair.YieldStats
+}
+
+// TimeNs is the total diagnosis time in ns (cycles plus retention).
+func (r *Result) TimeNs() float64 { return r.Report.TimeNs() }
+
+// Diagnose builds the configured fleet, runs the selected scheme, and
+// evaluates the diagnosis against the injected ground truth.
+func Diagnose(soc config.SoC, opts Options) (*Result, error) {
+	mems, truth, err := soc.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	var rep *bisd.Report
+	switch opts.Scheme {
+	case Proposed:
+		test := opts.Test
+		if test == nil {
+			cMax := 0
+			for _, m := range mems {
+				if m.C() > cMax {
+					cMax = m.C()
+				}
+			}
+			t := DefaultTest(cMax, opts.IncludeDRF)
+			test = &t
+		}
+		rep, err = bisd.RunProposed(mems, *test, bisd.ProposedOptions{
+			ClockNs:       soc.ClockNs,
+			DeliveryOrder: opts.DeliveryOrder,
+		})
+	case Baseline78:
+		analytic := opts.AnalyticBaseline
+		for _, m := range mems {
+			if m.N()*m.C() > AnalyticThresholdCells {
+				analytic = true
+			}
+		}
+		rep, err = bisd.RunBaseline(mems, bisd.BaselineOptions{
+			ClockNs:  soc.ClockNs,
+			WithDRF:  opts.IncludeDRF,
+			Analytic: analytic,
+		})
+	case SingleDirectional:
+		rep, err = bisd.RunSingleDirectional(mems, soc.ClockNs)
+	default:
+		return nil, fmt.Errorf("core: unknown scheme %v", opts.Scheme)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{SchemeName: opts.Scheme.String(), Report: rep}
+	var locatedPerMem [][]fault.Cell
+	for i, mr := range rep.Memories {
+		md := MemoryDiagnosis{
+			Name:  soc.Memories[i].Name,
+			Words: mr.Words, Width: mr.Width,
+			Located:  mr.Located,
+			Injected: len(truth[i]),
+		}
+		victims := make(map[fault.Cell]bool)
+		for _, f := range truth[i] {
+			if f.Class == fault.DRF && !opts.IncludeDRF {
+				continue
+			}
+			md.Detectable++
+			victims[f.Victim] = true
+		}
+		for _, c := range mr.Located {
+			if victims[c] {
+				md.TruthLocated++
+			} else {
+				md.FalsePositives++
+			}
+		}
+		if opts.SpareBudget != (repair.Budget{}) {
+			a := repair.Allocate(mr.Located, opts.SpareBudget)
+			md.Repair = &a
+		}
+		locatedPerMem = append(locatedPerMem, mr.Located)
+		res.Memories = append(res.Memories, md)
+	}
+	if opts.SpareBudget != (repair.Budget{}) {
+		y := repair.FleetYield(locatedPerMem, opts.SpareBudget)
+		res.Yield = &y
+	}
+	return res, nil
+}
+
+// Comparison pairs a proposed-scheme run against the baseline on the
+// same configuration, the paper's Sec. 4.2 experiment.
+type Comparison struct {
+	Proposed, Baseline *Result
+	// MeasuredReduction is T_baseline / T_proposed from the cycle-
+	// accurate engines.
+	MeasuredReduction float64
+	// AnalyticReduction evaluates Eq. (3)/(4) with the baseline's
+	// measured iteration count k and the fleet's largest geometry.
+	AnalyticReduction float64
+}
+
+// CompareSchemes runs both architectures on the configuration and
+// derives the reduction factors.
+func CompareSchemes(soc config.SoC, includeDRF bool) (*Comparison, error) {
+	prop, err := Diagnose(soc, Options{Scheme: Proposed, IncludeDRF: includeDRF})
+	if err != nil {
+		return nil, err
+	}
+	base, err := Diagnose(soc, Options{Scheme: Baseline78, IncludeDRF: includeDRF})
+	if err != nil {
+		return nil, err
+	}
+	cmp := &Comparison{Proposed: prop, Baseline: base}
+	cmp.MeasuredReduction = base.TimeNs() / prop.TimeNs()
+
+	nMax, cMax := 0, 0
+	for _, m := range soc.Memories {
+		if m.Words > nMax {
+			nMax = m.Words
+		}
+		if m.Width > cMax {
+			cMax = m.Width
+		}
+	}
+	p := timing.Params{N: nMax, C: cMax, ClockNs: soc.ClockNs, K: base.Report.Iterations}
+	if includeDRF {
+		cmp.AnalyticReduction = timing.ReductionWithDRF(p)
+	} else {
+		cmp.AnalyticReduction = timing.ReductionNoDRF(p)
+	}
+	return cmp, nil
+}
+
+// DefaultTest returns the March test the proposed scheme runs for a
+// given widest IO width: March CW, NWRTM-merged when DRF diagnosis is
+// requested. Exposed for examples and benches that want the exact
+// default.
+func DefaultTest(cMax int, includeDRF bool) march.Test {
+	t := march.MarchCW(cMax)
+	if includeDRF {
+		t = march.WithNWRTM(t)
+	}
+	return t
+}
+
+// BackgroundsFor reports how many data backgrounds the default test
+// uses for a width — a convenience mirroring bitvec.NumBackgrounds so
+// callers of the core API need not import bitvec.
+func BackgroundsFor(c int) int { return bitvec.NumBackgrounds(c) }

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/repair"
+	"repro/internal/serial"
+)
+
+// smallSoC keeps runtimes low: the baseline engine shifts bit by bit.
+func smallSoC() config.SoC {
+	return config.SoC{
+		Name:    "test-fleet",
+		ClockNs: 10,
+		Memories: []config.Memory{
+			{Name: "a", Words: 32, Width: 8, DefectRate: 0.02, Seed: 5},
+			{Name: "b", Words: 16, Width: 4, DefectRate: 0.03, DRFCount: 1, Seed: 6},
+		},
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if Proposed.String() != "proposed" || Baseline78.String() != "baseline-[7,8]" {
+		t.Error("scheme names wrong")
+	}
+	if Scheme(42).String() == "" {
+		t.Error("unknown scheme empty")
+	}
+}
+
+func TestDiagnoseProposedFindsTruth(t *testing.T) {
+	res, err := Diagnose(smallSoC(), Options{Scheme: Proposed, IncludeDRF: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SchemeName != "proposed" {
+		t.Errorf("scheme name %q", res.SchemeName)
+	}
+	for _, md := range res.Memories {
+		if md.TruthLocated != md.Detectable {
+			t.Errorf("%s: located %d of %d detectable faults (located set %v)",
+				md.Name, md.TruthLocated, md.Detectable, md.Located)
+		}
+		if md.FalsePositives != 0 {
+			t.Errorf("%s: %d false positives", md.Name, md.FalsePositives)
+		}
+	}
+	if res.Report.RetentionNs != 0 {
+		t.Error("proposed scheme used retention pauses")
+	}
+}
+
+func TestDiagnoseProposedWithoutDRFSkipsThem(t *testing.T) {
+	res, err := Diagnose(smallSoC(), Options{Scheme: Proposed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := res.Memories[1]
+	if b.Detectable >= b.Injected {
+		t.Fatalf("DRF not excluded from detectable: %d >= %d", b.Detectable, b.Injected)
+	}
+	if b.TruthLocated != b.Detectable {
+		t.Errorf("located %d of %d detectable", b.TruthLocated, b.Detectable)
+	}
+}
+
+func TestDiagnoseBaselineSlower(t *testing.T) {
+	prop, err := Diagnose(smallSoC(), Options{Scheme: Proposed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Diagnose(smallSoC(), Options{Scheme: Baseline78})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.TimeNs() <= prop.TimeNs() {
+		t.Fatalf("baseline %v ns not slower than proposed %v ns", base.TimeNs(), prop.TimeNs())
+	}
+	if base.Report.Iterations == 0 {
+		t.Error("faulty fleet needed zero baseline iterations")
+	}
+}
+
+func TestCompareSchemes(t *testing.T) {
+	cmp, err := CompareSchemes(smallSoC(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.MeasuredReduction <= 1 {
+		t.Fatalf("measured reduction %v <= 1", cmp.MeasuredReduction)
+	}
+	if cmp.AnalyticReduction <= 1 {
+		t.Fatalf("analytic reduction %v <= 1", cmp.AnalyticReduction)
+	}
+}
+
+func TestCompareSchemesWithDRF(t *testing.T) {
+	cmp, err := CompareSchemes(smallSoC(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noDRF, err := CompareSchemes(smallSoC(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DRF inclusion must massively widen the gap: the baseline pays
+	// 200 ms of pauses, the proposed scheme (2n+2c) cycles.
+	if cmp.MeasuredReduction <= noDRF.MeasuredReduction {
+		t.Fatalf("DRF reduction %v not larger than no-DRF %v",
+			cmp.MeasuredReduction, noDRF.MeasuredReduction)
+	}
+	if cmp.Baseline.Report.RetentionNs != 2e8 {
+		t.Fatalf("baseline retention %v, want 2e8", cmp.Baseline.Report.RetentionNs)
+	}
+	if cmp.Proposed.Report.RetentionNs != 0 {
+		t.Fatal("proposed retention nonzero")
+	}
+}
+
+func TestDiagnoseWithRepair(t *testing.T) {
+	res, err := Diagnose(smallSoC(), Options{
+		Scheme: Proposed, IncludeDRF: true,
+		SpareBudget: repair.Budget{SpareWords: 2, SpareCells: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Yield == nil {
+		t.Fatal("no yield stats with a spare budget")
+	}
+	for _, md := range res.Memories {
+		if md.Repair == nil {
+			t.Fatalf("%s: no repair allocation", md.Name)
+		}
+	}
+	if res.Yield.Memories != 2 {
+		t.Fatalf("yield over %d memories", res.Yield.Memories)
+	}
+}
+
+func TestDiagnoseLSBFirstHazard(t *testing.T) {
+	// Heterogeneous widths + LSB-first delivery: the run completes but
+	// diagnosis shows false positives (Fig. 4).
+	res, err := Diagnose(smallSoC(), Options{Scheme: Proposed, DeliveryOrder: serial.LSBFirst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := 0
+	for _, md := range res.Memories {
+		fp += md.FalsePositives
+	}
+	if fp == 0 {
+		t.Fatal("LSB-first delivery produced no false positives on a heterogeneous fleet")
+	}
+}
+
+func TestDiagnoseSingleDirectional(t *testing.T) {
+	res, err := Diagnose(smallSoC(), Options{Scheme: SingleDirectional})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SchemeName != "single-dir-[9,10]" {
+		t.Errorf("scheme name %q", res.SchemeName)
+	}
+}
+
+func TestDiagnoseRejectsUnknownScheme(t *testing.T) {
+	if _, err := Diagnose(smallSoC(), Options{Scheme: Scheme(9)}); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestDiagnoseRejectsBadConfig(t *testing.T) {
+	if _, err := Diagnose(config.SoC{Name: "x"}, Options{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestDefaultTest(t *testing.T) {
+	plain := DefaultTest(8, false)
+	if plain.HasNWRC() {
+		t.Error("plain default test has NWRC ops")
+	}
+	drf := DefaultTest(8, true)
+	if !drf.HasNWRC() {
+		t.Error("DRF default test lacks NWRC ops")
+	}
+	if BackgroundsFor(100) != 8 {
+		t.Errorf("BackgroundsFor(100) = %d, want 8", BackgroundsFor(100))
+	}
+}

@@ -1,0 +1,33 @@
+package march_test
+
+import (
+	"fmt"
+
+	"repro/internal/march"
+)
+
+// ExampleParse shows the March notation round trip.
+func ExampleParse() {
+	t, err := march.Parse("a(w0); u(r0,w1); d(r1,w0); a(r0)")
+	if err != nil {
+		panic(err)
+	}
+	cx := t.ComplexityFor(100)
+	fmt.Printf("%d elements, %d reads, %d writes\n", len(t.Elements), cx.Reads, cx.Writes)
+	fmt.Println(t.Elements[1])
+	// Output:
+	// 4 elements, 300 reads, 300 writes
+	// ⇑(r0,w1)
+}
+
+// ExampleWithNWRTM shows the DRF merge of Sec. 3.4: two extra No Write
+// Recovery Cycles, no extra reads.
+func ExampleWithNWRTM() {
+	base := march.MarchCMinus()
+	merged := march.WithNWRTM(base)
+	b, m := base.ComplexityFor(512), merged.ComplexityFor(512)
+	fmt.Printf("extra writes: %d, extra reads: %d, extra deliveries: %d\n",
+		m.Writes-b.Writes, m.Reads-b.Reads, m.Elements-b.Elements)
+	// Output:
+	// extra writes: 1024, extra reads: 0, extra deliveries: 2
+}

@@ -1,0 +1,112 @@
+package march
+
+// Additional classic March algorithms beyond the paper's core set.
+// They serve three purposes: they exercise the notation/engine API the
+// way a downstream user would, they let the fault simulator reproduce
+// the well-known coverage hierarchy (MATS+ < March X < March C- <
+// March RAW), and March RAW closes the stuck-open gap that March C-/CW
+// leave (see fault.PaperDefectClasses).
+
+// MarchX returns March X: {⇕(w0); ⇑(r0,w1); ⇓(r1,w0); ⇕(r0)}, 6n ops.
+// Detects SAF, TF, AF and inversion coupling faults.
+func MarchX() Test {
+	return Test{
+		Name: "March X",
+		Elements: []Element{
+			{Order: Any, Ops: []Op{W(false)}},
+			{Order: Up, Ops: []Op{R(false), W(true)}},
+			{Order: Down, Ops: []Op{R(true), W(false)}},
+			{Order: Any, Ops: []Op{R(false)}},
+		},
+		BackgroundCount: 1,
+	}
+}
+
+// MarchY returns March Y: {⇕(w0); ⇑(r0,w1,r1); ⇓(r1,w0,r0); ⇕(r0)},
+// 8n ops. March X plus read-after-write verification, which also
+// catches linked transition faults.
+func MarchY() Test {
+	return Test{
+		Name: "March Y",
+		Elements: []Element{
+			{Order: Any, Ops: []Op{W(false)}},
+			{Order: Up, Ops: []Op{R(false), W(true), R(true)}},
+			{Order: Down, Ops: []Op{R(true), W(false), R(false)}},
+			{Order: Any, Ops: []Op{R(false)}},
+		},
+		BackgroundCount: 1,
+	}
+}
+
+// MarchA returns March A [per van de Goor]:
+// {⇕(w0); ⇑(r0,w1,w0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0); ⇓(r0,w1,w0)},
+// 15n ops. Targets linked coupling faults.
+func MarchA() Test {
+	return Test{
+		Name: "March A",
+		Elements: []Element{
+			{Order: Any, Ops: []Op{W(false)}},
+			{Order: Up, Ops: []Op{R(false), W(true), W(false), W(true)}},
+			{Order: Up, Ops: []Op{R(true), W(false), W(true)}},
+			{Order: Down, Ops: []Op{R(true), W(false), W(true), W(false)}},
+			{Order: Down, Ops: []Op{R(false), W(true), W(false)}},
+		},
+		BackgroundCount: 1,
+	}
+}
+
+// MarchB returns March B:
+// {⇕(w0); ⇑(r0,w1,r1,w0,r0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0); ⇓(r0,w1,w0)},
+// 17n ops. March A plus read verification in the first pass.
+func MarchB() Test {
+	return Test{
+		Name: "March B",
+		Elements: []Element{
+			{Order: Any, Ops: []Op{W(false)}},
+			{Order: Up, Ops: []Op{R(false), W(true), R(true), W(false), R(false), W(true)}},
+			{Order: Up, Ops: []Op{R(true), W(false), W(true)}},
+			{Order: Down, Ops: []Op{R(true), W(false), W(true), W(false)}},
+			{Order: Down, Ops: []Op{R(false), W(true), W(false)}},
+		},
+		BackgroundCount: 1,
+	}
+}
+
+// MarchRAW returns March RAW (read-after-write):
+// {⇕(w0); ⇑(r0,w0,r0,r0,w1,r1); ⇑(r1,w1,r1,r1,w0,r0);
+//
+//	⇓(r0,w0,r0,r0,w1,r1); ⇓(r1,w1,r1,r1,w0,r0); ⇕(r0)}, 26n ops.
+//
+// The back-to-back reads of both data values at the same address are
+// what expose stuck-open cells under the repeated-sense-value read
+// model: the first read of an element returns the column's stale value
+// from the previous address, and the read directly after the write
+// expects the opposite value before the sense latch was refreshed.
+func MarchRAW() Test {
+	rawElem := func(o Order, inv bool) Element {
+		return Element{Order: o, Ops: []Op{
+			R(inv), W(inv), R(inv), R(inv), W(!inv), R(!inv),
+		}}
+	}
+	return Test{
+		Name: "March RAW",
+		Elements: []Element{
+			{Order: Any, Ops: []Op{W(false)}},
+			rawElem(Up, false),
+			rawElem(Up, true),
+			rawElem(Down, false),
+			rawElem(Down, true),
+			{Order: Any, Ops: []Op{R(false)}},
+		},
+		BackgroundCount: 1,
+	}
+}
+
+// Algorithms returns every built-in single-background algorithm with
+// its textbook complexity in operations per word, for catalogues and
+// coverage sweeps.
+func Algorithms() []Test {
+	return []Test{
+		MATSPlus(), MarchX(), MarchY(), MarchCMinus(), MarchA(), MarchB(), MarchRAW(),
+	}
+}

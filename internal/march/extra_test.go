@@ -1,0 +1,110 @@
+package march
+
+import "testing"
+
+func TestAlgorithmComplexities(t *testing.T) {
+	// Textbook operation counts per word.
+	cases := map[string]int{
+		"MATS+":     5,
+		"March X":   6,
+		"March Y":   8,
+		"March C-":  10,
+		"March A":   15,
+		"March B":   17,
+		"March RAW": 26,
+	}
+	n := 64
+	for _, alg := range Algorithms() {
+		want, ok := cases[alg.Name]
+		if !ok {
+			t.Errorf("algorithm %q missing from the complexity table", alg.Name)
+			continue
+		}
+		if err := alg.Validate(); err != nil {
+			t.Errorf("%s: %v", alg.Name, err)
+		}
+		if got := alg.ComplexityFor(n).Ops(); got != want*n {
+			t.Errorf("%s: %d ops for n=%d, want %d", alg.Name, got, n, want*n)
+		}
+	}
+	if len(Algorithms()) != len(cases) {
+		t.Errorf("Algorithms() has %d entries, table %d", len(Algorithms()), len(cases))
+	}
+}
+
+func TestMarchRAWHasReadAfterWrite(t *testing.T) {
+	raw := MarchRAW()
+	// Every non-boundary element must contain a write immediately
+	// followed by a read of the written value — the SOF-exposing
+	// structure.
+	for i := 1; i < len(raw.Elements)-1; i++ {
+		e := raw.Elements[i]
+		found := false
+		for j := 0; j+1 < len(e.Ops); j++ {
+			if e.Ops[j].Kind == Write && e.Ops[j+1].Kind == Read &&
+				e.Ops[j].Inverted == e.Ops[j+1].Inverted {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("element %d (%s) lacks read-after-write", i, e)
+		}
+	}
+}
+
+func TestWithWWTMCost(t *testing.T) {
+	n := 512
+	base := MarchCMinus()
+	wwtm := WithWWTM(base)
+	if err := wwtm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bc, wc := base.ComplexityFor(n), wwtm.ComplexityFor(n)
+	// The WWTM tail: 6n extra ops (4n writes incl. weak, 2n reads), 5
+	// extra deliveries — strictly more than NWRTM's 2n ops + 2
+	// deliveries, the paper's test-time argument.
+	if got := wc.Ops() - bc.Ops(); got != 6*n {
+		t.Errorf("WWTM extra ops = %d, want %d", got, 6*n)
+	}
+	if got := wc.Elements - bc.Elements; got != 5 {
+		t.Errorf("WWTM extra deliveries = %d, want 5", got)
+	}
+	nwrtm := WithNWRTM(base)
+	nc := nwrtm.ComplexityFor(n)
+	if wc.Ops() <= nc.Ops() {
+		t.Errorf("WWTM (%d ops) not more expensive than NWRTM (%d ops)", wc.Ops(), nc.Ops())
+	}
+}
+
+func TestWithWWTMOnMarchCWKeepsStructure(t *testing.T) {
+	cw := MarchCW(8)
+	w := WithWWTM(cw)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.BackgroundCount != cw.BackgroundCount {
+		t.Error("background count changed")
+	}
+	// The tail runs once, not per background.
+	tail := w.PerBackground[len(w.PerBackground)-5:]
+	for i, p := range tail {
+		if p {
+			t.Errorf("WWTM tail element %d marked per-background", i)
+		}
+	}
+}
+
+func TestWeakWriteOpNotation(t *testing.T) {
+	if K(false).String() != "k0" || K(true).String() != "k1" {
+		t.Error("weak write op notation wrong")
+	}
+	parsed := MustParse("a(k0, k1)")
+	if parsed.Elements[0].Ops[0] != K(false) || parsed.Elements[0].Ops[1] != K(true) {
+		t.Error("parser does not round-trip weak writes")
+	}
+	// Weak writes count as writes for delivery accounting.
+	e := Element{Order: Any, Ops: []Op{K(false)}}
+	if e.Writes() != 1 || e.Reads() != 0 {
+		t.Error("weak write not counted as a write")
+	}
+}

@@ -1,0 +1,37 @@
+package march
+
+import "testing"
+
+// FuzzParse: the March notation parser must never panic and must
+// round-trip everything it accepts.
+func FuzzParse(f *testing.F) {
+	f.Add("⇕(w0); ⇑(r0,w1); ⇓(r1,w0)")
+	f.Add("a(w0); u(rD,w~D); d(n1,k0)")
+	f.Add("{ u(r0) }")
+	f.Add("")
+	f.Add("x(!!)")
+	f.Fuzz(func(t *testing.T, src string) {
+		parsed, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if err := parsed.Validate(); err != nil {
+			t.Fatalf("Parse accepted %q but Validate rejects: %v", src, err)
+		}
+		// Render and reparse: the element structure must be stable.
+		again, err := Parse(parsed.String()[len(parsed.Name)+2:])
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", parsed.String(), err)
+		}
+		if len(again.Elements) != len(parsed.Elements) {
+			t.Fatalf("round trip changed element count: %d -> %d",
+				len(parsed.Elements), len(again.Elements))
+		}
+		for i := range again.Elements {
+			if again.Elements[i].String() != parsed.Elements[i].String() {
+				t.Fatalf("element %d changed: %s -> %s",
+					i, parsed.Elements[i], again.Elements[i])
+			}
+		}
+	})
+}

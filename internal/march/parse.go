@@ -1,0 +1,115 @@
+package march
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse parses March notation into a Test. Both the unicode arrows and
+// ASCII letters are accepted for the address order:
+//
+//	⇑ or u : ascending
+//	⇓ or d : descending
+//	⇕ or a : any order
+//
+// Operations are r, w or n (NWRC write) followed by a data operand:
+// 0/D for the background, 1/~D for its complement. Elements are
+// separated by semicolons; surrounding braces and whitespace are
+// ignored. Example:
+//
+//	Parse("⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0)")
+//
+// The resulting test has BackgroundCount 1; callers wanting
+// multi-background semantics set BackgroundCount and PerBackground
+// themselves.
+func Parse(s string) (Test, error) {
+	t := Test{Name: "parsed", BackgroundCount: 1}
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "{")
+	s = strings.TrimSuffix(s, "}")
+	for _, raw := range strings.Split(s, ";") {
+		es := strings.TrimSpace(raw)
+		if es == "" {
+			continue
+		}
+		e, err := parseElement(es)
+		if err != nil {
+			return Test{}, err
+		}
+		t.Elements = append(t.Elements, e)
+	}
+	if err := t.Validate(); err != nil {
+		return Test{}, err
+	}
+	return t, nil
+}
+
+// MustParse is Parse that panics on error, for tests and examples.
+func MustParse(s string) Test {
+	t, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func parseElement(s string) (Element, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return Element{}, fmt.Errorf("march: element %q lacks (...)", s)
+	}
+	var order Order
+	switch strings.TrimSpace(s[:open]) {
+	case "⇑", "u", "U":
+		order = Up
+	case "⇓", "d", "D":
+		order = Down
+	case "⇕", "a", "A", "b", "B", "":
+		order = Any
+	default:
+		return Element{}, fmt.Errorf("march: unknown order %q in %q", s[:open], s)
+	}
+	body := s[open+1 : len(s)-1]
+	var ops []Op
+	for _, raw := range strings.Split(body, ",") {
+		os := strings.TrimSpace(raw)
+		if os == "" {
+			return Element{}, fmt.Errorf("march: empty op in %q", s)
+		}
+		op, err := parseOp(os)
+		if err != nil {
+			return Element{}, err
+		}
+		ops = append(ops, op)
+	}
+	return Element{Order: order, Ops: ops}, nil
+}
+
+func parseOp(s string) (Op, error) {
+	if len(s) < 2 {
+		return Op{}, fmt.Errorf("march: op %q too short", s)
+	}
+	var kind OpKind
+	switch s[0] {
+	case 'r', 'R':
+		kind = Read
+	case 'w', 'W':
+		kind = Write
+	case 'n', 'N':
+		kind = WriteNWRC
+	case 'k', 'K':
+		kind = WriteWeak
+	default:
+		return Op{}, fmt.Errorf("march: unknown op kind in %q", s)
+	}
+	var inv bool
+	switch s[1:] {
+	case "0", "D", "d":
+		inv = false
+	case "1", "~D", "~d", "!D", "!d", "Db", "db":
+		inv = true
+	default:
+		return Op{}, fmt.Errorf("march: unknown data operand in %q", s)
+	}
+	return Op{Kind: kind, Inverted: inv}, nil
+}

@@ -1,0 +1,128 @@
+// Package repair models the backup-memory repair path of Fig. 1/3:
+// once the diagnosis scheme has located defective cells, they are
+// replaced from a per-memory spare budget ("once a defective cell has
+// been detected, it can be replaced with a spare cell if it is
+// available"). The package allocates spares — whole spare words and
+// single spare cells — against a diagnosis result and derives repair
+// and yield statistics for a fleet.
+package repair
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fault"
+)
+
+// Budget is the spare resources attached to one e-SRAM.
+type Budget struct {
+	// SpareWords can each replace one full word (all its bits).
+	SpareWords int
+	// SpareCells can each replace one individual bit cell.
+	SpareCells int
+}
+
+// Allocation is the outcome of repairing one memory.
+type Allocation struct {
+	// WordRepairs maps repaired word addresses to the located cells
+	// they cover.
+	WordRepairs map[int][]fault.Cell
+	// CellRepairs lists cells repaired individually.
+	CellRepairs []fault.Cell
+	// Unrepaired lists located cells left unrepaired (budget
+	// exhausted).
+	Unrepaired []fault.Cell
+}
+
+// Repaired reports whether every located cell was covered.
+func (a Allocation) Repaired() bool { return len(a.Unrepaired) == 0 }
+
+// SparesUsed returns the consumed budget.
+func (a Allocation) SparesUsed() Budget {
+	return Budget{SpareWords: len(a.WordRepairs), SpareCells: len(a.CellRepairs)}
+}
+
+// Allocate assigns spares to located cells. The policy is the standard
+// greedy must-repair heuristic: words whose defective-cell count
+// exceeds the remaining cell budget's usefulness are repaired with
+// spare words, most-defective first; remaining cells use spare cells.
+func Allocate(located []fault.Cell, b Budget) Allocation {
+	alloc := Allocation{WordRepairs: make(map[int][]fault.Cell)}
+	byWord := make(map[int][]fault.Cell)
+	for _, c := range located {
+		byWord[c.Addr] = append(byWord[c.Addr], c)
+	}
+	words := make([]int, 0, len(byWord))
+	for w := range byWord {
+		words = append(words, w)
+	}
+	// Most-defective words first; ties by address for determinism.
+	sort.Slice(words, func(i, j int) bool {
+		if len(byWord[words[i]]) != len(byWord[words[j]]) {
+			return len(byWord[words[i]]) > len(byWord[words[j]])
+		}
+		return words[i] < words[j]
+	})
+	wordsLeft, cellsLeft := b.SpareWords, b.SpareCells
+	for _, w := range words {
+		cells := byWord[w]
+		// A spare word is worth spending when the word has more
+		// defects than we could cover with spare cells, or when cells
+		// have run out.
+		if wordsLeft > 0 && (len(cells) > 1 || cellsLeft == 0) {
+			alloc.WordRepairs[w] = cells
+			wordsLeft--
+			continue
+		}
+		for _, c := range cells {
+			if cellsLeft > 0 {
+				alloc.CellRepairs = append(alloc.CellRepairs, c)
+				cellsLeft--
+			} else {
+				alloc.Unrepaired = append(alloc.Unrepaired, c)
+			}
+		}
+	}
+	fault.SortCells(alloc.CellRepairs)
+	fault.SortCells(alloc.Unrepaired)
+	return alloc
+}
+
+// YieldStats aggregates repair outcomes over a fleet of memories.
+type YieldStats struct {
+	// Memories is the fleet size; Repairable counts memories whose
+	// located faults all fit the budget.
+	Memories, Repairable int
+	// TotalLocated and TotalUnrepaired count cells.
+	TotalLocated, TotalUnrepaired int
+}
+
+// Yield is the fraction of memories fully repairable.
+func (y YieldStats) Yield() float64 {
+	if y.Memories == 0 {
+		return 0
+	}
+	return float64(y.Repairable) / float64(y.Memories)
+}
+
+// String summarizes the stats.
+func (y YieldStats) String() string {
+	return fmt.Sprintf("%d/%d memories repairable (%.1f%%), %d faults located, %d unrepaired",
+		y.Repairable, y.Memories, 100*y.Yield(), y.TotalLocated, y.TotalUnrepaired)
+}
+
+// FleetYield allocates the same budget against each memory's located
+// set and aggregates.
+func FleetYield(locatedPerMemory [][]fault.Cell, b Budget) YieldStats {
+	var y YieldStats
+	y.Memories = len(locatedPerMemory)
+	for _, located := range locatedPerMemory {
+		a := Allocate(located, b)
+		y.TotalLocated += len(located)
+		y.TotalUnrepaired += len(a.Unrepaired)
+		if a.Repaired() {
+			y.Repairable++
+		}
+	}
+	return y
+}

@@ -1,0 +1,148 @@
+package repair
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fault"
+)
+
+func cells(pairs ...int) []fault.Cell {
+	out := make([]fault.Cell, 0, len(pairs)/2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		out = append(out, fault.Cell{Addr: pairs[i], Bit: pairs[i+1]})
+	}
+	return out
+}
+
+func TestAllocateEmpty(t *testing.T) {
+	a := Allocate(nil, Budget{SpareWords: 1, SpareCells: 1})
+	if !a.Repaired() {
+		t.Fatal("empty diagnosis not repaired")
+	}
+	used := a.SparesUsed()
+	if used.SpareWords != 0 || used.SpareCells != 0 {
+		t.Fatal("spares consumed for nothing")
+	}
+}
+
+func TestAllocateSingleCell(t *testing.T) {
+	a := Allocate(cells(3, 1), Budget{SpareCells: 1})
+	if !a.Repaired() || len(a.CellRepairs) != 1 {
+		t.Fatalf("allocation = %+v", a)
+	}
+}
+
+func TestAllocatePrefersWordForClusteredDefects(t *testing.T) {
+	// Two defects in word 5, one in word 9; one spare word, one cell.
+	a := Allocate(cells(5, 0, 5, 3, 9, 1), Budget{SpareWords: 1, SpareCells: 1})
+	if !a.Repaired() {
+		t.Fatalf("unrepaired: %v", a.Unrepaired)
+	}
+	if _, ok := a.WordRepairs[5]; !ok {
+		t.Fatalf("spare word not spent on the clustered word: %+v", a)
+	}
+	if len(a.CellRepairs) != 1 || a.CellRepairs[0].Addr != 9 {
+		t.Fatalf("cell repair wrong: %v", a.CellRepairs)
+	}
+}
+
+func TestAllocateExhaustion(t *testing.T) {
+	a := Allocate(cells(1, 0, 2, 0, 3, 0), Budget{SpareCells: 2})
+	if a.Repaired() {
+		t.Fatal("over-budget diagnosis reported repaired")
+	}
+	if len(a.Unrepaired) != 1 {
+		t.Fatalf("unrepaired = %v, want 1 cell", a.Unrepaired)
+	}
+}
+
+func TestAllocateWordFallbackWhenNoCells(t *testing.T) {
+	// Single defect but no spare cells: spend a word.
+	a := Allocate(cells(4, 2), Budget{SpareWords: 1})
+	if !a.Repaired() || len(a.WordRepairs) != 1 {
+		t.Fatalf("allocation = %+v", a)
+	}
+}
+
+func TestMostDefectiveWordFirst(t *testing.T) {
+	// Word 2 has 3 defects, word 7 has 2; only one spare word, plenty
+	// of cells. The word must go to word 2.
+	located := cells(2, 0, 2, 1, 2, 2, 7, 0, 7, 1)
+	a := Allocate(located, Budget{SpareWords: 1, SpareCells: 10})
+	if _, ok := a.WordRepairs[2]; !ok {
+		t.Fatalf("spare word on wrong word: %+v", a.WordRepairs)
+	}
+	if !a.Repaired() {
+		t.Fatal("not fully repaired despite sufficient budget")
+	}
+}
+
+func TestFleetYield(t *testing.T) {
+	fleet := [][]fault.Cell{
+		cells(1, 0),             // repairable
+		cells(2, 0, 2, 1),       // repairable via word
+		cells(1, 0, 2, 0, 3, 0), // exceeds budget
+		nil,                     // clean
+	}
+	y := FleetYield(fleet, Budget{SpareWords: 1, SpareCells: 1})
+	if y.Memories != 4 || y.Repairable != 3 {
+		t.Fatalf("yield stats = %+v", y)
+	}
+	if y.Yield() != 0.75 {
+		t.Fatalf("yield = %v, want 0.75", y.Yield())
+	}
+	if y.TotalLocated != 6 || y.TotalUnrepaired != 1 {
+		t.Fatalf("totals wrong: %+v", y)
+	}
+	if !strings.Contains(y.String(), "3/4") {
+		t.Errorf("yield string = %q", y.String())
+	}
+}
+
+func TestZeroFleetYield(t *testing.T) {
+	if y := FleetYield(nil, Budget{}); y.Yield() != 0 {
+		t.Fatal("empty fleet yield should be 0")
+	}
+}
+
+// Property: allocation never loses cells — every located cell appears
+// in exactly one of word repairs, cell repairs, or unrepaired.
+func TestQuickAllocationConserves(t *testing.T) {
+	f := func(raw []uint16, words, spareCells uint8) bool {
+		seen := map[fault.Cell]bool{}
+		var located []fault.Cell
+		for _, r := range raw {
+			c := fault.Cell{Addr: int(r>>4) % 32, Bit: int(r) % 8}
+			if !seen[c] {
+				seen[c] = true
+				located = append(located, c)
+			}
+		}
+		a := Allocate(located, Budget{SpareWords: int(words % 8), SpareCells: int(spareCells % 8)})
+		count := len(a.CellRepairs) + len(a.Unrepaired)
+		for _, cs := range a.WordRepairs {
+			count += len(cs)
+		}
+		return count == len(located)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with unlimited budget everything is repairable.
+func TestQuickUnlimitedBudgetRepairsAll(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var located []fault.Cell
+		for _, r := range raw {
+			located = append(located, fault.Cell{Addr: int(r >> 8), Bit: int(r) % 16})
+		}
+		a := Allocate(located, Budget{SpareWords: 0, SpareCells: len(located) + 1})
+		return a.Repaired()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

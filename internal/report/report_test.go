@@ -1,0 +1,95 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Results", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("beta-long-name", "22")
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Results", "| name", "| alpha", "| beta-long-name | 22"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if len(lines[2]) != len(lines[3]) {
+		t.Error("rows not aligned")
+	}
+}
+
+func TestTableRowShapeTolerance(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("x")           // short
+	tb.AddRow("x", "y", "z") // long
+	if tb.Len() != 2 {
+		t.Fatal("row count wrong")
+	}
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "z") {
+		t.Error("overflow cell not dropped")
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tb := NewTable("", "n", "time")
+	tb.AddRowf("%d|%s", 512, Ns(1e7))
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "10.000 ms") {
+		t.Errorf("formatted row missing:\n%s", sb.String())
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("x,y", `quote"me`)
+	var sb strings.Builder
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"x,y"`) || !strings.Contains(out, `"quote""me"`) {
+		t.Errorf("CSV quoting wrong:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("CSV header wrong:\n%s", out)
+	}
+}
+
+func TestNsUnits(t *testing.T) {
+	cases := map[float64]string{
+		500:    "500 ns",
+		1500:   "1.500 us",
+		2.5e6:  "2.500 ms",
+		8.4e8:  "840.000 ms",
+		1.43e9: "1.430 s",
+	}
+	for ns, want := range cases {
+		if got := Ns(ns); got != want {
+			t.Errorf("Ns(%v) = %q, want %q", ns, got, want)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.018); got != "1.8%" {
+		t.Errorf("Pct = %q", got)
+	}
+}

@@ -1,0 +1,29 @@
+package scanout
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode: arbitrary bytes must never panic the decoder, and
+// anything it accepts must re-encode to the same stream.
+func FuzzDecode(f *testing.F) {
+	good, _ := Encode(sample())
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{'S', 'D', 0, 0})
+	f.Add([]byte{'S', 'D', 0, 1, 1, 2, 3, 4, 5, 6, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := Decode(data)
+		if err != nil {
+			return
+		}
+		again, err := Encode(recs)
+		if err != nil {
+			t.Fatalf("decoded records failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(again, data) {
+			t.Fatalf("stream not canonical: % x -> % x", data, again)
+		}
+	})
+}

@@ -1,0 +1,123 @@
+// Package scanout serializes diagnosis records into the bitstream a
+// BISD controller would shift off-chip for off-line analysis
+// (Sec. 3.1: "the diagnosis information ... will be either registered
+// for on-chip repair or scanned out for off-line analysis").
+//
+// The frame format is fixed-width and parity-protected, mirroring what
+// a hardware scan channel would carry:
+//
+//	header:  magic "SD" (16 bits), frame count (16 bits)
+//	frame:   memory (8) | address (16) | bit (8) | element (8) |
+//	         background (4) | op (4) | parity (8)  = 56 bits
+//
+// The parity byte is the XOR of the preceding six bytes, so a single
+// corrupted byte in a frame is detected on decode.
+package scanout
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/bisd"
+)
+
+// frameSize is the encoded size of one record in bytes.
+const frameSize = 7
+
+// magic identifies a scan-out stream.
+var magic = [2]byte{'S', 'D'}
+
+// limits of the frame fields.
+const (
+	maxMemory  = 1<<8 - 1
+	maxAddress = 1<<16 - 1
+	maxBit     = 1<<8 - 1
+	maxElement = 1<<8 - 1
+	maxSmall   = 1<<4 - 1
+)
+
+// Encode serializes failure records into a scan-out stream.
+func Encode(recs []bisd.FailureRecord) ([]byte, error) {
+	if len(recs) > maxAddress {
+		return nil, fmt.Errorf("scanout: %d records exceed the 16-bit frame count", len(recs))
+	}
+	out := make([]byte, 0, 4+frameSize*len(recs))
+	out = append(out, magic[0], magic[1])
+	out = binary.BigEndian.AppendUint16(out, uint16(len(recs)))
+	for _, r := range recs {
+		if err := checkRanges(r); err != nil {
+			return nil, err
+		}
+		frame := [frameSize]byte{
+			byte(r.Memory),
+			byte(r.PhysicalAddr >> 8), byte(r.PhysicalAddr),
+			byte(r.Bit),
+			byte(r.Element),
+			byte(r.Background<<4 | r.Op),
+		}
+		for i := 0; i < frameSize-1; i++ {
+			frame[frameSize-1] ^= frame[i]
+		}
+		out = append(out, frame[:]...)
+	}
+	return out, nil
+}
+
+func checkRanges(r bisd.FailureRecord) error {
+	switch {
+	case r.Memory < 0 || r.Memory > maxMemory:
+		return fmt.Errorf("scanout: memory index %d out of frame range", r.Memory)
+	case r.PhysicalAddr < 0 || r.PhysicalAddr > maxAddress:
+		return fmt.Errorf("scanout: address %d out of frame range", r.PhysicalAddr)
+	case r.Bit < 0 || r.Bit > maxBit:
+		return fmt.Errorf("scanout: bit %d out of frame range", r.Bit)
+	case r.Element < 0 || r.Element > maxElement:
+		return fmt.Errorf("scanout: element %d out of frame range", r.Element)
+	case r.Background < 0 || r.Background > maxSmall:
+		return fmt.Errorf("scanout: background %d out of frame range", r.Background)
+	case r.Op < 0 || r.Op > maxSmall:
+		return fmt.Errorf("scanout: op %d out of frame range", r.Op)
+	}
+	return nil
+}
+
+// Decode parses a scan-out stream back into failure records. The
+// logical address cannot be carried in the frame; it is recomputed by
+// the consumer from memory-size information (as the controller itself
+// does), so decoded records have LogicalAddr == PhysicalAddr.
+func Decode(data []byte) ([]bisd.FailureRecord, error) {
+	if len(data) < 4 || data[0] != magic[0] || data[1] != magic[1] {
+		return nil, fmt.Errorf("scanout: bad stream header")
+	}
+	count := int(binary.BigEndian.Uint16(data[2:4]))
+	want := 4 + frameSize*count
+	if len(data) != want {
+		return nil, fmt.Errorf("scanout: stream length %d, want %d for %d frames", len(data), want, count)
+	}
+	recs := make([]bisd.FailureRecord, 0, count)
+	for f := 0; f < count; f++ {
+		frame := data[4+f*frameSize : 4+(f+1)*frameSize]
+		var parity byte
+		for i := 0; i < frameSize-1; i++ {
+			parity ^= frame[i]
+		}
+		if parity != frame[frameSize-1] {
+			return nil, fmt.Errorf("scanout: parity error in frame %d", f)
+		}
+		addr := int(frame[1])<<8 | int(frame[2])
+		recs = append(recs, bisd.FailureRecord{
+			Memory:       int(frame[0]),
+			PhysicalAddr: addr,
+			LogicalAddr:  addr,
+			Bit:          int(frame[3]),
+			Element:      int(frame[4]),
+			Background:   int(frame[5] >> 4),
+			Op:           int(frame[5] & 0xf),
+		})
+	}
+	return recs, nil
+}
+
+// StreamBits returns the number of scan clock cycles needed to shift
+// the stream out through a 1-bit diagnosis scan channel.
+func StreamBits(recs int) int { return 8 * (4 + frameSize*recs) }

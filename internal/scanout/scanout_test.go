@@ -1,0 +1,168 @@
+package scanout
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bisd"
+	"repro/internal/fault"
+	"repro/internal/march"
+	"repro/internal/sram"
+)
+
+func sample() []bisd.FailureRecord {
+	return []bisd.FailureRecord{
+		{Memory: 0, PhysicalAddr: 5, LogicalAddr: 5, Bit: 2, Element: 1, Background: 0, Op: 0},
+		{Memory: 3, PhysicalAddr: 511, LogicalAddr: 511, Bit: 99, Element: 12, Background: 7, Op: 1},
+		{Memory: 255, PhysicalAddr: 65535, LogicalAddr: 65535, Bit: 255, Element: 255, Background: 15, Op: 15},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	data, err := Encode(sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sample()
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEncodeEmpty(t *testing.T) {
+	data, err := Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatal("empty stream decoded records")
+	}
+}
+
+func TestEncodeRangeErrors(t *testing.T) {
+	bad := []bisd.FailureRecord{
+		{Memory: 256},
+		{PhysicalAddr: 1 << 16},
+		{Bit: 256},
+		{Element: 300},
+		{Background: 16},
+		{Op: 16},
+		{Memory: -1},
+	}
+	for i, r := range bad {
+		if _, err := Encode([]bisd.FailureRecord{r}); err == nil {
+			t.Errorf("record %d encoded despite out-of-range field", i)
+		}
+	}
+}
+
+func TestDecodeHeaderErrors(t *testing.T) {
+	if _, err := Decode([]byte{'X', 'D', 0, 0}); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := Decode([]byte{'S', 'D', 0}); err == nil {
+		t.Error("short header accepted")
+	}
+	data, _ := Encode(sample())
+	if _, err := Decode(data[:len(data)-1]); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestDecodeParityError(t *testing.T) {
+	data, _ := Encode(sample())
+	data[6] ^= 0x40 // corrupt one byte of frame 0
+	if _, err := Decode(data); err == nil {
+		t.Fatal("corrupted frame accepted")
+	}
+}
+
+func TestStreamBits(t *testing.T) {
+	if got := StreamBits(0); got != 32 {
+		t.Errorf("header-only stream = %d bits, want 32", got)
+	}
+	if got := StreamBits(3); got != 8*(4+21) {
+		t.Errorf("3-frame stream = %d bits", got)
+	}
+}
+
+// TestEndToEndScanOut exercises the real flow: run the proposed scheme,
+// scan out the records, decode off-line, and check the located cells
+// survive the channel.
+func TestEndToEndScanOut(t *testing.T) {
+	m := sram.New(32, 8)
+	v := fault.Cell{Addr: 17, Bit: 6}
+	if err := m.Inject(fault.Fault{Class: fault.SA1, Victim: v}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := bisd.RunProposed([]*sram.Memory{m}, march.MarchCW(8), bisd.ProposedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Encode(rep.Memories[0].Failures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range recs {
+		if r.PhysicalAddr == v.Addr && r.Bit == v.Bit {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("located cell lost through the scan channel")
+	}
+}
+
+// Property: any in-range record set round-trips exactly.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(raw []uint32) bool {
+		recs := make([]bisd.FailureRecord, 0, len(raw))
+		for _, r := range raw {
+			addr := int(r>>8) & 0xffff
+			recs = append(recs, bisd.FailureRecord{
+				Memory:       int(r) & 0xff,
+				PhysicalAddr: addr,
+				LogicalAddr:  addr,
+				Bit:          int(r>>24) & 0xff,
+				Element:      int(r>>16) & 0xff,
+				Background:   int(r>>28) & 0xf,
+				Op:           int(r>>4) & 0xf,
+			})
+		}
+		data, err := Encode(recs)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(data)
+		if err != nil || len(got) != len(recs) {
+			return false
+		}
+		for i := range recs {
+			if got[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

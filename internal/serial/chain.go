@@ -1,0 +1,206 @@
+package serial
+
+import (
+	"fmt"
+
+	"repro/internal/sram"
+)
+
+// Direction is the shift direction of a serial pass over a cell chain.
+type Direction int
+
+const (
+	// Right shifts toward higher chain positions: the stream enters at
+	// position 0 and is observed at position L-1.
+	Right Direction = iota
+	// Left shifts toward lower positions: enters at L-1, observed at 0.
+	Left
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	if d == Right {
+		return "right"
+	}
+	return "left"
+}
+
+// Chain threads every cell of a memory into a serial shift path in
+// row-major order (position k = addr*c + bit), the BISD-mode structure
+// of Fig. 2. Shifting is simulated clock by clock through the
+// behavioural memory, so data really does pass *through* faulty cells:
+// a stuck cell corrupts everything downstream of it, which is exactly
+// the masking phenomenon the single- and bi-directional interfaces
+// differ on.
+//
+// Identified cells can be marked repaired: a repaired cell is bypassed
+// to its backup-memory spare, which behaves fault-free. This mirrors
+// the baseline scheme's iterate-repair-rediagnose loop.
+type Chain struct {
+	mem         *sram.Memory
+	repaired    []bool
+	shadow      []bool
+	repairCount int
+}
+
+// NewChain builds the serial chain over a memory.
+func NewChain(m *sram.Memory) *Chain {
+	l := m.N() * m.C()
+	return &Chain{mem: m, repaired: make([]bool, l), shadow: make([]bool, l)}
+}
+
+// Len returns the chain length n*c.
+func (ch *Chain) Len() int { return ch.mem.N() * ch.mem.C() }
+
+// Cell converts a chain position to (addr, bit).
+func (ch *Chain) Cell(k int) (addr, bit int) {
+	return k / ch.mem.C(), k % ch.mem.C()
+}
+
+// Position converts (addr, bit) to the chain position.
+func (ch *Chain) Position(addr, bit int) int { return addr*ch.mem.C() + bit }
+
+// Repair bypasses the cell at chain position k to a fault-free spare.
+func (ch *Chain) Repair(k int) {
+	ch.checkPos(k)
+	if !ch.repaired[k] {
+		ch.repairCount++
+	}
+	ch.repaired[k] = true
+	ch.shadow[k] = false
+}
+
+// Repaired reports whether position k has been bypassed.
+func (ch *Chain) Repaired(k int) bool { return ch.repaired[k] }
+
+// RepairCount returns the number of bypassed cells.
+func (ch *Chain) RepairCount() int { return ch.repairCount }
+
+func (ch *Chain) get(k int) bool {
+	if ch.repaired[k] {
+		return ch.shadow[k]
+	}
+	addr, bit := ch.Cell(k)
+	return ch.mem.ReadBit(addr, bit)
+}
+
+func (ch *Chain) set(k int, v bool) {
+	if ch.repaired[k] {
+		ch.shadow[k] = v
+		return
+	}
+	addr, bit := ch.Cell(k)
+	ch.mem.WriteBit(addr, bit, v)
+}
+
+func (ch *Chain) checkPos(k int) {
+	if k < 0 || k >= ch.Len() {
+		panic(fmt.Sprintf("serial: chain position %d out of range (len %d)", k, ch.Len()))
+	}
+}
+
+// WritePass shifts a full-length pattern through the chain in the given
+// direction, clock by clock. pattern(k) is the value intended for chain
+// position k; the stream is fed so that, on a fault-free chain, cell k
+// ends up holding pattern(k). On a faulty chain the data is corrupted
+// as it marches through defective cells.
+func (ch *Chain) WritePass(dir Direction, pattern func(int) bool) {
+	l := ch.Len()
+	for t := 0; t < l; t++ {
+		if dir == Right {
+			for i := l - 1; i > 0; i-- {
+				ch.set(i, ch.get(i-1))
+			}
+			// Feed so pattern(l-1) enters first and marches to the end.
+			ch.set(0, pattern(l-1-t))
+		} else {
+			for i := 0; i < l-1; i++ {
+				ch.set(i, ch.get(i+1))
+			}
+			ch.set(l-1, pattern(t))
+		}
+	}
+}
+
+// ReadPass shifts the chain contents out at the direction's output end
+// and returns the observed values indexed by the chain position they
+// are attributed to: with Right, out[k] is what the observer believes
+// cell k held (cell L-1 emerges first); with Left, cell 0 emerges
+// first. Values from far positions pass through every intermediate
+// cell and can be corrupted en route — downstream faults mask upstream
+// data.
+func (ch *Chain) ReadPass(dir Direction) []bool {
+	l := ch.Len()
+	out := make([]bool, l)
+	for t := 0; t < l; t++ {
+		if dir == Right {
+			out[l-1-t] = ch.get(l - 1)
+			for i := l - 1; i > 0; i-- {
+				ch.set(i, ch.get(i-1))
+			}
+			ch.set(0, false)
+		} else {
+			out[t] = ch.get(0)
+			for i := 0; i < l-1; i++ {
+				ch.set(i, ch.get(i+1))
+			}
+			ch.set(l-1, false)
+		}
+	}
+	return out
+}
+
+// FirstMismatch compares an observed ReadPass stream with the expected
+// pattern in observation order and returns the chain position of the
+// first mismatching bit. With the bi-directional discipline of [7,8] —
+// write in one direction, observe in the other — cells between the
+// observer and the first faulty cell are read out through healthy
+// stages only, so the first mismatch correctly identifies the nearest
+// faulty cell (Sec. 2: at most one fault per March element per
+// direction). ok is false if the stream matches everywhere.
+func FirstMismatch(observed []bool, expected func(int) bool, dir Direction) (pos int, ok bool) {
+	l := len(observed)
+	for t := 0; t < l; t++ {
+		k := t
+		if dir == Right {
+			k = l - 1 - t
+		}
+		if observed[k] != expected(k) {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// BiDirElement runs one bi-directional serialized March element pair on
+// the chain: write the pattern right and observe left, then write left
+// and observe right. It returns the chain positions of the faults
+// identified from each end (the lowest and highest defective positions
+// still unrepaired), matching the baseline scheme's two identified
+// faults per M1 iteration.
+func (ch *Chain) BiDirElement(pattern func(int) bool) (fromLow, fromHigh int, foundLow, foundHigh bool) {
+	ch.WritePass(Right, pattern)
+	obs := ch.ReadPass(Left)
+	fromLow, foundLow = FirstMismatch(obs, pattern, Left)
+
+	ch.WritePass(Left, pattern)
+	obs = ch.ReadPass(Right)
+	fromHigh, foundHigh = FirstMismatch(obs, pattern, Right)
+
+	if foundLow && foundHigh && fromLow == fromHigh {
+		foundHigh = false
+	}
+	return fromLow, fromHigh, foundLow, foundHigh
+}
+
+// SingleDirElement runs one single-directional serialized element
+// ([9,10]): write right, observe right. Because the observed values of
+// upstream cells pass through every faulty cell on their way out, only
+// a corrupted *stream* is seen; the first mismatch in observation order
+// generally does NOT correspond to a defective cell — the masking
+// problem the bi-directional interface was invented to fix.
+func (ch *Chain) SingleDirElement(pattern func(int) bool) (pos int, found bool) {
+	ch.WritePass(Right, pattern)
+	obs := ch.ReadPass(Right)
+	return FirstMismatch(obs, pattern, Right)
+}

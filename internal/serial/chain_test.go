@@ -1,0 +1,208 @@
+package serial
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/sram"
+)
+
+func ones(int) bool  { return true }
+func zeros(int) bool { return false }
+
+func TestChainGeometry(t *testing.T) {
+	ch := NewChain(sram.New(4, 3))
+	if ch.Len() != 12 {
+		t.Fatalf("len = %d", ch.Len())
+	}
+	a, b := ch.Cell(7)
+	if a != 2 || b != 1 {
+		t.Fatalf("Cell(7) = (%d,%d), want (2,1)", a, b)
+	}
+	if ch.Position(2, 1) != 7 {
+		t.Fatal("Position inverse wrong")
+	}
+}
+
+func TestFaultFreeWriteReadPass(t *testing.T) {
+	for _, dir := range []Direction{Right, Left} {
+		m := sram.New(4, 2)
+		ch := NewChain(m)
+		pattern := func(k int) bool { return k%3 == 0 }
+		ch.WritePass(dir, pattern)
+		for k := 0; k < ch.Len(); k++ {
+			addr, bit := ch.Cell(k)
+			if m.Peek(addr, bit) != pattern(k) {
+				t.Fatalf("dir %s: cell %d = %v, want %v", dir, k, m.Peek(addr, bit), pattern(k))
+			}
+		}
+		obs := ch.ReadPass(dir)
+		for k := range obs {
+			if obs[k] != pattern(k) {
+				t.Fatalf("dir %s: observed[%d] = %v, want %v", dir, k, obs[k], pattern(k))
+			}
+		}
+	}
+}
+
+func TestSingleDirMasking(t *testing.T) {
+	// Two stuck-at-0 cells. With the single-directional interface the
+	// upstream cell's data is corrupted passing through the downstream
+	// one, so the observer cannot attribute mismatches to cells — the
+	// first observed mismatch is NOT a faulty cell.
+	m := sram.New(4, 2)
+	mustInject(t, m, fault.Fault{Class: fault.SA0, Victim: fault.Cell{Addr: 1, Bit: 0}}) // pos 2
+	mustInject(t, m, fault.Fault{Class: fault.SA0, Victim: fault.Cell{Addr: 2, Bit: 1}}) // pos 5
+	ch := NewChain(m)
+	pos, found := ch.SingleDirElement(ones)
+	if !found {
+		t.Fatal("single-dir pass saw no mismatch")
+	}
+	if pos == 2 || pos == 5 {
+		t.Fatalf("single-dir first mismatch at %d happens to be a faulty cell; masking demo broken", pos)
+	}
+}
+
+func TestBiDirIdentifiesExtremes(t *testing.T) {
+	// The bi-directional element identifies the lowest and highest
+	// defective chain positions, one per direction (Sec. 2).
+	m := sram.New(4, 2)
+	mustInject(t, m, fault.Fault{Class: fault.SA0, Victim: fault.Cell{Addr: 0, Bit: 1}}) // pos 1
+	mustInject(t, m, fault.Fault{Class: fault.SA0, Victim: fault.Cell{Addr: 1, Bit: 1}}) // pos 3
+	mustInject(t, m, fault.Fault{Class: fault.SA0, Victim: fault.Cell{Addr: 3, Bit: 0}}) // pos 6
+	ch := NewChain(m)
+	lo, hi, fl, fh := ch.BiDirElement(ones)
+	if !fl || !fh {
+		t.Fatalf("bi-dir found (%v,%v), want both", fl, fh)
+	}
+	if lo != 1 || hi != 6 {
+		t.Fatalf("bi-dir identified (%d,%d), want (1,6)", lo, hi)
+	}
+}
+
+func TestBiDirSingleFaultFoundOnce(t *testing.T) {
+	m := sram.New(4, 2)
+	mustInject(t, m, fault.Fault{Class: fault.SA0, Victim: fault.Cell{Addr: 2, Bit: 0}}) // pos 4
+	ch := NewChain(m)
+	lo, hi, fl, fh := ch.BiDirElement(ones)
+	if !fl {
+		t.Fatal("fault not found from low end")
+	}
+	if fh {
+		t.Fatalf("single fault double-reported: low %d high %d", lo, hi)
+	}
+	if lo != 4 {
+		t.Fatalf("identified %d, want 4", lo)
+	}
+}
+
+func TestBiDirCleanChain(t *testing.T) {
+	ch := NewChain(sram.New(4, 2))
+	_, _, fl, fh := ch.BiDirElement(ones)
+	if fl || fh {
+		t.Fatal("fault-free chain reported faults")
+	}
+}
+
+func TestRepairLoopConvergesToAllFaults(t *testing.T) {
+	// The baseline scheme's iterate-repair-rediagnose loop: each
+	// iteration identifies at most two faults; repairing them exposes
+	// the next pair. k = ceil(faults/2) iterations finds all.
+	m := sram.New(8, 2)
+	positions := []int{1, 4, 7, 10, 13}
+	for _, p := range positions {
+		mustInject(t, m, fault.Fault{Class: fault.SA0,
+			Victim: fault.Cell{Addr: p / 2, Bit: p % 2}})
+	}
+	ch := NewChain(m)
+	found := map[int]bool{}
+	iters := 0
+	for {
+		iters++
+		lo, hi, fl, fh := ch.BiDirElement(ones)
+		if !fl && !fh {
+			break
+		}
+		if fl {
+			found[lo] = true
+			ch.Repair(lo)
+		}
+		if fh {
+			found[hi] = true
+			ch.Repair(hi)
+		}
+		if iters > 10 {
+			t.Fatal("repair loop did not converge")
+		}
+	}
+	if len(found) != len(positions) {
+		t.Fatalf("found %d faults, want %d: %v", len(found), len(positions), found)
+	}
+	for _, p := range positions {
+		if !found[p] {
+			t.Errorf("position %d never identified", p)
+		}
+	}
+	if want := (len(positions)+1)/2 + 1; iters != want { // +1 clean final pass
+		t.Errorf("iterations = %d, want %d (ceil(faults/2)+1)", iters, want)
+	}
+	if ch.RepairCount() != len(positions) {
+		t.Errorf("repair count = %d", ch.RepairCount())
+	}
+}
+
+func TestRepairedCellBehavesGood(t *testing.T) {
+	m := sram.New(2, 2)
+	mustInject(t, m, fault.Fault{Class: fault.SA0, Victim: fault.Cell{Addr: 0, Bit: 0}})
+	ch := NewChain(m)
+	ch.Repair(0)
+	if !ch.Repaired(0) || ch.Repaired(1) {
+		t.Fatal("Repaired bookkeeping wrong")
+	}
+	ch.WritePass(Right, ones)
+	obs := ch.ReadPass(Left)
+	for k, v := range obs {
+		if !v {
+			t.Fatalf("position %d reads 0 after repair", k)
+		}
+	}
+}
+
+func TestChainRepairPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Repair out of range did not panic")
+		}
+	}()
+	NewChain(sram.New(2, 2)).Repair(99)
+}
+
+func TestTransitionFaultVisibleInChain(t *testing.T) {
+	// A TF-up cell cannot be loaded with 1 by the shift pass, so the
+	// bi-directional element identifies it like a stuck-at.
+	m := sram.New(4, 2)
+	mustInject(t, m, fault.Fault{Class: fault.TFUp, Dir: fault.Up,
+		Victim: fault.Cell{Addr: 2, Bit: 1}}) // pos 5
+	ch := NewChain(m)
+	lo, _, fl, _ := ch.BiDirElement(ones)
+	if !fl || lo != 5 {
+		t.Fatalf("TF-up not identified: pos %d found %v", lo, fl)
+	}
+}
+
+func TestZerosPatternFindsSA1(t *testing.T) {
+	m := sram.New(4, 2)
+	mustInject(t, m, fault.Fault{Class: fault.SA1, Victim: fault.Cell{Addr: 1, Bit: 1}}) // pos 3
+	ch := NewChain(m)
+	lo, _, fl, _ := ch.BiDirElement(zeros)
+	if !fl || lo != 3 {
+		t.Fatalf("SA1 not identified with zeros pattern: pos %d found %v", lo, fl)
+	}
+}
+
+func mustInject(t *testing.T, m *sram.Memory, f fault.Fault) {
+	t.Helper()
+	if err := m.Inject(f); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,197 @@
+// Package serial implements the serial access structures the paper
+// compares:
+//
+//   - ShiftRegister: a plain DFF chain, the building block.
+//   - SPC: the Serial-to-Parallel Converter of Sec. 3.2, including the
+//     MSB-first/LSB-first delivery orders whose difference Fig. 4
+//     illustrates for heterogeneous word widths.
+//   - PSC: the Parallel-to-Serial Converter of Sec. 3.3 with scan-type
+//     DFFs, capture/shift under scan_en, LSB-first shift-out.
+//   - Chain: memory cells threaded into a serial shift path, the
+//     structure behind the single-directional serial interface of
+//     [9,10] (fault masking) and the bi-directional interface of [7,8]
+//     (Fig. 2; masking-free but at most one fault identified per
+//     element per direction).
+package serial
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+)
+
+// ShiftRegister is a chain of D flip-flops. Bit 0 is the input end:
+// Shift moves every bit one stage toward higher indices and inserts the
+// new bit at stage 0, returning the bit that falls off the far end.
+type ShiftRegister struct {
+	bits []bool
+}
+
+// NewShiftRegister returns an all-zero register with the given number
+// of stages.
+func NewShiftRegister(stages int) *ShiftRegister {
+	if stages <= 0 {
+		panic(fmt.Sprintf("serial: invalid register length %d", stages))
+	}
+	return &ShiftRegister{bits: make([]bool, stages)}
+}
+
+// Len returns the number of stages.
+func (r *ShiftRegister) Len() int { return len(r.bits) }
+
+// Shift clocks the register once.
+func (r *ShiftRegister) Shift(in bool) (out bool) {
+	out = r.bits[len(r.bits)-1]
+	copy(r.bits[1:], r.bits[:len(r.bits)-1])
+	r.bits[0] = in
+	return out
+}
+
+// Bit returns the value of stage i.
+func (r *ShiftRegister) Bit(i int) bool { return r.bits[i] }
+
+// Load sets all stages at once (parallel load).
+func (r *ShiftRegister) Load(bits []bool) {
+	if len(bits) != len(r.bits) {
+		panic(fmt.Sprintf("serial: load %d bits into %d stages", len(bits), len(r.bits)))
+	}
+	copy(r.bits, bits)
+}
+
+// Order is the serialization order of a pattern stream.
+type Order int
+
+const (
+	// MSBFirst delivers DP[c-1] first — the order Sec. 3.2 prescribes
+	// so narrower SPCs retain the low-order bits.
+	MSBFirst Order = iota
+	// LSBFirst delivers DP[0] first — the hazardous order of Fig. 4
+	// that loses the low (c-c') bits in narrower converters.
+	LSBFirst
+)
+
+// String names the order.
+func (o Order) String() string {
+	if o == MSBFirst {
+		return "MSB-first"
+	}
+	return "LSB-first"
+}
+
+// SPC is a Serial-to-Parallel Converter local to one e-SRAM: a chain of
+// DFFs whose parallel outputs drive the memory's data inputs through
+// the test-input multiplexers. The stream enters at the stage driving
+// data bit 0 and marches toward bit width-1, converting "from the MSB
+// to the LSB" (Sec. 3.2): after a full widest-memory delivery of
+// length streamLen >= width, stage i holds the stream bit delivered
+// i-from-last — with MSB-first delivery, exactly DP[i].
+type SPC struct {
+	// reg[i] drives memory data input bit i.
+	reg []bool
+}
+
+// NewSPC returns an SPC for a memory of the given IO width.
+func NewSPC(width int) *SPC {
+	if width <= 0 {
+		panic(fmt.Sprintf("serial: invalid SPC width %d", width))
+	}
+	return &SPC{reg: make([]bool, width)}
+}
+
+// Width returns the converter width.
+func (s *SPC) Width() int { return len(s.reg) }
+
+// ShiftIn clocks one serial stream bit into the converter.
+func (s *SPC) ShiftIn(b bool) {
+	// The stream enters at stage 0 and shifts toward the high stage.
+	for i := len(s.reg) - 1; i > 0; i-- {
+		s.reg[i] = s.reg[i-1]
+	}
+	s.reg[0] = b
+}
+
+// Word returns the current parallel output.
+func (s *SPC) Word() bitvec.Vector {
+	v := bitvec.New(len(s.reg))
+	for i, b := range s.reg {
+		v.Set(i, b)
+	}
+	return v
+}
+
+// Deliver streams the pattern dp (of the widest memory's width) into
+// the SPC in the given order, one ShiftIn per bit — exactly what the
+// Data Background Generator does once before each March element. With
+// MSBFirst, a width-c' SPC ends up holding DP[c'-1:0]; with LSBFirst it
+// ends up holding DP[c-1:c-c'], the Fig. 4 coverage hazard.
+func (s *SPC) Deliver(dp bitvec.Vector, order Order) {
+	var stream []bool
+	if order == MSBFirst {
+		stream = dp.SerializeMSBFirst()
+	} else {
+		stream = dp.SerializeLSBFirst()
+	}
+	for _, b := range stream {
+		s.ShiftIn(b)
+	}
+}
+
+// PSC is the Parallel-to-Serial Converter of Fig. 5: scan-type DFFs
+// that capture the memory's read data in parallel (scan_en low) and
+// shift it back to the BISD controller LSB-first (scan_en high) while
+// the memory idles.
+type PSC struct {
+	reg    []bool
+	scanEn bool
+	// shifted counts shifts since the last capture, for misuse checks.
+	shifted int
+}
+
+// NewPSC returns a PSC for the given IO width.
+func NewPSC(width int) *PSC {
+	if width <= 0 {
+		panic(fmt.Sprintf("serial: invalid PSC width %d", width))
+	}
+	return &PSC{reg: make([]bool, width)}
+}
+
+// Width returns the converter width.
+func (p *PSC) Width() int { return len(p.reg) }
+
+// ScanEn reports the current scan-enable state.
+func (p *PSC) ScanEn() bool { return p.scanEn }
+
+// Capture loads the memory's read word into the scan DFFs (scan_en
+// low). It panics on a width mismatch.
+func (p *PSC) Capture(word bitvec.Vector) {
+	if word.Width() != len(p.reg) {
+		panic(fmt.Sprintf("serial: capture width %d into %d-bit PSC", word.Width(), len(p.reg)))
+	}
+	p.scanEn = false
+	for i := range p.reg {
+		p.reg[i] = word.Get(i)
+	}
+	p.shifted = 0
+}
+
+// ShiftOut clocks the scan chain once (scan_en high) and returns the
+// next response bit; bits emerge LSB-first. Zeros fill from the far
+// end.
+func (p *PSC) ShiftOut() bool {
+	p.scanEn = true
+	out := p.reg[0]
+	copy(p.reg[:len(p.reg)-1], p.reg[1:])
+	p.reg[len(p.reg)-1] = false
+	p.shifted++
+	return out
+}
+
+// Drain shifts out the full captured word and reassembles it as seen by
+// the controller's comparator (bit i arrives at shift i).
+func (p *PSC) Drain() bitvec.Vector {
+	v := bitvec.New(len(p.reg))
+	for i := 0; i < len(p.reg); i++ {
+		v.Set(i, p.ShiftOut())
+	}
+	return v
+}

@@ -1,0 +1,187 @@
+package serial
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+)
+
+func TestShiftRegisterBasics(t *testing.T) {
+	r := NewShiftRegister(3)
+	if r.Len() != 3 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	outs := []bool{}
+	for _, in := range []bool{true, false, true, true} {
+		outs = append(outs, r.Shift(in))
+	}
+	// First three shifts push zeros out; fourth pushes the first input.
+	want := []bool{false, false, false, true}
+	for i := range want {
+		if outs[i] != want[i] {
+			t.Fatalf("out[%d] = %v, want %v", i, outs[i], want[i])
+		}
+	}
+	if !r.Bit(0) || !r.Bit(1) || r.Bit(2) {
+		t.Fatalf("register state wrong: %v %v %v", r.Bit(0), r.Bit(1), r.Bit(2))
+	}
+}
+
+func TestShiftRegisterLoad(t *testing.T) {
+	r := NewShiftRegister(2)
+	r.Load([]bool{true, false})
+	if !r.Bit(0) || r.Bit(1) {
+		t.Fatal("load failed")
+	}
+}
+
+func TestShiftRegisterPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"len":  func() { NewShiftRegister(0) },
+		"load": func() { NewShiftRegister(2).Load([]bool{true}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestSPCFig4 reproduces the paper's Fig. 4 example: two co-existing
+// e-SRAMs with c = 4 and c' = 3. MSB-first delivery leaves the narrow
+// SPC holding DP[2:0]; LSB-first delivery loses the low bit and leaves
+// DP[3:1].
+func TestSPCFig4(t *testing.T) {
+	dp := bitvec.MustParse("1011") // DP[3..0] = 1,0,1,1
+
+	wide := NewSPC(4)
+	wide.Deliver(dp, MSBFirst)
+	if got := wide.Word().String(); got != "1011" {
+		t.Errorf("wide SPC MSB-first = %s, want 1011", got)
+	}
+
+	narrow := NewSPC(3)
+	narrow.Deliver(dp, MSBFirst)
+	if got := narrow.Word().String(); got != "011" { // DP[2:0]
+		t.Errorf("narrow SPC MSB-first = %s, want 011 (DP[2:0])", got)
+	}
+
+	narrowBad := NewSPC(3)
+	narrowBad.Deliver(dp, LSBFirst)
+	if got := narrowBad.Word(); got.Equal(dp.Truncate(3)) {
+		t.Errorf("narrow SPC LSB-first unexpectedly correct: %s", got)
+	}
+	// LSB-first delivery: the last three stream bits are DP[1],DP[2],DP[3],
+	// entering high stage first: reg = [DP3, DP2, DP1] read as bits 0..2,
+	// i.e. the word is DP[3:1] mirrored into the low positions.
+	if got := narrowBad.Word().String(); got != "101" {
+		t.Errorf("narrow SPC LSB-first = %s, want 101 (mirrored DP[3:1])", got)
+	}
+}
+
+func TestSPCWidePatternsAllWidths(t *testing.T) {
+	// MSB-first delivery is correct for every narrower width.
+	dp := bitvec.MustParse("110100101")
+	for w := 1; w <= dp.Width(); w++ {
+		s := NewSPC(w)
+		s.Deliver(dp, MSBFirst)
+		if !s.Word().Equal(dp.Truncate(w)) {
+			t.Errorf("width %d: got %s, want %s", w, s.Word(), dp.Truncate(w))
+		}
+	}
+}
+
+func TestSPCPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSPC(0) did not panic")
+		}
+	}()
+	NewSPC(0)
+}
+
+func TestPSCCaptureDrain(t *testing.T) {
+	p := NewPSC(4)
+	word := bitvec.MustParse("1010")
+	p.Capture(word)
+	if p.ScanEn() {
+		t.Fatal("scan_en high during capture")
+	}
+	got := p.Drain()
+	if !p.ScanEn() {
+		t.Fatal("scan_en low during shift")
+	}
+	if !got.Equal(word) {
+		t.Fatalf("drained %s, want %s", got, word)
+	}
+}
+
+func TestPSCShiftsLSBFirst(t *testing.T) {
+	p := NewPSC(3)
+	p.Capture(bitvec.MustParse("100")) // bit2=1, bits 1,0 = 0
+	if p.ShiftOut() {
+		t.Fatal("first bit out should be LSB = 0")
+	}
+	if p.ShiftOut() {
+		t.Fatal("second bit should be 0")
+	}
+	if !p.ShiftOut() {
+		t.Fatal("third bit should be MSB = 1")
+	}
+}
+
+func TestPSCCaptureWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capture width mismatch did not panic")
+		}
+	}()
+	NewPSC(3).Capture(bitvec.New(4))
+}
+
+func TestOrderString(t *testing.T) {
+	if MSBFirst.String() != "MSB-first" || LSBFirst.String() != "LSB-first" {
+		t.Error("order names wrong")
+	}
+	if Right.String() != "right" || Left.String() != "left" {
+		t.Error("direction names wrong")
+	}
+}
+
+// Property: an SPC of width w receiving an MSB-first delivery of any
+// wider pattern holds exactly the pattern's low w bits.
+func TestQuickSPCMSBFirstTruncates(t *testing.T) {
+	f := func(seed uint32, wWide, wNarrow uint8) bool {
+		wide := int(wWide%32) + 1
+		narrow := int(wNarrow)%wide + 1
+		dp := bitvec.New(wide)
+		for i := 0; i < wide; i++ {
+			dp.Set(i, (seed>>(uint(i)%32))&1 == 1)
+		}
+		s := NewSPC(narrow)
+		s.Deliver(dp, MSBFirst)
+		return s.Word().Equal(dp.Truncate(narrow))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PSC capture/drain is the identity on any word.
+func TestQuickPSCRoundTrip(t *testing.T) {
+	f := func(seed uint64, width uint8) bool {
+		w := int(width%32) + 1
+		word := bitvec.FromUint64(w, seed)
+		p := NewPSC(w)
+		p.Capture(word)
+		return p.Drain().Equal(word)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

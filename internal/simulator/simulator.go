@@ -1,0 +1,180 @@
+// Package simulator is a memory fault simulator in the spirit of
+// RAMSES [13]: it executes a March test against a behavioural memory
+// with injected faults, records every miscompare, and sweeps fault
+// populations to produce detection/diagnosis coverage tables — the
+// evidence behind the paper's Sec. 4.1 coverage claims.
+//
+// The simulator works on a single memory with full word access (the
+// proposed scheme's SPC/PSC pair delivers and captures whole words, so
+// its fault-detection behaviour is exactly word-wide March execution).
+// Serial-interface detection limits of the baseline are modelled in
+// internal/serial and internal/bisd.
+package simulator
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/fault"
+	"repro/internal/march"
+	"repro/internal/sram"
+)
+
+// Failure is one observed miscompare.
+type Failure struct {
+	// Element is the index into the expanded element schedule;
+	// Background is the background index the element ran with.
+	Element, Background int
+	// Op is the index of the read op within the element.
+	Op int
+	// Addr is the word address; Expected and Got are the word values.
+	Addr          int
+	Expected, Got bitvec.Vector
+}
+
+// String renders the failure as a diagnosis log line.
+func (f Failure) String() string {
+	return fmt.Sprintf("elem %d bg %d op %d addr %d: got %s want %s",
+		f.Element, f.Background, f.Op, f.Addr, f.Got, f.Expected)
+}
+
+// Result is the outcome of running a test on one memory.
+type Result struct {
+	// Failures lists every miscompare in execution order.
+	Failures []Failure
+	// Located is the deduplicated set of failing cells (addr,bit),
+	// sorted — the diagnosis the scheme would hand to repair.
+	Located []fault.Cell
+	// Ops counts the operations executed (reads + writes).
+	Ops int
+	// RetentionMs totals the retention pauses executed (DelayMs sum),
+	// the wall-clock the delay-based DRF method costs.
+	RetentionMs float64
+}
+
+// Detected reports whether any miscompare occurred.
+func (r Result) Detected() bool { return len(r.Failures) > 0 }
+
+// LocatedCell reports whether the given cell is in the located set.
+func (r Result) LocatedCell(c fault.Cell) bool {
+	for _, l := range r.Located {
+		if l == c {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the test against the memory and returns the full
+// diagnosis result. Elements marked PerBackground run once per
+// non-solid background; consecutive per-background elements are grouped
+// so each background sees the group in order.
+func Run(m *sram.Memory, t march.Test) Result {
+	if err := t.Validate(); err != nil {
+		panic(err)
+	}
+	var res Result
+	bgs := bitvec.Backgrounds(m.C())
+	if t.BackgroundCount < len(bgs) {
+		bgs = bgs[:t.BackgroundCount]
+	}
+	located := make(map[fault.Cell]bool)
+	elemIdx := 0
+
+	runElement := func(e march.Element, bg bitvec.Vector, bgIdx int) {
+		if e.DelayMs > 0 {
+			m.Hold(e.DelayMs)
+			res.RetentionMs += e.DelayMs
+		}
+		addrs := addressSequence(e.Order, m.N())
+		for _, addr := range addrs {
+			for opIdx, op := range e.Ops {
+				word := bg
+				if op.Inverted {
+					word = bg.Not()
+				}
+				switch op.Kind {
+				case march.Write:
+					m.Write(addr, word)
+				case march.WriteNWRC:
+					m.WriteNWRC(addr, word)
+				case march.WriteWeak:
+					m.WriteWeak(addr, word)
+				case march.Read:
+					got := m.Read(addr)
+					if !got.Equal(word) {
+						res.Failures = append(res.Failures, Failure{
+							Element: elemIdx, Background: bgIdx, Op: opIdx,
+							Addr: addr, Expected: word, Got: got,
+						})
+						diff := got.Xor(word)
+						for b := 0; b < diff.Width(); b++ {
+							if diff.Get(b) {
+								located[fault.Cell{Addr: addr, Bit: b}] = true
+							}
+						}
+					}
+				}
+				res.Ops++
+			}
+		}
+		elemIdx++
+	}
+
+	for i := 0; i < len(t.Elements); {
+		if !testRepeated(t, i) {
+			runElement(t.Elements[i], bgs[0], 0)
+			i++
+			continue
+		}
+		// Group consecutive per-background elements.
+		j := i
+		for j < len(t.Elements) && testRepeated(t, j) {
+			j++
+		}
+		for bgIdx := 1; bgIdx < len(bgs); bgIdx++ {
+			for k := i; k < j; k++ {
+				runElement(t.Elements[k], bgs[bgIdx], bgIdx)
+			}
+		}
+		i = j
+	}
+
+	for c := range located {
+		res.Located = append(res.Located, c)
+	}
+	sortCells(res.Located)
+	return res
+}
+
+// testRepeated mirrors march.Test's per-background flag (kept local to
+// avoid exporting an engine-only detail from march).
+func testRepeated(t march.Test, i int) bool {
+	if t.BackgroundCount <= 1 || t.PerBackground == nil {
+		return false
+	}
+	return t.PerBackground[i]
+}
+
+// addressSequence expands an order into the address visit sequence.
+func addressSequence(o march.Order, n int) []int {
+	out := make([]int, n)
+	if o == march.Down {
+		for i := range out {
+			out[i] = n - 1 - i
+		}
+		return out
+	}
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func sortCells(cs []fault.Cell) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j].Less(cs[j-1]); j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}

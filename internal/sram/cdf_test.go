@@ -1,0 +1,90 @@
+package sram
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+)
+
+func TestCDFInjectValidation(t *testing.T) {
+	m := New(8, 4)
+	if err := m.Inject(fault.Fault{Class: fault.CDF, Victim: fault.Cell{Bit: 9}, Bit2: 0}); err == nil {
+		t.Fatal("out-of-range CDF column accepted")
+	}
+	if err := m.Inject(fault.Fault{Class: fault.CDF, Victim: fault.Cell{Bit: 2}, Bit2: 2}); err == nil {
+		t.Fatal("equal CDF columns accepted")
+	}
+	if err := m.Inject(fault.Fault{Class: fault.CDF, Victim: fault.Cell{Bit: 1}, Bit2: 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFInvisibleUnderSolidData(t *testing.T) {
+	m := New(8, 4)
+	if err := m.Inject(fault.Fault{Class: fault.CDF, Victim: fault.Cell{Bit: 1}, Bit2: 3}); err != nil {
+		t.Fatal(err)
+	}
+	m.Write(2, w("1111"))
+	if got := m.Read(2).String(); got != "1111" {
+		t.Fatalf("solid ones read %s", got)
+	}
+	m.Write(2, w("0000"))
+	if got := m.Read(2).String(); got != "0000" {
+		t.Fatalf("solid zeros read %s", got)
+	}
+}
+
+func TestCDFVisibleUnderUnequalBackground(t *testing.T) {
+	m := New(8, 4)
+	// Short between IO bit 1 and column 3.
+	if err := m.Inject(fault.Fault{Class: fault.CDF, Victim: fault.Cell{Bit: 1}, Bit2: 3}); err != nil {
+		t.Fatal(err)
+	}
+	// Write data with bit1=0, bit3=1: the ghost write drives column 3
+	// with bit 1's 0.
+	m.Write(2, w("1001")) // bit3=1, bit0=1, others 0; bit1=0
+	got := m.Read(2)
+	if got.Get(3) {
+		t.Fatalf("ghost write did not corrupt column 3: %s", got)
+	}
+	// Wired-AND read path: store bit1=1, column3=0 via Poke, read
+	// bit 1 -> AND(col1, col3) = 0.
+	m2 := New(8, 4)
+	if err := m2.Inject(fault.Fault{Class: fault.CDF, Victim: fault.Cell{Bit: 1}, Bit2: 3}); err != nil {
+		t.Fatal(err)
+	}
+	m2.Poke(2, 1, true)
+	m2.Poke(2, 3, false)
+	if m2.Read(2).Get(1) {
+		t.Fatal("wired-AND read did not pull IO bit 1 low")
+	}
+}
+
+func TestCDFGeneratorProducesDistinctColumns(t *testing.T) {
+	g := fault.NewGenerator(8, 4, 3)
+	for i := 0; i < 200; i++ {
+		f := g.Random(fault.CDF)
+		if f.Bit2 == f.Victim.Bit {
+			t.Fatal("generator produced equal CDF columns")
+		}
+		if f.Bit2 < 0 || f.Bit2 >= 4 {
+			t.Fatal("generator produced out-of-range Bit2")
+		}
+	}
+}
+
+func TestCDFStringAndClassList(t *testing.T) {
+	f := fault.Fault{Class: fault.CDF, Victim: fault.Cell{Bit: 1}, Bit2: 3}
+	if f.String() != "CDF bits 1<->3" {
+		t.Errorf("CDF string = %q", f.String())
+	}
+	found := false
+	for _, c := range fault.Classes() {
+		if c == fault.CDF {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("CDF missing from Classes()")
+	}
+}

@@ -1,0 +1,480 @@
+// Package sram provides a behavioural model of a small embedded SRAM
+// (e-SRAM): an n-word by c-bit array with injectable functional faults
+// from internal/fault. It is the memory-under-diagnosis substrate for
+// the BISD engines and the fault simulator.
+//
+// The model implements the standard behavioural semantics of the March
+// test literature:
+//
+//   - stuck-at cells ignore writes and always read their stuck value;
+//   - transition-faulty cells refuse the failing transition;
+//   - coupling faults fire when the aggressor cell transitions (CFin,
+//     CFid) or holds a state (CFst), with single-level propagation (a
+//     coupling-induced victim change does not re-trigger couplings);
+//   - stuck-open cells cannot be sensed, so a read repeats the column
+//     sense amplifier's previous value;
+//   - address-decoder faults remap the logical-address-to-row relation
+//     in the four classical ways;
+//   - data-retention cells accept normal writes but lose the vulnerable
+//     value after enough retention time (Hold), and fail a No Write
+//     Recovery Cycle write that would have to flip them to the
+//     vulnerable value — the electrical mechanism is modelled in
+//     internal/cell and abstracted here behaviourally.
+package sram
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/fault"
+)
+
+// DefaultRetentionThresholdMs is the retention time after which a DRF
+// cell holding its vulnerable value loses it. It matches the electrical
+// model's default decay (trip point crossed at 62.5 ms), comfortably
+// inside the conventional 100 ms test pause of [3].
+const DefaultRetentionThresholdMs = 62.5
+
+// Memory is a behavioural n x c SRAM with injected faults. The fault
+// side tables are flat slices indexed by cell so the serial-interface
+// engines, which touch every cell once per shift clock, stay on an
+// array-indexing fast path.
+type Memory struct {
+	n, c int
+	data []bool
+	// cellFault[i] is the fault whose victim cell i is (nil = good).
+	// The fault generator guarantees at most one fault per victim.
+	cellFault []*fault.Fault
+	// aggFaults[i] lists coupling faults cell i drives as aggressor.
+	aggFaults [][]*fault.Fault
+	// rowsOf maps logical address -> physical rows accessed (address
+	// decoder behaviour); nil entry means the identity row.
+	rowsOf map[int][]int
+	// senseLatch holds the last value each column's sense amplifier
+	// produced.
+	senseLatch []bool
+	// drfTimer accumulates retention time per DRF cell while it holds
+	// the vulnerable value.
+	drfTimer []float64
+	// drfCells indexes the DRF victims so Hold is O(DRF count).
+	drfCells []int
+	// retentionMs is the threshold after which a DRF cell loses data.
+	retentionMs float64
+	// cdfPairs are column-decoder multi-select shorts: accessing IO
+	// bit i also drives/loads column j.
+	cdfPairs []struct{ i, j int }
+	faults   []fault.Fault
+}
+
+// New returns a fault-free n-word by c-bit memory initialized to zero.
+func New(n, c int) *Memory {
+	if n <= 0 || c <= 0 {
+		panic(fmt.Sprintf("sram: invalid geometry %dx%d", n, c))
+	}
+	return &Memory{
+		n: n, c: c,
+		data:        make([]bool, n*c),
+		cellFault:   make([]*fault.Fault, n*c),
+		aggFaults:   make([][]*fault.Fault, n*c),
+		rowsOf:      make(map[int][]int),
+		senseLatch:  make([]bool, c),
+		drfTimer:    make([]float64, n*c),
+		retentionMs: DefaultRetentionThresholdMs,
+	}
+}
+
+// N returns the number of words.
+func (m *Memory) N() int { return m.n }
+
+// C returns the IO width in bits.
+func (m *Memory) C() int { return m.c }
+
+// SetRetentionThreshold overrides the DRF retention threshold in
+// milliseconds.
+func (m *Memory) SetRetentionThreshold(ms float64) { m.retentionMs = ms }
+
+// Faults returns the injected fault list (sorted by injection call
+// order).
+func (m *Memory) Faults() []fault.Fault { return m.faults }
+
+func (m *Memory) idx(addr, bit int) int { return addr*m.c + bit }
+
+func (m *Memory) checkCell(c fault.Cell) error {
+	if c.Addr < 0 || c.Addr >= m.n || c.Bit < 0 || c.Bit >= m.c {
+		return fmt.Errorf("sram: cell %v out of range for %dx%d memory", c, m.n, m.c)
+	}
+	return nil
+}
+
+// Inject adds a fault to the memory. Injecting two faults on the same
+// victim cell is rejected. Stuck-at cells immediately assume their
+// stuck value.
+func (m *Memory) Inject(f fault.Fault) error {
+	if f.Class == fault.ADOF {
+		if f.Victim.Addr < 0 || f.Victim.Addr >= m.n {
+			return fmt.Errorf("sram: AF address %d out of range", f.Victim.Addr)
+		}
+		if f.Partner < 0 || f.Partner >= m.n {
+			return fmt.Errorf("sram: AF partner %d out of range", f.Partner)
+		}
+		m.injectAF(f)
+		m.faults = append(m.faults, f)
+		return nil
+	}
+	if f.Class == fault.CDF {
+		if f.Victim.Bit < 0 || f.Victim.Bit >= m.c || f.Bit2 < 0 || f.Bit2 >= m.c {
+			return fmt.Errorf("sram: CDF columns %d/%d out of range", f.Victim.Bit, f.Bit2)
+		}
+		if f.Victim.Bit == f.Bit2 {
+			return fmt.Errorf("sram: CDF columns must differ")
+		}
+		m.cdfPairs = append(m.cdfPairs, struct{ i, j int }{f.Victim.Bit, f.Bit2})
+		m.faults = append(m.faults, f)
+		return nil
+	}
+	if err := m.checkCell(f.Victim); err != nil {
+		return err
+	}
+	vidx := m.idx(f.Victim.Addr, f.Victim.Bit)
+	existing := m.cellFault[vidx]
+	dup := existing != nil
+	switch f.Class {
+	case fault.CFin, fault.CFid, fault.CFst:
+		if err := m.checkCell(f.Aggressor); err != nil {
+			return err
+		}
+		// CFin/CFid semantics live on the aggressor side, so they may
+		// be linked with a stuck-at victim (the stuck value dominates).
+		// Any other combination keeps the single-fault-per-cell rule.
+		linkedSA := dup && (existing.Class == fault.SA0 || existing.Class == fault.SA1) &&
+			f.Class != fault.CFst
+		if dup && !linkedSA {
+			return fmt.Errorf("sram: cell %v already faulty", f.Victim)
+		}
+		fc := f
+		if !dup {
+			m.cellFault[vidx] = &fc
+		}
+		aidx := m.idx(f.Aggressor.Addr, f.Aggressor.Bit)
+		m.aggFaults[aidx] = append(m.aggFaults[aidx], &fc)
+	default:
+		if dup {
+			return fmt.Errorf("sram: cell %v already faulty", f.Victim)
+		}
+		fc := f
+		m.cellFault[vidx] = &fc
+	}
+	switch f.Class {
+	case fault.SA0:
+		m.data[vidx] = false
+	case fault.SA1:
+		m.data[vidx] = true
+	case fault.DRF:
+		m.drfCells = append(m.drfCells, vidx)
+	}
+	m.faults = append(m.faults, f)
+	return nil
+}
+
+// injectAF installs an address-decoder fault into the row mapping.
+func (m *Memory) injectAF(f fault.Fault) {
+	switch f.AF {
+	case fault.AFNoCell:
+		// The address accesses no row at all.
+		m.rowsOf[f.Victim.Addr] = []int{}
+	case fault.AFNoAddress:
+		// The victim row is unreachable: its address selects the
+		// partner row instead, so victim and partner alias.
+		m.rowsOf[f.Victim.Addr] = []int{f.Partner}
+	case fault.AFMultiCell:
+		// The address additionally accesses the partner row.
+		m.rowsOf[f.Victim.Addr] = []int{f.Victim.Addr, f.Partner}
+	case fault.AFMultiAddress:
+		// The partner address also selects the victim's row (its own
+		// row is no longer selected).
+		m.rowsOf[f.Partner] = []int{f.Victim.Addr}
+	}
+}
+
+// rows returns the physical rows a logical address accesses.
+func (m *Memory) rows(addr int) []int {
+	if r, ok := m.rowsOf[addr]; ok {
+		return r
+	}
+	return []int{addr}
+}
+
+// transition records a cell value change for coupling propagation.
+type transition struct {
+	idx int
+	up  bool
+}
+
+// Write performs a normal write of word w at addr. It panics on a
+// geometry mismatch (programming error), matching the hardware's
+// inability to present a wrong-width word.
+func (m *Memory) Write(addr int, w bitvec.Vector) { m.write(addr, w, false) }
+
+// WriteNWRC performs a No Write Recovery Cycle write: identical to a
+// normal write except that a DRF cell cannot be flipped *to* its
+// vulnerable value (the float-GND bitline removes the only charge
+// path; see internal/cell).
+func (m *Memory) WriteNWRC(addr int, w bitvec.Vector) { m.write(addr, w, true) }
+
+func (m *Memory) write(addr int, w bitvec.Vector, nwrc bool) {
+	m.checkAddr(addr)
+	if w.Width() != m.c {
+		panic(fmt.Sprintf("sram: write width %d to %d-bit memory", w.Width(), m.c))
+	}
+	var trans []transition
+	for _, row := range m.rows(addr) {
+		for bit := 0; bit < m.c; bit++ {
+			if t, changed := m.writeBit(row, bit, w.Get(bit), nwrc); changed {
+				trans = append(trans, t)
+			}
+		}
+		// Column-decoder multi-select: the short also drives column j
+		// with IO bit i's data, after the normal column writes.
+		for _, p := range m.cdfPairs {
+			if t, changed := m.writeBit(row, p.j, w.Get(p.i), nwrc); changed {
+				trans = append(trans, t)
+			}
+		}
+	}
+	m.propagate(trans)
+}
+
+// WriteWeak performs a Weak Write Test Mode cycle [14,15] at addr: the
+// throttled write drivers cannot flip a healthy cell, so the word only
+// affects data-retention-faulty cells that currently hold their
+// vulnerable (dynamically stored) value and are weakly driven to the
+// opposite one. See internal/cell for the electrical mechanism.
+func (m *Memory) WriteWeak(addr int, w bitvec.Vector) {
+	m.checkAddr(addr)
+	if w.Width() != m.c {
+		panic(fmt.Sprintf("sram: weak write width %d to %d-bit memory", w.Width(), m.c))
+	}
+	var trans []transition
+	for _, row := range m.rows(addr) {
+		for bit := 0; bit < m.c; bit++ {
+			idx := m.idx(row, bit)
+			f := m.cellFault[idx]
+			if f == nil || f.Class != fault.DRF {
+				continue
+			}
+			v := w.Get(bit)
+			if m.data[idx] == f.Value && v != f.Value {
+				m.data[idx] = v
+				m.drfTimer[idx] = 0
+				trans = append(trans, transition{idx: idx, up: v})
+			}
+		}
+	}
+	m.propagate(trans)
+}
+
+// WriteBit writes a single physical cell, honouring fault semantics and
+// coupling propagation. It is the access path serial interfaces use
+// (they thread cells directly, bypassing the address decoder); the
+// shift engines call it once per cell per clock, so it avoids
+// allocating.
+func (m *Memory) WriteBit(row, bit int, v bool) {
+	m.checkCellPos(row, bit)
+	if t, changed := m.writeBit(row, bit, v, false); changed {
+		m.propagateOne(t)
+	}
+}
+
+// writeBit applies one bit write and reports the resulting transition.
+func (m *Memory) writeBit(row, bit int, v bool, nwrc bool) (transition, bool) {
+	idx := m.idx(row, bit)
+	cur := m.data[idx]
+	if f := m.cellFault[idx]; f != nil {
+		switch f.Class {
+		case fault.SA0, fault.SA1:
+			return transition{}, false
+		case fault.TFUp:
+			if !cur && v {
+				return transition{}, false
+			}
+		case fault.TFDown:
+			if cur && !v {
+				return transition{}, false
+			}
+		case fault.CFst:
+			if m.aggressorValue(f) == f.AggState {
+				// While forced, the victim resists writes.
+				m.data[idx] = f.Value
+				return transition{}, false
+			}
+		case fault.DRF:
+			if nwrc && v == f.Value && cur != v {
+				return transition{}, false // NWRC cannot flip to the vulnerable value
+			}
+			m.drfTimer[idx] = 0
+		}
+	}
+	if cur == v {
+		return transition{}, false
+	}
+	m.data[idx] = v
+	return transition{idx: idx, up: v}, true
+}
+
+// propagate fires coupling faults for the given aggressor transitions,
+// single level (induced victim changes do not re-trigger).
+func (m *Memory) propagate(trans []transition) {
+	for _, t := range trans {
+		m.propagateOne(t)
+	}
+}
+
+// propagateOne fires the couplings of a single aggressor transition.
+func (m *Memory) propagateOne(t transition) {
+	for _, f := range m.aggFaults[t.idx] {
+		vidx := m.idx(f.Victim.Addr, f.Victim.Bit)
+		switch f.Class {
+		case fault.CFin:
+			if (f.Dir == fault.Up) == t.up {
+				m.setVictim(vidx, !m.data[vidx])
+			}
+		case fault.CFid:
+			if (f.Dir == fault.Up) == t.up {
+				m.setVictim(vidx, f.Value)
+			}
+		case fault.CFst:
+			if t.up == f.AggState {
+				m.setVictim(vidx, f.Value)
+			}
+		}
+	}
+}
+
+// setVictim applies a coupling effect to a victim cell. A stuck-at
+// victim dominates (its value cannot move); other victim-side faults do
+// not block the disturbance.
+func (m *Memory) setVictim(idx int, v bool) {
+	if f := m.cellFault[idx]; f != nil && (f.Class == fault.SA0 || f.Class == fault.SA1) {
+		return
+	}
+	if m.data[idx] != v {
+		m.data[idx] = v
+		m.drfTimer[idx] = 0
+	}
+}
+
+// Read performs a read of addr and returns the sensed word. With an
+// address-decoder fault mapping the address to no row, every column
+// repeats its sense amplifier's stale value; with multiple rows the
+// result is the wired-AND of the rows.
+func (m *Memory) Read(addr int) bitvec.Vector {
+	m.checkAddr(addr)
+	out := bitvec.New(m.c)
+	rows := m.rows(addr)
+	for bit := 0; bit < m.c; bit++ {
+		var v bool
+		switch len(rows) {
+		case 0:
+			// No wordline fires: both bitlines stay precharged high and
+			// the sense amplifier resolves to 1 on every column.
+			v = true
+			m.senseLatch[bit] = v
+		case 1:
+			v = m.readBit(rows[0], bit)
+		default:
+			v = true
+			for _, r := range rows {
+				v = v && m.readBit(r, bit)
+			}
+		}
+		out.Set(bit, v)
+	}
+	// Column-decoder multi-select: IO bit i senses the wired-AND of
+	// its own column and the shorted column j.
+	for _, p := range m.cdfPairs {
+		if len(rows) == 1 {
+			out.Set(p.i, out.Get(p.i) && m.readBit(rows[0], p.j))
+		}
+	}
+	return out
+}
+
+// ReadBit senses one physical cell directly (serial-interface access
+// path).
+func (m *Memory) ReadBit(row, bit int) bool {
+	m.checkCellPos(row, bit)
+	return m.readBit(row, bit)
+}
+
+func (m *Memory) readBit(row, bit int) bool {
+	idx := m.idx(row, bit)
+	v := m.data[idx]
+	if f := m.cellFault[idx]; f != nil {
+		switch f.Class {
+		case fault.SA0:
+			v = false
+		case fault.SA1:
+			v = true
+		case fault.CFst:
+			if m.aggressorValue(f) == f.AggState {
+				v = f.Value
+			}
+		case fault.SOF:
+			// The cell cannot discharge a bitline; the sense amp
+			// repeats its previous value for this column.
+			return m.senseLatch[bit]
+		}
+	}
+	m.senseLatch[bit] = v
+	return v
+}
+
+func (m *Memory) aggressorValue(f *fault.Fault) bool {
+	return m.data[m.idx(f.Aggressor.Addr, f.Aggressor.Bit)]
+}
+
+// Hold advances retention time by ms milliseconds. DRF cells holding
+// their vulnerable value accumulate retention stress and lose the value
+// once the threshold is crossed.
+func (m *Memory) Hold(ms float64) {
+	if ms <= 0 {
+		return
+	}
+	for _, idx := range m.drfCells {
+		f := m.cellFault[idx]
+		if m.data[idx] == f.Value {
+			m.drfTimer[idx] += ms
+			if m.drfTimer[idx] >= m.retentionMs {
+				m.data[idx] = !f.Value
+			}
+		} else {
+			m.drfTimer[idx] = 0
+		}
+	}
+}
+
+// Peek returns the raw stored value of a cell, bypassing read fault
+// semantics; for tests and debugging.
+func (m *Memory) Peek(addr, bit int) bool {
+	m.checkCellPos(addr, bit)
+	return m.data[m.idx(addr, bit)]
+}
+
+// Poke sets the raw stored value of a cell, bypassing write fault
+// semantics; for tests and debugging.
+func (m *Memory) Poke(addr, bit int, v bool) {
+	m.checkCellPos(addr, bit)
+	m.data[m.idx(addr, bit)] = v
+}
+
+func (m *Memory) checkAddr(addr int) {
+	if addr < 0 || addr >= m.n {
+		panic(fmt.Sprintf("sram: address %d out of range (n=%d)", addr, m.n))
+	}
+}
+
+func (m *Memory) checkCellPos(addr, bit int) {
+	if addr < 0 || addr >= m.n || bit < 0 || bit >= m.c {
+		panic(fmt.Sprintf("sram: cell %d.%d out of range for %dx%d", addr, bit, m.n, m.c))
+	}
+}

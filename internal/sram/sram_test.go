@@ -1,0 +1,456 @@
+package sram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/fault"
+)
+
+func w(s string) bitvec.Vector { return bitvec.MustParse(s) }
+
+func TestFaultFreeReadWrite(t *testing.T) {
+	m := New(8, 4)
+	m.Write(3, w("1010"))
+	if got := m.Read(3).String(); got != "1010" {
+		t.Fatalf("read back %s, want 1010", got)
+	}
+	if got := m.Read(0).String(); got != "0000" {
+		t.Fatalf("untouched word = %s, want 0000", got)
+	}
+}
+
+func TestGeometryPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"new":   func() { New(0, 4) },
+		"addr":  func() { New(4, 4).Read(4) },
+		"width": func() { New(4, 4).Write(0, w("10101")) },
+		"peek":  func() { New(4, 4).Peek(0, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestStuckAt(t *testing.T) {
+	m := New(4, 4)
+	if err := m.Inject(fault.Fault{Class: fault.SA0, Victim: fault.Cell{Addr: 1, Bit: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Inject(fault.Fault{Class: fault.SA1, Victim: fault.Cell{Addr: 1, Bit: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	m.Write(1, w("1111"))
+	if got := m.Read(1).String(); got != "1011" {
+		t.Fatalf("SA0 word reads %s, want 1011", got)
+	}
+	m.Write(1, w("0000"))
+	if got := m.Read(1).String(); got != "0001" {
+		t.Fatalf("SA1 word reads %s, want 0001", got)
+	}
+}
+
+func TestDuplicateVictimRejected(t *testing.T) {
+	m := New(4, 4)
+	f := fault.Fault{Class: fault.SA0, Victim: fault.Cell{Addr: 0, Bit: 0}}
+	if err := m.Inject(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Inject(f); err == nil {
+		t.Fatal("duplicate victim accepted")
+	}
+}
+
+func TestOutOfRangeInjectRejected(t *testing.T) {
+	m := New(4, 4)
+	if err := m.Inject(fault.Fault{Class: fault.SA0, Victim: fault.Cell{Addr: 9, Bit: 0}}); err == nil {
+		t.Fatal("out-of-range victim accepted")
+	}
+	if err := m.Inject(fault.Fault{Class: fault.CFid, Victim: fault.Cell{Addr: 0, Bit: 0},
+		Aggressor: fault.Cell{Addr: 0, Bit: 9}}); err == nil {
+		t.Fatal("out-of-range aggressor accepted")
+	}
+	if err := m.Inject(fault.Fault{Class: fault.ADOF, Victim: fault.Cell{Addr: 9}}); err == nil {
+		t.Fatal("out-of-range AF accepted")
+	}
+}
+
+func TestTransitionFaults(t *testing.T) {
+	m := New(4, 2)
+	if err := m.Inject(fault.Fault{Class: fault.TFUp, Dir: fault.Up, Victim: fault.Cell{Addr: 0, Bit: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	m.Write(0, w("01")) // bit0 <- 1: up transition fails
+	if m.Read(0).Get(0) {
+		t.Fatal("TFUp cell made up transition")
+	}
+	m.Poke(0, 0, true) // force 1
+	m.Write(0, w("00"))
+	if m.Peek(0, 0) {
+		t.Fatal("TFUp cell failed down transition; only up should fail")
+	}
+
+	m2 := New(4, 2)
+	if err := m2.Inject(fault.Fault{Class: fault.TFDown, Dir: fault.Down, Victim: fault.Cell{Addr: 1, Bit: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	m2.Write(1, w("10")) // bit1 <- 1 fine
+	m2.Write(1, w("00")) // down fails
+	if !m2.Read(1).Get(1) {
+		t.Fatal("TFDown cell made down transition")
+	}
+}
+
+func TestCFidFires(t *testing.T) {
+	m := New(4, 2)
+	// Up transition of 1.0 forces 2.1 to 1.
+	err := m.Inject(fault.Fault{Class: fault.CFid, Dir: fault.Up, Value: true,
+		Aggressor: fault.Cell{Addr: 1, Bit: 0}, Victim: fault.Cell{Addr: 2, Bit: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Write(2, w("00"))
+	m.Write(1, w("01")) // aggressor up
+	if !m.Peek(2, 1) {
+		t.Fatal("CFid<up;1> did not force victim")
+	}
+	// Down transition must not fire.
+	m.Poke(2, 1, false)
+	m.Write(1, w("00")) // aggressor down
+	if m.Peek(2, 1) {
+		t.Fatal("CFid<up;1> fired on down transition")
+	}
+}
+
+func TestCFinFires(t *testing.T) {
+	m := New(4, 1)
+	err := m.Inject(fault.Fault{Class: fault.CFin, Dir: fault.Down,
+		Aggressor: fault.Cell{Addr: 0, Bit: 0}, Victim: fault.Cell{Addr: 3, Bit: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Write(0, w("1"))
+	m.Write(3, w("1"))
+	m.Write(0, w("0")) // down transition inverts victim
+	if m.Peek(3, 0) {
+		t.Fatal("CFin<down> did not invert victim")
+	}
+	m.Write(0, w("1")) // up: no effect
+	if m.Peek(3, 0) {
+		t.Fatal("CFin<down> fired on up transition")
+	}
+}
+
+func TestCFstForcesWhileActive(t *testing.T) {
+	m := New(4, 1)
+	err := m.Inject(fault.Fault{Class: fault.CFst, AggState: true, Value: false,
+		Aggressor: fault.Cell{Addr: 0, Bit: 0}, Victim: fault.Cell{Addr: 1, Bit: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Write(1, w("1"))
+	m.Write(0, w("1")) // aggressor enters state: victim forced to 0
+	if m.Read(1).Get(0) {
+		t.Fatal("CFst victim not forced while aggressor active")
+	}
+	// Victim resists writes while forced.
+	m.Write(1, w("1"))
+	if m.Read(1).Get(0) {
+		t.Fatal("CFst victim accepted write while forced")
+	}
+	// Aggressor leaves state: victim stays at forced value but becomes writable.
+	m.Write(0, w("0"))
+	m.Write(1, w("1"))
+	if !m.Read(1).Get(0) {
+		t.Fatal("CFst victim not writable after aggressor left state")
+	}
+}
+
+func TestSOFReadsStale(t *testing.T) {
+	m := New(4, 1)
+	if err := m.Inject(fault.Fault{Class: fault.SOF, Victim: fault.Cell{Addr: 2, Bit: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	m.Write(1, w("1"))
+	m.Write(2, w("0"))
+	_ = m.Read(1) // sense latch now 1
+	if !m.Read(2).Get(0) {
+		t.Fatal("SOF cell did not repeat stale sense value 1")
+	}
+	m.Write(0, w("0"))
+	_ = m.Read(0) // sense latch now 0
+	if m.Read(2).Get(0) {
+		t.Fatal("SOF cell did not repeat stale sense value 0")
+	}
+}
+
+func TestAFNoCell(t *testing.T) {
+	m := New(8, 2)
+	if err := m.Inject(fault.Fault{Class: fault.ADOF, AF: fault.AFNoCell,
+		Victim: fault.Cell{Addr: 3}, Partner: 5}); err != nil {
+		t.Fatal(err)
+	}
+	m.Write(3, w("11")) // lost
+	if m.Peek(3, 0) || m.Peek(3, 1) {
+		t.Fatal("AFNoCell write reached the row")
+	}
+	// No wordline fires: bitlines stay precharged and every column
+	// senses 1, regardless of surrounding data.
+	m.Write(2, w("00"))
+	_ = m.Read(2)
+	if got := m.Read(3).String(); got != "11" {
+		t.Fatalf("AFNoCell read = %s, want precharged 11", got)
+	}
+}
+
+func TestAFNoAddressAliases(t *testing.T) {
+	m := New(8, 2)
+	if err := m.Inject(fault.Fault{Class: fault.ADOF, AF: fault.AFNoAddress,
+		Victim: fault.Cell{Addr: 1}, Partner: 4}); err != nil {
+		t.Fatal(err)
+	}
+	m.Write(1, w("10")) // lands on row 4
+	if got := m.Read(4).String(); got != "10" {
+		t.Fatalf("aliased write missing from partner: %s", got)
+	}
+	if m.Peek(1, 1) {
+		t.Fatal("victim row written despite AFNoAddress")
+	}
+}
+
+func TestAFMultiCell(t *testing.T) {
+	m := New(8, 2)
+	if err := m.Inject(fault.Fault{Class: fault.ADOF, AF: fault.AFMultiCell,
+		Victim: fault.Cell{Addr: 2}, Partner: 6}); err != nil {
+		t.Fatal(err)
+	}
+	m.Write(2, w("11"))
+	if !m.Peek(6, 0) || !m.Peek(6, 1) {
+		t.Fatal("multi-cell write did not reach partner row")
+	}
+	// Wired-AND read: clear one bit in the partner row only.
+	m.Poke(6, 0, false)
+	if got := m.Read(2).String(); got != "10" {
+		t.Fatalf("wired-AND read = %s, want 10", got)
+	}
+}
+
+func TestAFMultiAddress(t *testing.T) {
+	m := New(8, 2)
+	if err := m.Inject(fault.Fault{Class: fault.ADOF, AF: fault.AFMultiAddress,
+		Victim: fault.Cell{Addr: 2}, Partner: 6}); err != nil {
+		t.Fatal(err)
+	}
+	m.Write(6, w("11")) // partner address maps to victim's row
+	if !m.Peek(2, 0) {
+		t.Fatal("partner address did not write victim row")
+	}
+	if m.Peek(6, 0) {
+		t.Fatal("partner's own row written despite remap")
+	}
+}
+
+func TestDRFNormalWriteWorks(t *testing.T) {
+	m := New(4, 1)
+	if err := m.Inject(fault.Fault{Class: fault.DRF, Value: true, Victim: fault.Cell{Addr: 0, Bit: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	m.Write(0, w("1"))
+	if !m.Read(0).Get(0) {
+		t.Fatal("DRF cell rejected normal write")
+	}
+}
+
+func TestDRFNWRCWriteFails(t *testing.T) {
+	m := New(4, 1)
+	if err := m.Inject(fault.Fault{Class: fault.DRF, Value: true, Victim: fault.Cell{Addr: 0, Bit: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	m.Write(0, w("0"))
+	m.WriteNWRC(0, w("1"))
+	if m.Read(0).Get(0) {
+		t.Fatal("DRF<1> cell flipped under NWRC write 1")
+	}
+	// The opposite polarity NWRC write is unaffected.
+	m.Write(0, w("1"))
+	m.WriteNWRC(0, w("0"))
+	if m.Read(0).Get(0) {
+		t.Fatal("DRF<1> cell failed NWRC write 0")
+	}
+}
+
+func TestDRFGoodCellNWRC(t *testing.T) {
+	m := New(4, 2)
+	m.WriteNWRC(0, w("11"))
+	if got := m.Read(0).String(); got != "11" {
+		t.Fatalf("good cells failed NWRC write: %s", got)
+	}
+}
+
+func TestDRFRetentionLoss(t *testing.T) {
+	m := New(4, 1)
+	if err := m.Inject(fault.Fault{Class: fault.DRF, Value: true, Victim: fault.Cell{Addr: 0, Bit: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	m.Write(0, w("1"))
+	m.Hold(10)
+	if !m.Read(0).Get(0) {
+		t.Fatal("DRF cell lost data after 10 ms")
+	}
+	m.Hold(100)
+	if m.Read(0).Get(0) {
+		t.Fatal("DRF cell retained through 110 ms")
+	}
+	// A rewrite resets the timer.
+	m.Write(0, w("1"))
+	m.Hold(30)
+	m.Write(0, w("1"))
+	m.Hold(30)
+	if !m.Read(0).Get(0) {
+		t.Fatal("retention timer not reset by write")
+	}
+}
+
+func TestHoldDoesNotAffectGoodCells(t *testing.T) {
+	m := New(4, 4)
+	m.Write(2, w("1010"))
+	m.Hold(1e6)
+	if got := m.Read(2).String(); got != "1010" {
+		t.Fatalf("good cells decayed: %s", got)
+	}
+}
+
+func TestWriteBitReadBit(t *testing.T) {
+	m := New(4, 4)
+	m.WriteBit(1, 2, true)
+	if !m.ReadBit(1, 2) {
+		t.Fatal("WriteBit/ReadBit round trip failed")
+	}
+}
+
+func TestWriteBitTriggersCoupling(t *testing.T) {
+	m := New(4, 2)
+	err := m.Inject(fault.Fault{Class: fault.CFid, Dir: fault.Up, Value: true,
+		Aggressor: fault.Cell{Addr: 0, Bit: 0}, Victim: fault.Cell{Addr: 1, Bit: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.WriteBit(0, 0, true)
+	if !m.Peek(1, 1) {
+		t.Fatal("WriteBit did not trigger coupling")
+	}
+}
+
+func TestFaultsAccessor(t *testing.T) {
+	m := New(4, 4)
+	f := fault.Fault{Class: fault.SA0, Victim: fault.Cell{Addr: 0, Bit: 0}}
+	if err := m.Inject(f); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Faults()) != 1 || m.Faults()[0].Class != fault.SA0 {
+		t.Fatal("Faults() wrong")
+	}
+}
+
+func TestCouplingSingleLevelPropagation(t *testing.T) {
+	// Victim of one coupling is aggressor of another; the induced
+	// change must not cascade.
+	m := New(4, 1)
+	if err := m.Inject(fault.Fault{Class: fault.CFid, Dir: fault.Up, Value: true,
+		Aggressor: fault.Cell{Addr: 0, Bit: 0}, Victim: fault.Cell{Addr: 1, Bit: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Inject(fault.Fault{Class: fault.CFid, Dir: fault.Up, Value: true,
+		Aggressor: fault.Cell{Addr: 1, Bit: 0}, Victim: fault.Cell{Addr: 2, Bit: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	m.Write(0, w("1")) // fires first coupling only
+	if !m.Peek(1, 0) {
+		t.Fatal("first coupling did not fire")
+	}
+	if m.Peek(2, 0) {
+		t.Fatal("coupling cascaded through induced transition")
+	}
+}
+
+func TestStuckVictimResistsCoupling(t *testing.T) {
+	// A CFin linked with a stuck-at victim is injectable (the CF
+	// semantics live on the aggressor side); the stuck value dominates.
+	m := New(4, 1)
+	if err := m.Inject(fault.Fault{Class: fault.SA0, Victim: fault.Cell{Addr: 2, Bit: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Inject(fault.Fault{Class: fault.CFin, Dir: fault.Up,
+		Aggressor: fault.Cell{Addr: 0, Bit: 0}, Victim: fault.Cell{Addr: 2, Bit: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	m.Write(0, w("1"))
+	if m.Peek(2, 0) {
+		t.Fatal("stuck-at victim moved under coupling")
+	}
+	// A CFst on an occupied victim is still rejected, as is a second
+	// state fault of any kind.
+	if err := m.Inject(fault.Fault{Class: fault.CFst, AggState: true, Value: true,
+		Aggressor: fault.Cell{Addr: 0, Bit: 0}, Victim: fault.Cell{Addr: 2, Bit: 0}}); err == nil {
+		t.Fatal("CFst accepted on occupied victim")
+	}
+	if err := m.Inject(fault.Fault{Class: fault.SA1, Victim: fault.Cell{Addr: 2, Bit: 0}}); err == nil {
+		t.Fatal("second state fault accepted on occupied victim")
+	}
+}
+
+// Property: a fault-free memory returns exactly what was written, for
+// arbitrary write sequences.
+func TestQuickFaultFreeMemoryIsTransparent(t *testing.T) {
+	f := func(writes []uint16) bool {
+		m := New(16, 8)
+		ref := make(map[int]uint16)
+		for _, op := range writes {
+			addr := int(op>>8) % 16
+			val := op & 0xff
+			m.Write(addr, bitvec.FromUint64(8, uint64(val)))
+			ref[addr] = val
+		}
+		for addr, want := range ref {
+			got := m.Read(addr)
+			for b := 0; b < 8; b++ {
+				if got.Get(b) != ((want>>uint(b))&1 == 1) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NWRC writes and normal writes are indistinguishable on a
+// fault-free memory.
+func TestQuickNWRCTransparentOnGoodMemory(t *testing.T) {
+	f := func(vals []uint8) bool {
+		a, b := New(8, 8), New(8, 8)
+		for i, v := range vals {
+			addr := i % 8
+			a.Write(addr, bitvec.FromUint64(8, uint64(v)))
+			b.WriteNWRC(addr, bitvec.FromUint64(8, uint64(v)))
+		}
+		for addr := 0; addr < 8; addr++ {
+			if !a.Read(addr).Equal(b.Read(addr)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,126 @@
+// Package timing implements the paper's analytic diagnosis-time models:
+// equations (1) through (4) of Sec. 4.2 and the case-study arithmetic
+// built on them (k from the defect-rate model, reduction factors R with
+// and without data-retention-fault diagnosis). The cycle-accurate BISD
+// engines in internal/bisd are validated against these formulas.
+package timing
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitvec"
+)
+
+// Params are the case-study parameters of Sec. 4.2.
+type Params struct {
+	// N is the word count of the largest e-SRAM (512 in the paper).
+	N int
+	// C is the IO width of the widest e-SRAM (100).
+	C int
+	// ClockNs is the diagnosis clock period t in ns (10).
+	ClockNs float64
+	// K is the number of M1 iterations the baseline needs.
+	K int
+}
+
+// Validate rejects non-physical parameters.
+func (p Params) Validate() error {
+	if p.N <= 0 || p.C <= 0 || p.ClockNs <= 0 || p.K < 0 {
+		return fmt.Errorf("timing: invalid params %+v", p)
+	}
+	return nil
+}
+
+// BaselineNs is Eq. (1): the diagnosis time of the DiagRSMarch baseline
+// without DRF diagnosis, T[7,8] = (17k + 9)·n·c·t, in ns.
+func BaselineNs(p Params) float64 {
+	return float64(17*p.K+9) * float64(p.N) * float64(p.C) * p.ClockNs
+}
+
+// ProposedCycles is the cycle count behind Eq. (2): the March CW
+// complexity under the proposed scheme,
+//
+//	(5n + 5c + 5n(c+1)) + (3n + 3c + 2n(c+1))·ceil(log2 c).
+func ProposedCycles(n, c int) int64 {
+	logc := bitvec.CeilLog2(c)
+	marchC := 5*n + 5*c + 5*n*(c+1)
+	ext := (3*n + 3*c + 2*n*(c+1)) * logc
+	return int64(marchC + ext)
+}
+
+// ProposedNs is Eq. (2) in ns.
+func ProposedNs(p Params) float64 {
+	return float64(ProposedCycles(p.N, p.C)) * p.ClockNs
+}
+
+// ReductionNoDRF is Eq. (3): R = T[7,8] / T_proposed without DRF
+// diagnosis on either side.
+func ReductionNoDRF(p Params) float64 {
+	return BaselineNs(p) / ProposedNs(p)
+}
+
+// DRFPauseNs is the conventional retention pause pair charged to the
+// baseline by Eq. (4): 2 x 100 ms in ns.
+const DRFPauseNs = 2e8
+
+// BaselineWithDRFNs extends Eq. (1) with the baseline's DRF cost from
+// Eq. (4)'s numerator: 8k extra serial element units — the (w0/r0)R+L
+// and (w1/r1)R+L pairs — plus the 200 ms of retention pauses.
+func BaselineWithDRFNs(p Params) float64 {
+	extra := float64(8*p.K)*float64(p.N)*float64(p.C)*p.ClockNs + DRFPauseNs
+	return BaselineNs(p) + extra
+}
+
+// ProposedWithDRFNs extends Eq. (2) with the NWRTM merge cost from
+// Eq. (4)'s denominator: (2n + 2c)·t and no retention pause.
+func ProposedWithDRFNs(p Params) float64 {
+	return ProposedNs(p) + float64(2*p.N+2*p.C)*p.ClockNs
+}
+
+// ReductionWithDRF is Eq. (4): the reduction factor when DRF diagnosis
+// is included on both sides.
+func ReductionWithDRF(p Params) float64 {
+	return BaselineWithDRFNs(p) / ProposedWithDRFNs(p)
+}
+
+// CaseStudy reproduces the quantitative study of Sec. 4.2 on the
+// benchmark e-SRAMs of [16].
+type CaseStudy struct {
+	// Params with K derived from the defect model.
+	Params Params
+	// TotalFaults is the assumed maximum fault count (256 in [8]).
+	TotalFaults int
+	// M1Fraction is the share of faults the M1 element covers (0.75).
+	M1Fraction float64
+}
+
+// PaperCaseStudy returns the paper's exact case study: n = 512, c =
+// 100, t = 10 ns, 256 faults, 75 % M1 coverage.
+func PaperCaseStudy() CaseStudy {
+	cs := CaseStudy{
+		Params:      Params{N: 512, C: 100, ClockNs: 10},
+		TotalFaults: 256,
+		M1Fraction:  0.75,
+	}
+	cs.Params.K = cs.K()
+	return cs
+}
+
+// K is the minimum M1 iteration count: ceil(faults·fraction / 2), two
+// faults identified per iteration. The paper computes 256·0.75/2 = 96.
+func (cs CaseStudy) K() int {
+	return int(math.Ceil(float64(cs.TotalFaults) * cs.M1Fraction / 2))
+}
+
+// MaxFaults computes the assumed fault population from a defect rate
+// the way Sec. 4.2 does for its benchmark: the paper takes 1 % of
+// 512x100 cells defective and, following [8], caps the maximum total
+// faults per e-SRAM at 256.
+func MaxFaults(n, c int, defectRate float64, cap int) int {
+	f := int(float64(n*c) * defectRate)
+	if cap > 0 && f > cap {
+		f = cap
+	}
+	return f
+}

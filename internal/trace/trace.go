@@ -1,0 +1,118 @@
+// Package trace provides a lightweight cycle-stamped event recorder the
+// engines can emit into for debugging diagnosis runs: which element ran
+// when, when deliveries happened, where miscompares were registered.
+// Recording is off by default and costs one branch when disabled.
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// Kind classifies an event.
+type Kind int
+
+const (
+	// Delivery is a background pattern delivery to the SPCs.
+	Delivery Kind = iota
+	// ElementStart marks a March element beginning.
+	ElementStart
+	// OpWrite and OpRead are memory operations.
+	OpWrite
+	OpRead
+	// Miscompare is a comparator hit.
+	Miscompare
+	// Note is free-form.
+	Note
+)
+
+var kindNames = [...]string{"deliver", "element", "write", "read", "MISMATCH", "note"}
+
+// String names the kind.
+func (k Kind) String() string {
+	if k >= 0 && int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	// Cycle is the global diagnosis cycle at which it happened.
+	Cycle int64
+	// Kind classifies it; Unit names the block (e.g. "mem2.psc").
+	Kind Kind
+	Unit string
+	// Detail is free-form context.
+	Detail string
+}
+
+// String renders a log line.
+func (e Event) String() string {
+	return fmt.Sprintf("[%10d] %-8s %-12s %s", e.Cycle, e.Kind, e.Unit, e.Detail)
+}
+
+// Recorder accumulates events when enabled. The zero value is a
+// disabled recorder, safe to embed and call.
+type Recorder struct {
+	enabled bool
+	events  []Event
+	limit   int
+}
+
+// NewRecorder returns an enabled recorder keeping at most limit events
+// (0 = unlimited).
+func NewRecorder(limit int) *Recorder {
+	return &Recorder{enabled: true, limit: limit}
+}
+
+// Enabled reports whether the recorder stores events.
+func (r *Recorder) Enabled() bool { return r != nil && r.enabled }
+
+// Emit records an event if enabled.
+func (r *Recorder) Emit(cycle int64, kind Kind, unit, detail string) {
+	if !r.Enabled() {
+		return
+	}
+	if r.limit > 0 && len(r.events) >= r.limit {
+		return
+	}
+	r.events = append(r.events, Event{Cycle: cycle, Kind: kind, Unit: unit, Detail: detail})
+}
+
+// Emitf is Emit with formatting.
+func (r *Recorder) Emitf(cycle int64, kind Kind, unit, format string, args ...interface{}) {
+	if !r.Enabled() {
+		return
+	}
+	r.Emit(cycle, kind, unit, fmt.Sprintf(format, args...))
+}
+
+// Events returns the recorded events.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// Filter returns events of one kind.
+func (r *Recorder) Filter(kind Kind) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump writes all events as log lines.
+func (r *Recorder) Dump(w io.Writer) error {
+	for _, e := range r.Events() {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisabledRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Emit(1, Note, "u", "d") // nil receiver must not panic
+	if r.Enabled() || len(r.Events()) != 0 {
+		t.Fatal("nil recorder misbehaves")
+	}
+	zero := &Recorder{}
+	zero.Emit(1, Note, "u", "d")
+	if zero.Enabled() || len(zero.Events()) != 0 {
+		t.Fatal("zero recorder stores events")
+	}
+}
+
+func TestRecorderStoresAndFilters(t *testing.T) {
+	r := NewRecorder(0)
+	r.Emit(10, Delivery, "bggen", "bg 0")
+	r.Emitf(20, Miscompare, "mem1", "addr %d bit %d", 3, 2)
+	r.Emit(30, OpRead, "mem0", "")
+	if len(r.Events()) != 3 {
+		t.Fatalf("stored %d events", len(r.Events()))
+	}
+	mis := r.Filter(Miscompare)
+	if len(mis) != 1 || !strings.Contains(mis[0].Detail, "addr 3 bit 2") {
+		t.Fatalf("filter wrong: %v", mis)
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	r := NewRecorder(2)
+	for i := 0; i < 5; i++ {
+		r.Emit(int64(i), Note, "u", "d")
+	}
+	if len(r.Events()) != 2 {
+		t.Fatalf("limit not enforced: %d events", len(r.Events()))
+	}
+}
+
+func TestDump(t *testing.T) {
+	r := NewRecorder(0)
+	r.Emit(42, ElementStart, "ctrl", "elem 1")
+	var sb strings.Builder
+	if err := r.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "element") || !strings.Contains(sb.String(), "42") {
+		t.Errorf("dump = %q", sb.String())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if Miscompare.String() != "MISMATCH" || Delivery.String() != "deliver" {
+		t.Error("kind names wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind empty")
+	}
+}
