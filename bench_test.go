@@ -537,6 +537,43 @@ func BenchmarkAblationDeliveryOrder(b *testing.B) {
 	}
 }
 
+// --- Engine benchmarks: the fault-simulation hot path ---
+
+// BenchmarkCoverageSweep measures the coverage-sweep engine itself —
+// the workload behind every Sec. 4.1 table. One iteration simulates
+// `samples` random single faults per class on the E6 geometry. Runs
+// at every -cpu count exercise the worker pool; the single-proc run
+// tracks the serial-path speedup.
+func BenchmarkCoverageSweep(b *testing.B) {
+	classes := append(append([]fault.Class{}, fault.PaperDefectClasses()...),
+		fault.SOF, fault.ADOF, fault.CDF, fault.DRF)
+	test := march.WithNWRTM(march.MarchCW(8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		simulator.Coverage(32, 8, test, classes, 60, 7)
+	}
+}
+
+// BenchmarkRunLargeMemory measures a single March CW + NWRTM run on the
+// paper's 512x100 benchmark geometry through a reusable Runner — the
+// per-sample inner loop of the sweep, which must not allocate in the
+// steady state.
+func BenchmarkRunLargeMemory(b *testing.B) {
+	test := march.WithNWRTM(march.MarchCW(100))
+	m := sram.New(512, 100)
+	must(b, m.Inject(fault.Fault{Class: fault.SA0, Victim: fault.Cell{Addr: 137, Bit: 42}}))
+	runner := simulator.NewRunner(512, 100, test)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := runner.Run(m)
+		if !res.Detected() {
+			b.Fatal("SA0 escaped")
+		}
+	}
+}
+
 func render(tb *report.Table) {
 	if err := tb.Render(os.Stdout); err != nil {
 		panic(err)

@@ -19,6 +19,8 @@ import (
 // and each local generator wraps them into its own range.
 type AddressTrigger struct {
 	nMax int
+	up   []int
+	down []int
 }
 
 // NewAddressTrigger returns a trigger sized for the largest memory.
@@ -26,20 +28,21 @@ func NewAddressTrigger(nMax int) *AddressTrigger {
 	if nMax <= 0 {
 		panic(fmt.Sprintf("bisd: invalid trigger size %d", nMax))
 	}
-	return &AddressTrigger{nMax: nMax}
+	a := &AddressTrigger{nMax: nMax, up: make([]int, nMax), down: make([]int, nMax)}
+	for i := 0; i < nMax; i++ {
+		a.up[i] = i
+		a.down[i] = nMax - 1 - i
+	}
+	return a
 }
 
-// Sequence returns the logical address visit order for an element.
+// Sequence returns the logical address visit order for an element. The
+// slice is shared and precomputed; callers must not modify it.
 func (a *AddressTrigger) Sequence(o march.Order) []int {
-	out := make([]int, a.nMax)
-	for i := range out {
-		if o == march.Down {
-			out[i] = a.nMax - 1 - i
-		} else {
-			out[i] = i
-		}
+	if o == march.Down {
+		return a.down
 	}
-	return out
+	return a.up
 }
 
 // LocalAddressGenerator is the per-memory address counter; it wraps the
@@ -100,6 +103,8 @@ func (b *BackgroundGenerator) Deliver(pattern bitvec.Vector, spcs []*serial.SPC)
 type ComparatorArray struct {
 	// expected[i][addr] is the fault-free word of memory i.
 	expected [][]bitvec.Vector
+	// diffBuf is the reusable failing-bit scratch Compare returns.
+	diffBuf []int
 }
 
 // NewComparatorArray sizes the shadow state for the fleet.
@@ -115,9 +120,9 @@ func NewComparatorArray(mems []*sram.Memory) *ComparatorArray {
 }
 
 // NoteWrite updates the shadow for a write of word to memory i at the
-// physical address.
+// physical address, reusing the preallocated shadow vector.
 func (ca *ComparatorArray) NoteWrite(i, physAddr int, word bitvec.Vector) {
-	ca.expected[i][physAddr] = word.Clone()
+	ca.expected[i][physAddr].CopyFrom(word)
 }
 
 // Expected returns the shadow word for memory i at the physical address.
@@ -126,20 +131,18 @@ func (ca *ComparatorArray) Expected(i, physAddr int) bitvec.Vector {
 }
 
 // Compare checks a drained response word against the shadow and returns
-// the failing bit positions.
+// the failing bit positions. The returned slice is a reusable scratch,
+// valid until the next Compare call on this array.
 func (ca *ComparatorArray) Compare(i, physAddr int, got bitvec.Vector) []int {
 	want := ca.expected[i][physAddr]
 	if got.Equal(want) {
 		return nil
 	}
-	diff := got.Xor(want)
-	var bits []int
-	for b := 0; b < diff.Width(); b++ {
-		if diff.Get(b) {
-			bits = append(bits, b)
-		}
-	}
-	return bits
+	ca.diffBuf = ca.diffBuf[:0]
+	got.ForEachDiff(want, func(b int) {
+		ca.diffBuf = append(ca.diffBuf, b)
+	})
+	return ca.diffBuf
 }
 
 // ControlGenerator produces the per-op control signals: read/write

@@ -65,10 +65,24 @@ func RunProposed(mems []*sram.Memory, test march.Test, opt ProposedOptions) (*Re
 	spcs := make([]*serial.SPC, len(mems))
 	pscs := make([]*serial.PSC, len(mems))
 	addrGens := make([]*LocalAddressGenerator, len(mems))
+	// Per-memory word buffers, refreshed once per element: the SPC
+	// output and the controller's intended delivery, each with its
+	// complement, plus a read/drain scratch — the per-op loop below
+	// runs allocation-free on these.
+	spcWord := make([]bitvec.Vector, len(mems))
+	spcWordInv := make([]bitvec.Vector, len(mems))
+	intended := make([]bitvec.Vector, len(mems))
+	intendedInv := make([]bitvec.Vector, len(mems))
+	readBuf := make([]bitvec.Vector, len(mems))
 	for i, m := range mems {
 		spcs[i] = serial.NewSPC(m.C())
 		pscs[i] = serial.NewPSC(m.C())
 		addrGens[i] = NewLocalAddressGenerator(m.N())
+		spcWord[i] = bitvec.New(m.C())
+		spcWordInv[i] = bitvec.New(m.C())
+		intended[i] = bitvec.New(m.C())
+		intendedInv[i] = bitvec.New(m.C())
+		readBuf[i] = bitvec.New(m.C())
 	}
 
 	rep := &Report{Scheme: "proposed (SPC/PSC)", ClockNs: opt.ClockNs}
@@ -91,6 +105,18 @@ func RunProposed(mems []*sram.Memory, test march.Test, opt ProposedOptions) (*Re
 			opt.Trace.Emitf(rep.Cycles, trace.Delivery, "bggen", "pattern %s", pattern)
 			rep.Cycles += int64(bgGen.Deliver(pattern, spcs))
 		}
+		// Refresh the per-memory word buffers: the SPC holds whatever
+		// was (last) delivered — the memory receives that — while the
+		// comparator expects what the controller *intended* to deliver,
+		// DP[c_i-1:0]. With MSB-first delivery the two coincide; with
+		// the hazardous LSB-first order of Fig. 4 they diverge and
+		// diagnosis breaks down.
+		for i := range mems {
+			spcs[i].WordInto(spcWord[i])
+			spcWordInv[i].InvertFrom(spcWord[i])
+			intended[i].CopyTruncated(pattern)
+			intendedInv[i].InvertFrom(intended[i])
+		}
 		for _, logical := range trigger.Sequence(e.Order) {
 			for opIdx, op := range e.Ops {
 				switch op.Kind {
@@ -99,9 +125,9 @@ func RunProposed(mems []*sram.Memory, test march.Test, opt ProposedOptions) (*Re
 					// so the expected shadow is untouched.
 					rep.Cycles++
 					for i, m := range mems {
-						word := spcs[i].Word()
+						word := spcWord[i]
 						if op.Inverted {
-							word = word.Not()
+							word = spcWordInv[i]
 						}
 						m.WriteWeak(addrGens[i].Map(logical), word)
 					}
@@ -109,17 +135,9 @@ func RunProposed(mems []*sram.Memory, test march.Test, opt ProposedOptions) (*Re
 					rep.Cycles++
 					for i, m := range mems {
 						phys := addrGens[i].Map(logical)
-						// The memory receives whatever the SPC actually
-						// holds; the comparator expects what the
-						// controller *intended* to deliver, DP[c_i-1:0].
-						// With MSB-first delivery the two coincide; with
-						// the hazardous LSB-first order of Fig. 4 they
-						// diverge and diagnosis breaks down.
-						word := spcs[i].Word()
-						intended := pattern.Truncate(m.C())
+						word, want := spcWord[i], intended[i]
 						if op.Inverted {
-							word = word.Not()
-							intended = intended.Not()
+							word, want = spcWordInv[i], intendedInv[i]
 						}
 						if op.Kind == march.WriteNWRC {
 							m.WriteNWRC(phys, word)
@@ -128,14 +146,16 @@ func RunProposed(mems []*sram.Memory, test march.Test, opt ProposedOptions) (*Re
 						}
 						// A fault-free memory accepts either write kind,
 						// so the expected shadow updates identically.
-						comp.NoteWrite(i, phys, intended)
+						comp.NoteWrite(i, phys, want)
 					}
 				case march.Read:
 					rep.Cycles += 1 + int64(cMax)
 					for i, m := range mems {
 						phys := addrGens[i].Map(logical)
-						pscs[i].Capture(m.Read(phys))
-						got := pscs[i].Drain()
+						m.ReadInto(phys, readBuf[i])
+						pscs[i].Capture(readBuf[i])
+						pscs[i].DrainInto(readBuf[i])
+						got := readBuf[i]
 						for _, bit := range comp.Compare(i, phys, got) {
 							opt.Trace.Emitf(rep.Cycles, trace.Miscompare,
 								fmt.Sprintf("mem%d", i), "addr %d bit %d", phys, bit)

@@ -33,6 +33,23 @@ func New(width int) Vector {
 	return Vector{width: width, words: make([]uint64, (width+63)/64)}
 }
 
+// NewMatrix returns `count` independent all-zero Vectors of the given
+// width, backed by a single contiguous word slice — the row storage of
+// a word-packed memory array, allocated in two objects instead of
+// count+1.
+func NewMatrix(width, count int) []Vector {
+	if width < 0 || count < 0 {
+		panic(fmt.Sprintf("bitvec: invalid matrix %dx%d", count, width))
+	}
+	wpr := (width + 63) / 64
+	backing := make([]uint64, wpr*count)
+	out := make([]Vector, count)
+	for i := range out {
+		out[i] = Vector{width: width, words: backing[i*wpr : (i+1)*wpr : (i+1)*wpr]}
+	}
+	return out
+}
+
 // FromUint64 returns a Vector of the given width holding the low `width`
 // bits of v.
 func FromUint64(width int, v uint64) Vector {
@@ -118,6 +135,38 @@ func (v Vector) Not() Vector {
 	return out
 }
 
+// CopyFrom overwrites v's bits with o's without allocating. It panics
+// if the widths differ.
+func (v Vector) CopyFrom(o Vector) {
+	v.checkWidth(o)
+	copy(v.words, o.words)
+}
+
+// InvertFrom overwrites v with the bitwise complement of o without
+// allocating. It panics if the widths differ.
+func (v Vector) InvertFrom(o Vector) {
+	v.checkWidth(o)
+	for i := range v.words {
+		v.words[i] = ^o.words[i]
+	}
+	v.trim()
+}
+
+// ForEachDiff calls fn with the position of every bit where v and o
+// differ, in ascending order, walking set bits word by word with
+// trailing-zero counts — no intermediate vector is allocated. It panics
+// if the widths differ.
+func (v Vector) ForEachDiff(o Vector, fn func(bit int)) {
+	v.checkWidth(o)
+	for i, w := range v.words {
+		d := w ^ o.words[i]
+		for d != 0 {
+			fn(i*64 + bits.TrailingZeros64(d))
+			d &= d - 1
+		}
+	}
+}
+
 // Xor returns v XOR o. It panics if the widths differ.
 func (v Vector) Xor(o Vector) Vector {
 	v.checkWidth(o)
@@ -191,10 +240,19 @@ func (v Vector) Truncate(width int) Vector {
 		panic(fmt.Sprintf("bitvec: cannot truncate width %d to %d", v.width, width))
 	}
 	out := New(width)
-	for i := 0; i < width; i++ {
-		out.Set(i, v.Get(i))
-	}
+	out.CopyTruncated(v)
 	return out
+}
+
+// CopyTruncated overwrites v with the low Width(v) bits of the wider
+// (or equal-width) vector o without allocating. It panics if o is
+// narrower than v.
+func (v Vector) CopyTruncated(o Vector) {
+	if v.width > o.width {
+		panic(fmt.Sprintf("bitvec: cannot truncate width %d to %d", o.width, v.width))
+	}
+	copy(v.words, o.words)
+	v.trim()
 }
 
 // String renders the vector MSB-first, e.g. a width-4 vector with bits

@@ -1,0 +1,119 @@
+package bitvec
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestCopyFrom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, w := range []int{1, 7, 64, 65, 130} {
+		src := randomVec(rng, w)
+		dst := randomVec(rng, w)
+		dst.CopyFrom(src)
+		if !dst.Equal(src) {
+			t.Errorf("width %d: CopyFrom -> %s, want %s", w, dst, src)
+		}
+	}
+}
+
+func TestInvertFromMatchesNot(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, w := range []int{1, 8, 63, 64, 65, 100} {
+		src := randomVec(rng, w)
+		dst := New(w)
+		dst.InvertFrom(src)
+		if want := src.Not(); !dst.Equal(want) {
+			t.Errorf("width %d: InvertFrom -> %s, want %s", w, dst, want)
+		}
+		// The source must be untouched and the result re-invertible.
+		dst.InvertFrom(dst)
+		if !dst.Equal(src) {
+			t.Errorf("width %d: double InvertFrom -> %s, want %s", w, dst, src)
+		}
+	}
+}
+
+func TestForEachDiffMatchesXorWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, w := range []int{1, 8, 64, 65, 130} {
+		for trial := 0; trial < 20; trial++ {
+			a, b := randomVec(rng, w), randomVec(rng, w)
+			var got []int
+			a.ForEachDiff(b, func(bit int) { got = append(got, bit) })
+			var want []int
+			diff := a.Xor(b)
+			for i := 0; i < w; i++ {
+				if diff.Get(i) {
+					want = append(want, i)
+				}
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("width %d: ForEachDiff = %v, want %v (a=%s b=%s)", w, got, want, a, b)
+			}
+		}
+	}
+}
+
+func TestForEachDiffIdentical(t *testing.T) {
+	v := MustParse("10110")
+	v.ForEachDiff(v, func(bit int) {
+		t.Errorf("diff bit %d on identical vectors", bit)
+	})
+}
+
+func TestCopyTruncatedMatchesTruncate(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, wide := range []int{8, 64, 65, 130} {
+		for _, narrow := range []int{1, wide / 2, wide} {
+			src := randomVec(rng, wide)
+			dst := randomVec(rng, narrow)
+			dst.CopyTruncated(src)
+			if want := src.Truncate(narrow); !dst.Equal(want) {
+				t.Errorf("truncate %d->%d: got %s, want %s", wide, narrow, dst, want)
+			}
+		}
+	}
+}
+
+func TestCopyTruncatedRejectsWider(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyTruncated accepted a narrower source")
+		}
+	}()
+	New(8).CopyTruncated(New(4))
+}
+
+func TestNewMatrixIndependence(t *testing.T) {
+	rows := NewMatrix(5, 4)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	rows[1].Fill(true)
+	for i, r := range rows {
+		want := i == 1
+		for b := 0; b < 5; b++ {
+			if r.Get(b) != want {
+				t.Fatalf("row %d bit %d = %v after filling row 1", i, b, r.Get(b))
+			}
+		}
+	}
+	// Appending a word to one row must not bleed into its neighbour
+	// (full slice expressions cap each row's words).
+	rows[0].Fill(true)
+	if rows[1].OnesCount() != 5 || rows[2].OnesCount() != 0 {
+		t.Fatal("matrix rows share bits")
+	}
+}
+
+func TestNewMatrixZeroCases(t *testing.T) {
+	if got := NewMatrix(7, 0); len(got) != 0 {
+		t.Errorf("0-row matrix has %d rows", len(got))
+	}
+	rows := NewMatrix(0, 3)
+	if len(rows) != 3 || rows[0].Width() != 0 {
+		t.Errorf("0-width matrix wrong: %v", rows)
+	}
+}

@@ -12,9 +12,10 @@
 package fault
 
 import (
+	"cmp"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 )
 
 // Class enumerates the supported functional fault classes.
@@ -216,19 +217,28 @@ func bit(b bool) string {
 func (f Fault) SameSite(o Fault) bool { return f.Victim == o.Victim }
 
 // Sort orders a fault slice by victim cell then class, in place, so
-// diagnosis logs and reports are deterministic.
+// diagnosis logs and reports are deterministic. slices.SortFunc rather
+// than sort.Slice: the generic sort does not allocate, and the sweep
+// engine sorts a located set per sample.
 func Sort(fs []Fault) {
-	sort.Slice(fs, func(i, j int) bool {
-		if fs[i].Victim != fs[j].Victim {
-			return fs[i].Victim.Less(fs[j].Victim)
+	slices.SortFunc(fs, func(a, b Fault) int {
+		if a.Victim != b.Victim {
+			return compareCells(a.Victim, b.Victim)
 		}
-		return fs[i].Class < fs[j].Class
+		return cmp.Compare(a.Class, b.Class)
 	})
 }
 
 // SortCells orders a cell slice by address then bit, in place.
 func SortCells(cs []Cell) {
-	sort.Slice(cs, func(i, j int) bool { return cs[i].Less(cs[j]) })
+	slices.SortFunc(cs, compareCells)
+}
+
+func compareCells(a, b Cell) int {
+	if c := cmp.Compare(a.Addr, b.Addr); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.Bit, b.Bit)
 }
 
 // Generator produces reproducible random fault lists for a memory of n
@@ -238,6 +248,7 @@ func SortCells(cs []Cell) {
 // (Sec. 4.2 uses four defect types with equal probability).
 type Generator struct {
 	rng *rand.Rand
+	src rand.Source
 	n   int
 	c   int
 }
@@ -248,8 +259,14 @@ func NewGenerator(n, c int, seed int64) *Generator {
 	if n <= 0 || c <= 0 {
 		panic(fmt.Sprintf("fault: invalid memory geometry %dx%d", n, c))
 	}
-	return &Generator{rng: rand.New(rand.NewSource(seed)), n: n, c: c}
+	src := rand.NewSource(seed)
+	return &Generator{rng: rand.New(src), src: src, n: n, c: c}
 }
+
+// Reseed rewinds the generator to the deterministic stream of the given
+// seed without allocating, so sweep workers can draw per-sample
+// reproducible faults from one long-lived Generator.
+func (g *Generator) Reseed(seed int64) { g.src.Seed(seed) }
 
 // Random generates one random fault of the given class, with victim
 // (and aggressor, where applicable) drawn uniformly.

@@ -113,10 +113,19 @@ func (s *SPC) ShiftIn(b bool) {
 // Word returns the current parallel output.
 func (s *SPC) Word() bitvec.Vector {
 	v := bitvec.New(len(s.reg))
-	for i, b := range s.reg {
-		v.Set(i, b)
-	}
+	s.WordInto(v)
 	return v
+}
+
+// WordInto writes the current parallel output into the caller-provided
+// vector without allocating. It panics on a width mismatch.
+func (s *SPC) WordInto(out bitvec.Vector) {
+	if out.Width() != len(s.reg) {
+		panic(fmt.Sprintf("serial: word into width %d from %d-bit SPC", out.Width(), len(s.reg)))
+	}
+	for i, b := range s.reg {
+		out.Set(i, b)
+	}
 }
 
 // Deliver streams the pattern dp (of the widest memory's width) into
@@ -190,8 +199,17 @@ func (p *PSC) ShiftOut() bool {
 // the controller's comparator (bit i arrives at shift i).
 func (p *PSC) Drain() bitvec.Vector {
 	v := bitvec.New(len(p.reg))
-	for i := 0; i < len(p.reg); i++ {
-		v.Set(i, p.ShiftOut())
-	}
+	p.DrainInto(v)
 	return v
+}
+
+// DrainInto shifts out the full captured word into the caller-provided
+// vector without allocating. It panics on a width mismatch.
+func (p *PSC) DrainInto(out bitvec.Vector) {
+	if out.Width() != len(p.reg) {
+		panic(fmt.Sprintf("serial: drain into width %d from %d-bit PSC", out.Width(), len(p.reg)))
+	}
+	for i := 0; i < len(p.reg); i++ {
+		out.Set(i, p.ShiftOut())
+	}
 }

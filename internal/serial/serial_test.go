@@ -185,3 +185,37 @@ func TestQuickPSCRoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSPCWordIntoMatchesWord(t *testing.T) {
+	s := NewSPC(5)
+	s.Deliver(bitvec.MustParse("10110"), MSBFirst)
+	buf := bitvec.New(5)
+	s.WordInto(buf)
+	if want := s.Word(); !buf.Equal(want) {
+		t.Errorf("WordInto = %s, Word = %s", buf, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("WordInto accepted a wrong-width buffer")
+		}
+	}()
+	s.WordInto(bitvec.New(4))
+}
+
+func TestPSCDrainIntoMatchesDrain(t *testing.T) {
+	word := bitvec.MustParse("1100101")
+	a, b := NewPSC(7), NewPSC(7)
+	a.Capture(word)
+	b.Capture(word)
+	buf := bitvec.New(7)
+	a.DrainInto(buf)
+	if want := b.Drain(); !buf.Equal(want) {
+		t.Errorf("DrainInto = %s, Drain = %s", buf, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("DrainInto accepted a wrong-width buffer")
+		}
+	}()
+	a.DrainInto(bitvec.New(6))
+}

@@ -1,0 +1,52 @@
+//go:build !race
+
+package simulator
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/march"
+	"repro/internal/sram"
+)
+
+// TestSteadyStateSampleLoopDoesNotAllocate pins the engine's headline
+// property: once a worker's Memory, Runner and Generator exist, the
+// per-sample loop — reseed, draw, reset, inject, run — is allocation-
+// free. (Skipped under -race, which instruments allocations.)
+func TestSteadyStateSampleLoopDoesNotAllocate(t *testing.T) {
+	n, c := 32, 8
+	test := march.WithNWRTM(march.MarchCW(c))
+	runner := NewRunner(n, c, test)
+	mem := sram.New(n, c)
+	gen := fault.NewGenerator(n, c, 1)
+	classes := fault.PaperDefectClasses()
+
+	// Warm the recycled failure slots and coupling side tables.
+	for s := 0; s < 20; s++ {
+		gen.Reseed(sampleSeed(1, s%len(classes), s))
+		f := gen.Random(classes[s%len(classes)])
+		mem.Reset()
+		if err := mem.Inject(f); err != nil {
+			t.Fatal(err)
+		}
+		runner.Run(mem)
+	}
+
+	s := 0
+	avg := testing.AllocsPerRun(100, func() {
+		gen.Reseed(sampleSeed(1, s%len(classes), s))
+		f := gen.Random(classes[s%len(classes)])
+		mem.Reset()
+		if err := mem.Inject(f); err != nil {
+			t.Fatal(err)
+		}
+		if res := runner.Run(mem); !res.Detected() && f.Class != fault.CFin && f.Class != fault.CFid {
+			t.Fatalf("%v escaped", f)
+		}
+		s++
+	})
+	if avg > 0 {
+		t.Errorf("steady-state sample loop allocates %.1f objects per sample, want 0", avg)
+	}
+}

@@ -2,6 +2,9 @@ package simulator
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/fault"
 	"repro/internal/march"
@@ -45,31 +48,91 @@ func (r CoverageRow) String() string {
 
 // Coverage sweeps `samples` random single faults per class over an
 // n x c memory and reports detection and diagnosis (exact location)
-// coverage of the given March test. Each sample is a fresh memory with
-// exactly one injected fault, the single-fault assumption fault
-// simulators like RAMSES use.
+// coverage of the given March test. Each sample is a single-fault
+// memory, the single-fault assumption fault simulators like RAMSES
+// use. Samples are fanned out across GOMAXPROCS workers; the result is
+// deterministic in the seed regardless of worker count.
 func Coverage(n, c int, t march.Test, classes []fault.Class, samples int, seed int64) []CoverageRow {
-	rows := make([]CoverageRow, 0, len(classes))
-	for ci, class := range classes {
-		gen := fault.NewGenerator(n, c, seed+int64(ci)*7919)
-		row := CoverageRow{Class: class, Samples: samples}
-		for s := 0; s < samples; s++ {
-			f := gen.Random(class)
-			m := sram.New(n, c)
-			if err := m.Inject(f); err != nil {
-				panic(err) // generator and geometry agree by construction
-			}
-			res := Run(m, t)
-			if res.Detected() {
-				row.Detected++
-				if locatedFault(res, f) {
-					row.Located++
+	return CoverageParallel(n, c, t, classes, samples, seed, runtime.GOMAXPROCS(0))
+}
+
+// CoverageParallel is Coverage with an explicit worker count. Each
+// worker owns one Memory (recycled with Reset between samples), one
+// Runner and one fault Generator, so the steady-state sample loop does
+// not allocate. Every sample's fault is drawn from a generator reseeded
+// by (seed, class index, sample index) alone, and rows aggregate
+// order-independent per-sample counts — the same seed therefore yields
+// byte-identical rows at any worker count.
+func CoverageParallel(n, c int, t march.Test, classes []fault.Class, samples int, seed int64, workers int) []CoverageRow {
+	if err := t.Validate(); err != nil {
+		panic(err)
+	}
+	type counts struct{ detected, located int }
+	total := len(classes) * samples
+	if workers > total {
+		workers = total
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	perWorker := make([][]counts, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		cnt := make([]counts, len(classes))
+		perWorker[w] = cnt
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			gen := fault.NewGenerator(n, c, seed)
+			mem := sram.New(n, c)
+			runner := NewRunner(n, c, t)
+			for {
+				job := int(next.Add(1)) - 1
+				if job >= total {
+					return
+				}
+				ci, s := job/samples, job%samples
+				gen.Reseed(sampleSeed(seed, ci, s))
+				f := gen.Random(classes[ci])
+				mem.Reset()
+				if err := mem.Inject(f); err != nil {
+					panic(err) // generator and geometry agree by construction
+				}
+				res := runner.Run(mem)
+				if res.Detected() {
+					cnt[ci].detected++
+					if locatedFault(res, f) {
+						cnt[ci].located++
+					}
 				}
 			}
+		}()
+	}
+	wg.Wait()
+	rows := make([]CoverageRow, 0, len(classes))
+	for ci, class := range classes {
+		row := CoverageRow{Class: class, Samples: samples}
+		for _, cnt := range perWorker {
+			row.Detected += cnt[ci].detected
+			row.Located += cnt[ci].located
 		}
 		rows = append(rows, row)
 	}
 	return rows
+}
+
+// sampleSeed derives the per-sample generator seed from the sweep seed
+// and the (class, sample) coordinates with a splitmix64-style mix, so
+// every sample's fault is independent of scheduling order.
+func sampleSeed(seed int64, class, sample int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(class+1) + 0xbf58476d1ce4e5b9*uint64(sample+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
 }
 
 // locatedFault decides whether the diagnosis pinpointed the injected

@@ -9,6 +9,13 @@
 // its fault-detection behaviour is exactly word-wide March execution).
 // Serial-interface detection limits of the baseline are modelled in
 // internal/serial and internal/bisd.
+//
+// The hot path is the coverage sweep: thousands of single-fault March
+// runs per fault class. A Runner precomputes everything a run needs —
+// the background-expanded element schedule, address sequences, inverted
+// backgrounds, a scratch read buffer and a located-cell bitmap — so
+// repeated Runs on one geometry allocate nothing in the steady state;
+// Coverage fans samples out over a worker pool of Runners.
 package simulator
 
 import (
@@ -65,33 +72,116 @@ func (r Result) LocatedCell(c fault.Cell) bool {
 	return false
 }
 
-// Run executes the test against the memory and returns the full
-// diagnosis result. Elements marked PerBackground run once per
-// non-solid background; consecutive per-background elements are grouped
-// so each background sees the group in order.
-func Run(m *sram.Memory, t march.Test) Result {
+// scheduledElement is one fully resolved run of a March element: the
+// background grouping of the test has been expanded, the background and
+// its complement materialized, and the address sequence chosen.
+type scheduledElement struct {
+	ops     []march.Op
+	addrs   []int
+	word    bitvec.Vector // background the element runs with
+	invWord bitvec.Vector // its complement, for ~D operands
+	bgIdx   int
+	delayMs float64
+}
+
+// Runner executes one March test against memories of a fixed geometry.
+// All per-run state is hoisted into the Runner and reused, so Run
+// performs no steady-state allocations; a Runner is not safe for
+// concurrent use, and the slices inside the Result a Run returns are
+// reused by the next Run on the same Runner — copy them if they must
+// outlive the next call.
+type Runner struct {
+	n, c     int
+	schedule []scheduledElement
+	// locatedMark[addr*c+bit] marks cells already in located, cleared
+	// incrementally between runs (O(located), not O(n*c)).
+	locatedMark []bool
+	located     []fault.Cell
+	failures    []Failure
+	got         bitvec.Vector // scratch read buffer
+}
+
+// NewRunner validates the test and precomputes the run schedule for an
+// n-word by c-bit geometry. It panics if the test is invalid, matching
+// the hardware's inability to load a malformed test program.
+func NewRunner(n, c int, t march.Test) *Runner {
 	if err := t.Validate(); err != nil {
 		panic(err)
 	}
-	var res Result
-	bgs := bitvec.Backgrounds(m.C())
+	bgs := bitvec.Backgrounds(c)
 	if t.BackgroundCount < len(bgs) {
 		bgs = bgs[:t.BackgroundCount]
 	}
-	located := make(map[fault.Cell]bool)
-	elemIdx := 0
+	invBgs := make([]bitvec.Vector, len(bgs))
+	for i, bg := range bgs {
+		invBgs[i] = bg.Not()
+	}
+	upSeq := addressSequence(march.Up, n)
+	downSeq := addressSequence(march.Down, n)
 
-	runElement := func(e march.Element, bg bitvec.Vector, bgIdx int) {
-		if e.DelayMs > 0 {
-			m.Hold(e.DelayMs)
-			res.RetentionMs += e.DelayMs
+	r := &Runner{
+		n: n, c: c,
+		locatedMark: make([]bool, n*c),
+		got:         bitvec.New(c),
+	}
+	appendElement := func(e march.Element, bgIdx int) {
+		addrs := upSeq
+		if e.Order == march.Down {
+			addrs = downSeq
 		}
-		addrs := addressSequence(e.Order, m.N())
-		for _, addr := range addrs {
-			for opIdx, op := range e.Ops {
-				word := bg
+		r.schedule = append(r.schedule, scheduledElement{
+			ops: e.Ops, addrs: addrs,
+			word: bgs[bgIdx], invWord: invBgs[bgIdx],
+			bgIdx: bgIdx, delayMs: e.DelayMs,
+		})
+	}
+	for i := 0; i < len(t.Elements); {
+		if !testRepeated(t, i) {
+			appendElement(t.Elements[i], 0)
+			i++
+			continue
+		}
+		// Group consecutive per-background elements: each background
+		// sees the whole group in order.
+		j := i
+		for j < len(t.Elements) && testRepeated(t, j) {
+			j++
+		}
+		for bgIdx := 1; bgIdx < len(bgs); bgIdx++ {
+			for k := i; k < j; k++ {
+				appendElement(t.Elements[k], bgIdx)
+			}
+		}
+		i = j
+	}
+	return r
+}
+
+// Run executes the test against the memory and returns the full
+// diagnosis result. The memory must match the Runner's geometry.
+func (r *Runner) Run(m *sram.Memory) Result {
+	if m.N() != r.n || m.C() != r.c {
+		panic(fmt.Sprintf("simulator: %dx%d memory on a %dx%d runner",
+			m.N(), m.C(), r.n, r.c))
+	}
+	for _, cell := range r.located {
+		r.locatedMark[cell.Addr*r.c+cell.Bit] = false
+	}
+	r.located = r.located[:0]
+	r.failures = r.failures[:0]
+	var res Result
+
+	for elemIdx := range r.schedule {
+		se := &r.schedule[elemIdx]
+		if se.delayMs > 0 {
+			m.Hold(se.delayMs)
+			res.RetentionMs += se.delayMs
+		}
+		for _, addr := range se.addrs {
+			for opIdx, op := range se.ops {
+				word := se.word
 				if op.Inverted {
-					word = bg.Not()
+					word = se.invWord
 				}
 				switch op.Kind {
 				case march.Write:
@@ -101,50 +191,56 @@ func Run(m *sram.Memory, t march.Test) Result {
 				case march.WriteWeak:
 					m.WriteWeak(addr, word)
 				case march.Read:
-					got := m.Read(addr)
-					if !got.Equal(word) {
-						res.Failures = append(res.Failures, Failure{
-							Element: elemIdx, Background: bgIdx, Op: opIdx,
-							Addr: addr, Expected: word, Got: got,
-						})
-						diff := got.Xor(word)
-						for b := 0; b < diff.Width(); b++ {
-							if diff.Get(b) {
-								located[fault.Cell{Addr: addr, Bit: b}] = true
-							}
-						}
+					m.ReadInto(addr, r.got)
+					if !r.got.Equal(word) {
+						r.recordFailure(elemIdx, se.bgIdx, opIdx, addr, word)
 					}
 				}
 				res.Ops++
 			}
 		}
-		elemIdx++
 	}
 
-	for i := 0; i < len(t.Elements); {
-		if !testRepeated(t, i) {
-			runElement(t.Elements[i], bgs[0], 0)
-			i++
-			continue
-		}
-		// Group consecutive per-background elements.
-		j := i
-		for j < len(t.Elements) && testRepeated(t, j) {
-			j++
-		}
-		for bgIdx := 1; bgIdx < len(bgs); bgIdx++ {
-			for k := i; k < j; k++ {
-				runElement(t.Elements[k], bgs[bgIdx], bgIdx)
-			}
-		}
-		i = j
-	}
-
-	for c := range located {
-		res.Located = append(res.Located, c)
-	}
-	sortCells(res.Located)
+	fault.SortCells(r.located)
+	res.Failures = r.failures
+	res.Located = r.located
 	return res
+}
+
+// recordFailure logs a miscompare and folds its differing bits into the
+// located set. Failure slots and their Got snapshots are recycled from
+// earlier runs, so a warmed-up Runner records failures without
+// allocating.
+func (r *Runner) recordFailure(elemIdx, bgIdx, opIdx, addr int, expected bitvec.Vector) {
+	n := len(r.failures)
+	if n < cap(r.failures) && r.failures[:n+1][n].Got.Width() == r.c {
+		r.failures = r.failures[:n+1]
+		f := &r.failures[n]
+		f.Element, f.Background, f.Op, f.Addr = elemIdx, bgIdx, opIdx, addr
+		f.Expected = expected
+		f.Got.CopyFrom(r.got)
+	} else {
+		r.failures = append(r.failures, Failure{
+			Element: elemIdx, Background: bgIdx, Op: opIdx,
+			Addr: addr, Expected: expected, Got: r.got.Clone(),
+		})
+	}
+	expected.ForEachDiff(r.got, func(bit int) {
+		idx := addr*r.c + bit
+		if !r.locatedMark[idx] {
+			r.locatedMark[idx] = true
+			r.located = append(r.located, fault.Cell{Addr: addr, Bit: bit})
+		}
+	})
+}
+
+// Run executes the test against the memory with a one-shot Runner and
+// returns the full diagnosis result. Elements marked PerBackground run
+// once per non-solid background; consecutive per-background elements
+// are grouped so each background sees the group in order. Callers
+// running many tests on one geometry should hold a Runner instead.
+func Run(m *sram.Memory, t march.Test) Result {
+	return NewRunner(m.N(), m.C(), t).Run(m)
 }
 
 // testRepeated mirrors march.Test's per-background flag (kept local to
@@ -169,12 +265,4 @@ func addressSequence(o march.Order, n int) []int {
 		out[i] = i
 	}
 	return out
-}
-
-func sortCells(cs []fault.Cell) {
-	for i := 1; i < len(cs); i++ {
-		for j := i; j > 0 && cs[j].Less(cs[j-1]); j-- {
-			cs[j], cs[j-1] = cs[j-1], cs[j]
-		}
-	}
 }

@@ -1,0 +1,111 @@
+package simulator
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/march"
+	"repro/internal/sram"
+)
+
+// TestCoverageDeterministicAcrossWorkerCounts is the contract the
+// parallel sweep engine must keep: the same seed produces byte-
+// identical rows at any worker count (run under -race in CI).
+func TestCoverageDeterministicAcrossWorkerCounts(t *testing.T) {
+	classes := append(append([]fault.Class{}, fault.PaperDefectClasses()...),
+		fault.SOF, fault.ADOF, fault.CDF, fault.DRF)
+	test := march.WithNWRTM(march.MarchCW(8))
+	want := CoverageParallel(32, 8, test, classes, 25, 99, 1)
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		got := CoverageParallel(32, 8, test, classes, 25, 99, workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: rows diverge\n got %v\nwant %v", workers, got, want)
+		}
+	}
+	if !reflect.DeepEqual(Coverage(32, 8, test, classes, 25, 99), want) {
+		t.Error("Coverage (GOMAXPROCS workers) diverges from 1-worker rows")
+	}
+}
+
+// TestCoverageSeedSensitivity guards against the per-sample seeding
+// collapsing to a constant: different sweep seeds must be able to
+// produce different fault populations.
+func TestCoverageSeedSensitivity(t *testing.T) {
+	// SOF detection depends strongly on victim placement, so two seeds
+	// agreeing on every row for every class would be suspicious.
+	classes := []fault.Class{fault.SOF}
+	a := Coverage(32, 8, march.MarchCW(8), classes, 40, 1)
+	b := Coverage(32, 8, march.MarchCW(8), classes, 40, 2)
+	if reflect.DeepEqual(a, b) {
+		t.Errorf("seeds 1 and 2 produced identical SOF rows %v; seeding looks constant", a)
+	}
+}
+
+// TestRunnerReuseMatchesOneShotRun verifies that a recycled Runner and
+// Reset memory reproduce exactly what fresh one-shot Runs produce, for
+// a fault of every class.
+func TestRunnerReuseMatchesOneShotRun(t *testing.T) {
+	n, c := 16, 4
+	test := march.WithNWRTM(march.MarchCW(c))
+	runner := NewRunner(n, c, test)
+	mem := sram.New(n, c)
+	gen := fault.NewGenerator(n, c, 5)
+	for _, class := range fault.Classes() {
+		for s := 0; s < 10; s++ {
+			f := gen.Random(class)
+
+			fresh := sram.New(n, c)
+			if err := fresh.Inject(f); err != nil {
+				t.Fatal(err)
+			}
+			want := Run(fresh, test)
+
+			mem.Reset()
+			if err := mem.Inject(f); err != nil {
+				t.Fatal(err)
+			}
+			got := runner.Run(mem)
+
+			if got.Ops != want.Ops || got.RetentionMs != want.RetentionMs {
+				t.Fatalf("%v: ops/retention diverge: got %d/%v want %d/%v",
+					f, got.Ops, got.RetentionMs, want.Ops, want.RetentionMs)
+			}
+			if !reflect.DeepEqual(got.Located, want.Located) &&
+				!(len(got.Located) == 0 && len(want.Located) == 0) {
+				t.Fatalf("%v: located diverge: got %v want %v", f, got.Located, want.Located)
+			}
+			if len(got.Failures) != len(want.Failures) {
+				t.Fatalf("%v: failure counts diverge: got %d want %d",
+					f, len(got.Failures), len(want.Failures))
+			}
+			for i := range got.Failures {
+				if got.Failures[i].String() != want.Failures[i].String() {
+					t.Fatalf("%v: failure %d diverges: got %v want %v",
+						f, i, got.Failures[i], want.Failures[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRunnerRejectsWrongGeometry: a Runner is compiled for one
+// geometry; handing it a different memory is a programming error.
+func TestRunnerRejectsWrongGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Runner accepted a mismatched memory")
+		}
+	}()
+	NewRunner(16, 4, march.MarchCMinus()).Run(sram.New(8, 4))
+}
+
+// TestCoverageParallelZeroSamples must not hang or panic with an empty
+// job set.
+func TestCoverageParallelZeroSamples(t *testing.T) {
+	rows := CoverageParallel(8, 2, march.MarchCMinus(), []fault.Class{fault.SA0}, 0, 3, 4)
+	if len(rows) != 1 || rows[0].Samples != 0 || rows[0].Detected != 0 {
+		t.Errorf("zero-sample rows = %v", rows)
+	}
+}

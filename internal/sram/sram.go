@@ -20,6 +20,11 @@
 //     Recovery Cycle write that would have to flip them to the
 //     vulnerable value — the electrical mechanism is modelled in
 //     internal/cell and abstracted here behaviourally.
+//
+// Storage is word-packed: each row is a bitvec.Vector over a shared
+// word slice. Word accesses to rows that hold no faulty or aggressor
+// cell — under the fault simulator's single-fault assumption, almost
+// all of them — run word-wise without per-bit fault checks.
 package sram
 
 import (
@@ -41,18 +46,28 @@ const DefaultRetentionThresholdMs = 62.5
 // array-indexing fast path.
 type Memory struct {
 	n, c int
-	data []bool
-	// cellFault[i] is the fault whose victim cell i is (nil = good).
-	// The fault generator guarantees at most one fault per victim.
-	cellFault []*fault.Fault
-	// aggFaults[i] lists coupling faults cell i drives as aggressor.
-	aggFaults [][]*fault.Fault
-	// rowsOf maps logical address -> physical rows accessed (address
-	// decoder behaviour); nil entry means the identity row.
-	rowsOf map[int][]int
+	// data[row] is the stored word of the row, all rows backed by one
+	// contiguous word slice.
+	data []bitvec.Vector
+	// cellFault[i] indexes the fault whose victim cell i is into the
+	// faults slice (-1 = good). Indices instead of pointers keep Inject
+	// allocation-free on a recycled Memory: the descriptor lives in the
+	// reused faults backing array. The fault generator guarantees at
+	// most one fault per victim.
+	cellFault []int32
+	// aggFaults[i] indexes the coupling faults cell i drives as
+	// aggressor; entries keep their capacity across ClearFaults.
+	aggFaults [][]int32
+	// rowFaulty[row] reports whether the row holds any victim or
+	// aggressor cell; fault-free rows take the word-wise access paths.
+	rowFaulty []bool
+	// rowsOf[addr] lists the physical rows the logical address accesses
+	// (address decoder behaviour); a nil entry means the identity row.
+	// A flat slice, not a map: rows() runs on every read and write.
+	rowsOf [][]int
 	// senseLatch holds the last value each column's sense amplifier
 	// produced.
-	senseLatch []bool
+	senseLatch bitvec.Vector
 	// drfTimer accumulates retention time per DRF cell while it holds
 	// the vulnerable value.
 	drfTimer []float64
@@ -64,6 +79,11 @@ type Memory struct {
 	// bit i also drives/loads column j.
 	cdfPairs []struct{ i, j int }
 	faults   []fault.Fault
+	// rowBuf backs the identity return of rows() so the per-access fast
+	// path never allocates.
+	rowBuf [1]int
+	// transBuf is the reusable transition scratch for write paths.
+	transBuf []transition
 }
 
 // New returns a fault-free n-word by c-bit memory initialized to zero.
@@ -73,14 +93,55 @@ func New(n, c int) *Memory {
 	}
 	return &Memory{
 		n: n, c: c,
-		data:        make([]bool, n*c),
-		cellFault:   make([]*fault.Fault, n*c),
-		aggFaults:   make([][]*fault.Fault, n*c),
-		rowsOf:      make(map[int][]int),
-		senseLatch:  make([]bool, c),
+		data:        bitvec.NewMatrix(c, n),
+		cellFault:   newCellFaultIndex(n * c),
+		aggFaults:   make([][]int32, n*c),
+		rowFaulty:   make([]bool, n),
+		rowsOf:      make([][]int, n),
+		senseLatch:  bitvec.New(c),
 		drfTimer:    make([]float64, n*c),
 		retentionMs: DefaultRetentionThresholdMs,
 	}
+}
+
+// Reset returns the memory to the fault-free all-zero state New
+// produces, reusing every allocation. Sweep workers call it between
+// samples instead of allocating a fresh Memory per fault.
+func (m *Memory) Reset() {
+	m.ClearFaults()
+	for _, row := range m.data {
+		row.Fill(false)
+	}
+	m.senseLatch.Fill(false)
+}
+
+// ClearFaults removes every injected fault while keeping the stored
+// data. Fault side tables are cleared per injected fault, so the cost
+// is O(fault count), not O(n*c).
+func (m *Memory) ClearFaults() {
+	for _, f := range m.faults {
+		switch f.Class {
+		case fault.ADOF:
+			m.rowsOf[f.Victim.Addr] = nil
+			m.rowsOf[f.Partner] = nil
+		case fault.CDF:
+			// cdfPairs is truncated below.
+		default:
+			vidx := m.idx(f.Victim.Addr, f.Victim.Bit)
+			m.cellFault[vidx] = -1
+			m.drfTimer[vidx] = 0
+			m.rowFaulty[f.Victim.Addr] = false
+			switch f.Class {
+			case fault.CFin, fault.CFid, fault.CFst:
+				aidx := m.idx(f.Aggressor.Addr, f.Aggressor.Bit)
+				m.aggFaults[aidx] = m.aggFaults[aidx][:0]
+				m.rowFaulty[f.Aggressor.Addr] = false
+			}
+		}
+	}
+	m.drfCells = m.drfCells[:0]
+	m.cdfPairs = m.cdfPairs[:0]
+	m.faults = m.faults[:0]
 }
 
 // N returns the number of words.
@@ -98,6 +159,24 @@ func (m *Memory) SetRetentionThreshold(ms float64) { m.retentionMs = ms }
 func (m *Memory) Faults() []fault.Fault { return m.faults }
 
 func (m *Memory) idx(addr, bit int) int { return addr*m.c + bit }
+
+// cellFaultAt returns the fault whose victim cell idx is, or nil. The
+// pointer aims into the faults slice and is only valid until the next
+// Inject.
+func (m *Memory) cellFaultAt(idx int) *fault.Fault {
+	if fi := m.cellFault[idx]; fi >= 0 {
+		return &m.faults[fi]
+	}
+	return nil
+}
+
+func newCellFaultIndex(cells int) []int32 {
+	out := make([]int32, cells)
+	for i := range out {
+		out[i] = -1
+	}
+	return out
+}
 
 func (m *Memory) checkCell(c fault.Cell) error {
 	if c.Addr < 0 || c.Addr >= m.n || c.Bit < 0 || c.Bit >= m.c {
@@ -136,8 +215,9 @@ func (m *Memory) Inject(f fault.Fault) error {
 		return err
 	}
 	vidx := m.idx(f.Victim.Addr, f.Victim.Bit)
-	existing := m.cellFault[vidx]
+	existing := m.cellFaultAt(vidx)
 	dup := existing != nil
+	fidx := int32(len(m.faults))
 	switch f.Class {
 	case fault.CFin, fault.CFid, fault.CFst:
 		if err := m.checkCell(f.Aggressor); err != nil {
@@ -151,24 +231,24 @@ func (m *Memory) Inject(f fault.Fault) error {
 		if dup && !linkedSA {
 			return fmt.Errorf("sram: cell %v already faulty", f.Victim)
 		}
-		fc := f
 		if !dup {
-			m.cellFault[vidx] = &fc
+			m.cellFault[vidx] = fidx
 		}
 		aidx := m.idx(f.Aggressor.Addr, f.Aggressor.Bit)
-		m.aggFaults[aidx] = append(m.aggFaults[aidx], &fc)
+		m.aggFaults[aidx] = append(m.aggFaults[aidx], fidx)
+		m.rowFaulty[f.Aggressor.Addr] = true
 	default:
 		if dup {
 			return fmt.Errorf("sram: cell %v already faulty", f.Victim)
 		}
-		fc := f
-		m.cellFault[vidx] = &fc
+		m.cellFault[vidx] = fidx
 	}
+	m.rowFaulty[f.Victim.Addr] = true
 	switch f.Class {
 	case fault.SA0:
-		m.data[vidx] = false
+		m.data[f.Victim.Addr].Set(f.Victim.Bit, false)
 	case fault.SA1:
-		m.data[vidx] = true
+		m.data[f.Victim.Addr].Set(f.Victim.Bit, true)
 	case fault.DRF:
 		m.drfCells = append(m.drfCells, vidx)
 	}
@@ -196,12 +276,15 @@ func (m *Memory) injectAF(f fault.Fault) {
 	}
 }
 
-// rows returns the physical rows a logical address accesses.
+// rows returns the physical rows a logical address accesses. The
+// identity result is backed by rowBuf and only valid until the next
+// call; callers iterate it immediately and never retain it.
 func (m *Memory) rows(addr int) []int {
-	if r, ok := m.rowsOf[addr]; ok {
+	if r := m.rowsOf[addr]; r != nil {
 		return r
 	}
-	return []int{addr}
+	m.rowBuf[0] = addr
+	return m.rowBuf[:]
 }
 
 // transition records a cell value change for coupling propagation.
@@ -226,7 +309,14 @@ func (m *Memory) write(addr int, w bitvec.Vector, nwrc bool) {
 	if w.Width() != m.c {
 		panic(fmt.Sprintf("sram: write width %d to %d-bit memory", w.Width(), m.c))
 	}
-	var trans []transition
+	// Word-wise fast path: an identity-mapped, fault-free row with no
+	// column shorts stores the word verbatim, and none of its cells is
+	// an aggressor, so no coupling can fire.
+	if m.rowsOf[addr] == nil && !m.rowFaulty[addr] && len(m.cdfPairs) == 0 {
+		m.data[addr].CopyFrom(w)
+		return
+	}
+	trans := m.transBuf[:0]
 	for _, row := range m.rows(addr) {
 		for bit := 0; bit < m.c; bit++ {
 			if t, changed := m.writeBit(row, bit, w.Get(bit), nwrc); changed {
@@ -241,6 +331,7 @@ func (m *Memory) write(addr int, w bitvec.Vector, nwrc bool) {
 			}
 		}
 	}
+	m.transBuf = trans[:0]
 	m.propagate(trans)
 }
 
@@ -254,22 +345,27 @@ func (m *Memory) WriteWeak(addr int, w bitvec.Vector) {
 	if w.Width() != m.c {
 		panic(fmt.Sprintf("sram: weak write width %d to %d-bit memory", w.Width(), m.c))
 	}
-	var trans []transition
+	// A weak write moves nothing on a fault-free identity-mapped row.
+	if m.rowsOf[addr] == nil && !m.rowFaulty[addr] {
+		return
+	}
+	trans := m.transBuf[:0]
 	for _, row := range m.rows(addr) {
 		for bit := 0; bit < m.c; bit++ {
 			idx := m.idx(row, bit)
-			f := m.cellFault[idx]
+			f := m.cellFaultAt(idx)
 			if f == nil || f.Class != fault.DRF {
 				continue
 			}
 			v := w.Get(bit)
-			if m.data[idx] == f.Value && v != f.Value {
-				m.data[idx] = v
+			if m.data[row].Get(bit) == f.Value && v != f.Value {
+				m.data[row].Set(bit, v)
 				m.drfTimer[idx] = 0
 				trans = append(trans, transition{idx: idx, up: v})
 			}
 		}
 	}
+	m.transBuf = trans[:0]
 	m.propagate(trans)
 }
 
@@ -288,8 +384,8 @@ func (m *Memory) WriteBit(row, bit int, v bool) {
 // writeBit applies one bit write and reports the resulting transition.
 func (m *Memory) writeBit(row, bit int, v bool, nwrc bool) (transition, bool) {
 	idx := m.idx(row, bit)
-	cur := m.data[idx]
-	if f := m.cellFault[idx]; f != nil {
+	cur := m.data[row].Get(bit)
+	if f := m.cellFaultAt(idx); f != nil {
 		switch f.Class {
 		case fault.SA0, fault.SA1:
 			return transition{}, false
@@ -304,7 +400,7 @@ func (m *Memory) writeBit(row, bit int, v bool, nwrc bool) (transition, bool) {
 		case fault.CFst:
 			if m.aggressorValue(f) == f.AggState {
 				// While forced, the victim resists writes.
-				m.data[idx] = f.Value
+				m.data[row].Set(bit, f.Value)
 				return transition{}, false
 			}
 		case fault.DRF:
@@ -317,7 +413,7 @@ func (m *Memory) writeBit(row, bit int, v bool, nwrc bool) (transition, bool) {
 	if cur == v {
 		return transition{}, false
 	}
-	m.data[idx] = v
+	m.data[row].Set(bit, v)
 	return transition{idx: idx, up: v}, true
 }
 
@@ -331,12 +427,13 @@ func (m *Memory) propagate(trans []transition) {
 
 // propagateOne fires the couplings of a single aggressor transition.
 func (m *Memory) propagateOne(t transition) {
-	for _, f := range m.aggFaults[t.idx] {
+	for _, fi := range m.aggFaults[t.idx] {
+		f := &m.faults[fi]
 		vidx := m.idx(f.Victim.Addr, f.Victim.Bit)
 		switch f.Class {
 		case fault.CFin:
 			if (f.Dir == fault.Up) == t.up {
-				m.setVictim(vidx, !m.data[vidx])
+				m.setVictim(vidx, !m.data[f.Victim.Addr].Get(f.Victim.Bit))
 			}
 		case fault.CFid:
 			if (f.Dir == fault.Up) == t.up {
@@ -354,11 +451,12 @@ func (m *Memory) propagateOne(t transition) {
 // victim dominates (its value cannot move); other victim-side faults do
 // not block the disturbance.
 func (m *Memory) setVictim(idx int, v bool) {
-	if f := m.cellFault[idx]; f != nil && (f.Class == fault.SA0 || f.Class == fault.SA1) {
+	if f := m.cellFaultAt(idx); f != nil && (f.Class == fault.SA0 || f.Class == fault.SA1) {
 		return
 	}
-	if m.data[idx] != v {
-		m.data[idx] = v
+	row, bit := idx/m.c, idx%m.c
+	if m.data[row].Get(bit) != v {
+		m.data[row].Set(bit, v)
 		m.drfTimer[idx] = 0
 	}
 }
@@ -368,8 +466,28 @@ func (m *Memory) setVictim(idx int, v bool) {
 // repeats its sense amplifier's stale value; with multiple rows the
 // result is the wired-AND of the rows.
 func (m *Memory) Read(addr int) bitvec.Vector {
-	m.checkAddr(addr)
 	out := bitvec.New(m.c)
+	m.ReadInto(addr, out)
+	return out
+}
+
+// ReadInto performs a read of addr into the caller-provided vector,
+// the allocation-free access path the sweep engine runs on. It panics
+// if out's width differs from the IO width.
+func (m *Memory) ReadInto(addr int, out bitvec.Vector) {
+	m.checkAddr(addr)
+	if out.Width() != m.c {
+		panic(fmt.Sprintf("sram: read into width %d from %d-bit memory", out.Width(), m.c))
+	}
+	// Word-wise fast path: an identity-mapped, fault-free row with no
+	// column shorts senses the stored word verbatim. The sense latch
+	// still tracks every read so a stuck-open cell injected later (or
+	// reached through a fault path) repeats the true last-sensed value.
+	if m.rowsOf[addr] == nil && !m.rowFaulty[addr] && len(m.cdfPairs) == 0 {
+		out.CopyFrom(m.data[addr])
+		m.senseLatch.CopyFrom(m.data[addr])
+		return
+	}
 	rows := m.rows(addr)
 	for bit := 0; bit < m.c; bit++ {
 		var v bool
@@ -378,7 +496,7 @@ func (m *Memory) Read(addr int) bitvec.Vector {
 			// No wordline fires: both bitlines stay precharged high and
 			// the sense amplifier resolves to 1 on every column.
 			v = true
-			m.senseLatch[bit] = v
+			m.senseLatch.Set(bit, v)
 		case 1:
 			v = m.readBit(rows[0], bit)
 		default:
@@ -396,7 +514,6 @@ func (m *Memory) Read(addr int) bitvec.Vector {
 			out.Set(p.i, out.Get(p.i) && m.readBit(rows[0], p.j))
 		}
 	}
-	return out
 }
 
 // ReadBit senses one physical cell directly (serial-interface access
@@ -407,9 +524,8 @@ func (m *Memory) ReadBit(row, bit int) bool {
 }
 
 func (m *Memory) readBit(row, bit int) bool {
-	idx := m.idx(row, bit)
-	v := m.data[idx]
-	if f := m.cellFault[idx]; f != nil {
+	v := m.data[row].Get(bit)
+	if f := m.cellFaultAt(m.idx(row, bit)); f != nil {
 		switch f.Class {
 		case fault.SA0:
 			v = false
@@ -422,15 +538,15 @@ func (m *Memory) readBit(row, bit int) bool {
 		case fault.SOF:
 			// The cell cannot discharge a bitline; the sense amp
 			// repeats its previous value for this column.
-			return m.senseLatch[bit]
+			return m.senseLatch.Get(bit)
 		}
 	}
-	m.senseLatch[bit] = v
+	m.senseLatch.Set(bit, v)
 	return v
 }
 
 func (m *Memory) aggressorValue(f *fault.Fault) bool {
-	return m.data[m.idx(f.Aggressor.Addr, f.Aggressor.Bit)]
+	return m.data[f.Aggressor.Addr].Get(f.Aggressor.Bit)
 }
 
 // Hold advances retention time by ms milliseconds. DRF cells holding
@@ -441,11 +557,12 @@ func (m *Memory) Hold(ms float64) {
 		return
 	}
 	for _, idx := range m.drfCells {
-		f := m.cellFault[idx]
-		if m.data[idx] == f.Value {
+		f := m.cellFaultAt(idx)
+		row, bit := idx/m.c, idx%m.c
+		if m.data[row].Get(bit) == f.Value {
 			m.drfTimer[idx] += ms
 			if m.drfTimer[idx] >= m.retentionMs {
-				m.data[idx] = !f.Value
+				m.data[row].Set(bit, !f.Value)
 			}
 		} else {
 			m.drfTimer[idx] = 0
@@ -457,14 +574,14 @@ func (m *Memory) Hold(ms float64) {
 // semantics; for tests and debugging.
 func (m *Memory) Peek(addr, bit int) bool {
 	m.checkCellPos(addr, bit)
-	return m.data[m.idx(addr, bit)]
+	return m.data[addr].Get(bit)
 }
 
 // Poke sets the raw stored value of a cell, bypassing write fault
 // semantics; for tests and debugging.
 func (m *Memory) Poke(addr, bit int, v bool) {
 	m.checkCellPos(addr, bit)
-	m.data[m.idx(addr, bit)] = v
+	m.data[addr].Set(bit, v)
 }
 
 func (m *Memory) checkAddr(addr int) {
