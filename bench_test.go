@@ -8,6 +8,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -17,8 +18,6 @@ import (
 	"repro/internal/bisd"
 	"repro/internal/bitvec"
 	"repro/internal/cell"
-	"repro/internal/config"
-	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/march"
 	"repro/internal/report"
@@ -26,6 +25,7 @@ import (
 	"repro/internal/simulator"
 	"repro/internal/sram"
 	"repro/internal/timing"
+	"repro/memtest"
 )
 
 var onceTables sync.Map
@@ -72,9 +72,9 @@ func BenchmarkFig2BiDirInterface(b *testing.B) {
 // --- E2 / Fig. 3: proposed architecture end to end ---
 
 func BenchmarkFig3ProposedScheme(b *testing.B) {
-	soc := config.HeterogeneousExample()
+	soc := memtest.HeterogeneousExample()
 	printOnce("fig3", func() {
-		res, err := core.Diagnose(soc, core.Options{Scheme: core.Proposed, IncludeDRF: true})
+		res, err := memtest.Diagnose(context.Background(), soc, memtest.WithDRF())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -89,7 +89,7 @@ func BenchmarkFig3ProposedScheme(b *testing.B) {
 	b.ResetTimer()
 	var cycles int64
 	for i := 0; i < b.N; i++ {
-		res, err := core.Diagnose(soc, core.Options{Scheme: core.Proposed, IncludeDRF: true})
+		res, err := memtest.Diagnose(context.Background(), soc, memtest.WithDRF())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -189,9 +189,9 @@ func BenchmarkTableCoverage(b *testing.B) {
 // --- E7 / Eq. 1: baseline time ---
 
 func BenchmarkEq1BaselineTime(b *testing.B) {
-	soc := config.Benchmark16()
+	soc := memtest.Benchmark16()
 	printOnce("eq1", func() {
-		res, err := core.Diagnose(soc, core.Options{Scheme: core.Baseline78})
+		res, err := memtest.Diagnose(context.Background(), soc, memtest.WithScheme("baseline"))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -206,7 +206,7 @@ func BenchmarkEq1BaselineTime(b *testing.B) {
 	var cycles int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := core.Diagnose(soc, core.Options{Scheme: core.Baseline78})
+		res, err := memtest.Diagnose(context.Background(), soc, memtest.WithScheme("baseline"))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -289,9 +289,9 @@ func BenchmarkEq4ReductionDRF(b *testing.B) {
 // --- E11 / Sec. 4.2 case study: full benchmark fleet, both engines ---
 
 func BenchmarkCaseStudy(b *testing.B) {
-	soc := config.Benchmark16()
+	soc := memtest.Benchmark16()
 	printOnce("casestudy", func() {
-		cmp, err := core.CompareSchemes(soc, true)
+		cmp, err := memtest.Compare(context.Background(), soc, true)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -302,7 +302,7 @@ func BenchmarkCaseStudy(b *testing.B) {
 		tb.AddRowf("T baseline|~1.43 s|%s", report.Ns(cmp.Baseline.TimeNs()))
 		tb.AddRowf("T proposed|~10 ms|%s", report.Ns(cmp.Proposed.TimeNs()))
 		tb.AddRowf("R with DRF|>=145 (exact 143.4)|%.1f", cmp.MeasuredReduction)
-		noDRF, err := core.CompareSchemes(soc, false)
+		noDRF, err := memtest.Compare(context.Background(), soc, false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -312,7 +312,7 @@ func BenchmarkCaseStudy(b *testing.B) {
 	var r float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cmp, err := core.CompareSchemes(soc, true)
+		cmp, err := memtest.Compare(context.Background(), soc, true)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -351,9 +351,9 @@ func BenchmarkSeriesDefectRate(b *testing.B) {
 		tb := report.NewTable("E13: diagnosis time vs defect rate (n=512, c=100, t=10ns, with DRF phase)",
 			"defect rate", "faults", "k", "T baseline", "T proposed", "R")
 		for _, rate := range []float64{0.0005, 0.001, 0.0025, 0.005, 0.01} {
-			soc := config.Benchmark16()
+			soc := memtest.Benchmark16()
 			soc.Memories[0].DefectRate = rate
-			cmp, err := core.CompareSchemes(soc, true)
+			cmp, err := memtest.Compare(context.Background(), soc, true)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -365,10 +365,10 @@ func BenchmarkSeriesDefectRate(b *testing.B) {
 		}
 		render(tb)
 	})
-	soc := config.Benchmark16()
+	soc := memtest.Benchmark16()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Diagnose(soc, core.Options{Scheme: core.Baseline78, IncludeDRF: true}); err != nil {
+		if _, err := memtest.Diagnose(context.Background(), soc, memtest.WithScheme("baseline"), memtest.WithDRF()); err != nil {
 			b.Fatal(err)
 		}
 	}

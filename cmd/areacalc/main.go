@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	areacalc [-n words] [-c width]
+//	areacalc [-n words] [-c width] [-json]
 package main
 
 import (
@@ -12,45 +12,56 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/area"
 	"repro/internal/report"
+	"repro/memtest"
 )
 
 func main() {
 	n := flag.Int("n", 512, "memory words")
 	c := flag.Int("c", 100, "memory width")
+	jsonOut := flag.Bool("json", false, "emit JSON (one array of tables)")
 	flag.Parse()
 
 	perBit := report.NewTable("Per-IO-bit interface structures",
 		"scheme", "structure", "transistors", "6T cells")
 	perBit.AddRowf("baseline [7,8]|4:1 mux + latch|%d|%.1f",
-		area.BaselinePerBit(), area.Cells(area.BaselinePerBit()))
+		memtest.AreaBaselinePerBit(), memtest.AreaCells(memtest.AreaBaselinePerBit()))
 	perBit.AddRowf("proposed|SPC DFF + PSC scan DFF + 2x 2:1 mux|%d|%.1f",
-		area.ProposedPerBit(), area.Cells(area.ProposedPerBit()))
+		memtest.AreaProposedPerBit(), memtest.AreaCells(memtest.AreaProposedPerBit()))
 	perBit.AddRowf("extra vs [7,8]|—|%d|%.1f",
-		area.ProposedPerBit()-area.BaselinePerBit(), area.ExtraPerBitCells())
-	must(perBit.Render(os.Stdout))
+		memtest.AreaProposedPerBit()-memtest.AreaBaselinePerBit(), memtest.AreaExtraPerBitCells())
 
-	fmt.Println()
 	mem := report.NewTable(fmt.Sprintf("Per-memory overhead for %dx%d", *n, *c),
 		"scheme", "interface", "addr gen", "NWRTM", "total", "% of cells")
-	b := area.BaselineOverhead(*n, *c)
-	p := area.ProposedOverhead(*n, *c)
+	b := memtest.AreaBaselineOverhead(*n, *c)
+	p := memtest.AreaProposedOverhead(*n, *c)
 	mem.AddRowf("baseline [7,8]|%d|%d|%d|%d|%s", b.InterfaceTransistors,
 		b.AddressGenTransistors, b.NWRTMTransistors, b.Total(), report.Pct(b.Fraction()))
 	mem.AddRowf("proposed|%d|%d|%d|%d|%s", p.InterfaceTransistors,
 		p.AddressGenTransistors, p.NWRTMTransistors, p.Total(), report.Pct(p.Fraction()))
-	must(mem.Render(os.Stdout))
-	fmt.Printf("\ncombined (both schemes applied, paper's Sec. 4.3 basis): %s of cell area\n",
-		report.Pct(area.CombinedOverheadFraction(*n, *c)))
 
-	fmt.Println()
 	wires := report.NewTable("Global diagnosis wires",
 		"scheme", "serial data", "control", "scan_en", "NWRTM", "total")
-	bw := area.BaselineWires()
-	pw := area.ProposedWires(true)
+	bw := memtest.AreaBaselineWires()
+	pw := memtest.AreaProposedWires(true)
 	wires.AddRowf("baseline [7,8]|%d|%d|%d|%d|%d", bw.SerialData, bw.Control, bw.ScanEn, bw.NWRTM, bw.Total())
 	wires.AddRowf("proposed (+NWRTM)|%d|%d|%d|%d|%d", pw.SerialData, pw.Control, pw.ScanEn, pw.NWRTM, pw.Total())
+
+	if *jsonOut {
+		// The combined-overhead figure is its own line in text mode;
+		// give it a table of its own so the JSON document carries it too.
+		combined := report.NewTable("Combined overhead (both schemes applied, paper's Sec. 4.3 basis)",
+			"% of cell area")
+		combined.AddRow(report.Pct(memtest.AreaCombinedOverheadFraction(*n, *c)))
+		must(report.RenderJSONAll(os.Stdout, perBit, mem, combined, wires))
+		return
+	}
+	must(perBit.Render(os.Stdout))
+	fmt.Println()
+	must(mem.Render(os.Stdout))
+	fmt.Printf("\ncombined (both schemes applied, paper's Sec. 4.3 basis): %s of cell area\n",
+		report.Pct(memtest.AreaCombinedOverheadFraction(*n, *c)))
+	fmt.Println()
 	must(wires.Render(os.Stdout))
 }
 

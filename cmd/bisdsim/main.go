@@ -1,56 +1,62 @@
 // Command bisdsim runs a full fleet diagnosis with a selected scheme —
 // the proposed SPC/PSC architecture (Fig. 3), the [7,8] baseline
 // (Fig. 1) or the single-directional interface of [9,10] — against a
-// JSON SoC configuration (or a built-in example), then prints the
-// per-memory diagnosis and, optionally, a scheme comparison.
+// JSON SoC plan (or a built-in example), then prints the per-memory
+// diagnosis and, optionally, a scheme comparison.
 //
 // Usage:
 //
 //	bisdsim [-config file.json | -fleet hetero|benchmark]
-//	        [-scheme proposed|baseline|singledir] [-drf] [-compare]
-//	        [-spare-words n] [-spare-cells n]
+//	        [-scheme proposed|baseline|singledir|rawsim] [-drf]
+//	        [-compare] [-spare-words n] [-spare-cells n] [-json]
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
-	"repro/internal/config"
-	"repro/internal/core"
 	"repro/internal/diagnose"
-	"repro/internal/repair"
 	"repro/internal/report"
 	"repro/internal/scanout"
+	"repro/memtest"
 )
 
 func main() {
-	cfgPath := flag.String("config", "", "JSON SoC configuration file")
+	cfgPath := flag.String("config", "", "JSON SoC plan file")
 	fleet := flag.String("fleet", "hetero", "built-in fleet: hetero or benchmark")
-	scheme := flag.String("scheme", "proposed", "scheme: proposed, baseline, singledir")
+	scheme := flag.String("scheme", "proposed", "scheme: proposed, baseline, singledir, rawsim")
 	drf := flag.Bool("drf", false, "include data-retention-fault diagnosis")
 	compare := flag.Bool("compare", false, "run proposed vs baseline and report reduction")
 	spareWords := flag.Int("spare-words", 0, "spare words per memory for repair")
 	spareCells := flag.Int("spare-cells", 0, "spare cells per memory for repair")
 	classify := flag.Bool("classify", false, "run off-line failure classification per memory (proposed scheme)")
 	scanOut := flag.Bool("scanout", false, "report the scan-out stream size per memory")
+	jsonOut := flag.Bool("json", false, "emit the full result as JSON instead of tables")
 	flag.Parse()
+	ctx := context.Background()
 
-	soc, err := loadSoC(*cfgPath, *fleet)
+	plan, err := loadPlan(*cfgPath, *fleet)
 	if err != nil {
 		fatal(err)
 	}
 
 	if *compare {
-		cmp, err := core.CompareSchemes(soc, *drf)
+		cmp, err := memtest.Compare(ctx, plan, *drf)
 		if err != nil {
 			fatal(err)
 		}
-		tb := report.NewTable(fmt.Sprintf("Scheme comparison on %q (DRF=%v)", soc.Name, *drf),
+		if *jsonOut {
+			emitJSON(cmp)
+			return
+		}
+		tb := report.NewTable(fmt.Sprintf("Scheme comparison on %q (DRF=%v)", plan.Name, *drf),
 			"scheme", "cycles", "time", "iterations k", "located")
-		tb.AddRowf("%s|%d|%s|%d|%d", cmp.Baseline.SchemeName, cmp.Baseline.Report.Cycles,
+		tb.AddRowf("%s|%d|%s|%d|%d", cmp.Baseline.Scheme, cmp.Baseline.Report.Cycles,
 			report.Ns(cmp.Baseline.TimeNs()), cmp.Baseline.Report.Iterations, totalLocated(cmp.Baseline))
-		tb.AddRowf("%s|%d|%s|%d|%d", cmp.Proposed.SchemeName, cmp.Proposed.Report.Cycles,
+		tb.AddRowf("%s|%d|%s|%d|%d", cmp.Proposed.Scheme, cmp.Proposed.Report.Cycles,
 			report.Ns(cmp.Proposed.TimeNs()), cmp.Proposed.Report.Iterations, totalLocated(cmp.Proposed))
 		if err := tb.Render(os.Stdout); err != nil {
 			fatal(err)
@@ -60,28 +66,60 @@ func main() {
 		return
 	}
 
-	opts := core.Options{IncludeDRF: *drf}
-	switch *scheme {
-	case "proposed":
-		opts.Scheme = core.Proposed
-	case "baseline":
-		opts.Scheme = core.Baseline78
-	case "singledir":
-		opts.Scheme = core.SingleDirectional
-	default:
-		fatal(fmt.Errorf("unknown scheme %q", *scheme))
+	opts := []memtest.Option{memtest.WithScheme(*scheme)}
+	if *drf {
+		opts = append(opts, memtest.WithDRF())
 	}
 	if *spareWords > 0 || *spareCells > 0 {
-		opts.SpareBudget = repair.Budget{SpareWords: *spareWords, SpareCells: *spareCells}
+		opts = append(opts, memtest.WithRepair(memtest.Budget{SpareWords: *spareWords, SpareCells: *spareCells}))
 	}
 
-	res, err := core.Diagnose(soc, opts)
+	res, err := memtest.Diagnose(ctx, plan, opts...)
 	if err != nil {
 		fatal(err)
 	}
+	// Compute the optional -classify / -scanout sections once; text and
+	// JSON modes only differ in rendering.
+	var classifications []memClassification
+	if *classify && *scheme == "proposed" {
+		cMax := plan.WidestWidth()
+		test := memtest.DefaultTest(cMax, *drf)
+		for i, mr := range res.Report.Memories {
+			mc := memClassification{Name: plan.Memories[i].Name}
+			for _, d := range diagnose.Classify(test, cMax, mr) {
+				mc.Lines = append(mc.Lines, d.String())
+			}
+			classifications = append(classifications, mc)
+		}
+	}
+	var scans []scanEntry
+	if *scanOut {
+		for i, mr := range res.Report.Memories {
+			data, err := scanout.Encode(mr.Failures)
+			if err != nil {
+				fatal(err)
+			}
+			scans = append(scans, scanEntry{Name: plan.Memories[i].Name, scanSummary: scanSummary{
+				Records: len(mr.Failures), Bytes: len(data),
+				ScanClocks: scanout.StreamBits(len(mr.Failures)),
+			}})
+		}
+	}
+
+	if *jsonOut {
+		// The full Result marshals as-is: report (cycles, failure
+		// records), per-memory diagnoses, repair and yield. -classify
+		// and -scanout become extra top-level sections.
+		emitJSON(struct {
+			*memtest.Result
+			Classification []memClassification `json:"classification,omitempty"`
+			ScanOut        []scanEntry         `json:"scan_out,omitempty"`
+		}{res, classifications, scans})
+		return
+	}
 	tb := report.NewTable(
 		fmt.Sprintf("%s scheme on %q: %s (%d cycles, retention %s)",
-			res.SchemeName, soc.Name, report.Ns(res.TimeNs()), res.Report.Cycles,
+			res.Scheme, plan.Name, report.Ns(res.TimeNs()), res.Report.Cycles,
 			report.Ns(res.Report.RetentionNs)),
 		"memory", "geometry", "injected", "detectable", "located-true", "false-pos", "repair")
 	for _, md := range res.Memories {
@@ -103,54 +141,69 @@ func main() {
 		fmt.Printf("\nyield: %s\n", res.Yield)
 	}
 
-	if *classify && opts.Scheme == core.Proposed {
-		cMax := 0
-		for _, m := range soc.Memories {
-			if m.Width > cMax {
-				cMax = m.Width
-			}
-		}
-		test := core.DefaultTest(cMax, *drf)
+	if classifications != nil {
 		fmt.Println("\noff-line classification:")
-		for i, mr := range res.Report.Memories {
-			for _, d := range diagnose.Classify(test, cMax, mr) {
-				fmt.Printf("  %s %s\n", soc.Memories[i].Name, d)
+		for _, mc := range classifications {
+			for _, line := range mc.Lines {
+				fmt.Printf("  %s %s\n", mc.Name, line)
 			}
 		}
 	}
-	if *scanOut {
+	if scans != nil {
 		fmt.Println("\nscan-out streams:")
-		for i, mr := range res.Report.Memories {
-			data, err := scanout.Encode(mr.Failures)
-			if err != nil {
-				fatal(err)
-			}
+		for _, se := range scans {
 			fmt.Printf("  %s: %d records, %d bytes (%d scan clocks)\n",
-				soc.Memories[i].Name, len(mr.Failures), len(data),
-				scanout.StreamBits(len(mr.Failures)))
+				se.Name, se.Records, se.Bytes, se.ScanClocks)
 		}
 	}
 }
 
-func loadSoC(path, fleet string) (config.SoC, error) {
+func loadPlan(path, fleet string) (memtest.Plan, error) {
 	if path != "" {
 		data, err := os.ReadFile(path)
 		if err != nil {
-			return config.SoC{}, err
+			return memtest.Plan{}, err
 		}
-		return config.Parse(data)
+		return memtest.ParsePlan(data)
 	}
 	switch fleet {
 	case "hetero":
-		return config.HeterogeneousExample(), nil
+		return memtest.HeterogeneousExample(), nil
 	case "benchmark":
-		return config.Benchmark16(), nil
+		return memtest.Benchmark16(), nil
 	default:
-		return config.SoC{}, fmt.Errorf("unknown built-in fleet %q", fleet)
+		return memtest.Plan{}, fmt.Errorf("unknown built-in fleet %q", fleet)
 	}
 }
 
-func totalLocated(r *core.Result) int {
+// scanSummary is the -scanout section of the JSON document.
+type scanSummary struct {
+	Records    int `json:"records"`
+	Bytes      int `json:"bytes"`
+	ScanClocks int `json:"scan_clocks"`
+}
+
+// scanEntry and memClassification are the -scanout / -classify
+// sections, kept as slices so text and JSON both render in fleet order.
+type scanEntry struct {
+	Name string `json:"name"`
+	scanSummary
+}
+
+type memClassification struct {
+	Name  string   `json:"name"`
+	Lines []string `json:"lines"`
+}
+
+func emitJSON(v interface{}) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(data))
+}
+
+func totalLocated(r *memtest.Result) int {
 	n := 0
 	for _, md := range r.Memories {
 		n += len(md.Located)

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	diagtime [-n words] [-c width] [-t clock_ns] [-k iterations]
-//	         [-faults n] [-m1 fraction] [-sweep]
+//	         [-faults n] [-m1 fraction] [-sweep] [-json]
 //
 // Without flags it prints the paper's exact case study (n=512, c=100,
 // t=10ns, 256 faults, 75% M1 coverage, k=96).
@@ -18,7 +18,7 @@ import (
 	"os"
 
 	"repro/internal/report"
-	"repro/internal/timing"
+	"repro/memtest"
 )
 
 func main() {
@@ -29,10 +29,11 @@ func main() {
 	faults := flag.Int("faults", 256, "assumed total fault count")
 	m1 := flag.Float64("m1", 0.75, "fraction of faults the M1 element covers")
 	sweep := flag.Bool("sweep", false, "sweep k and print R curves instead of one point")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of a table")
 	flag.Parse()
 
-	cs := timing.CaseStudy{
-		Params:      timing.Params{N: *n, C: *c, ClockNs: *t},
+	cs := memtest.TimingCaseStudy{
+		Params:      memtest.TimingParams{N: *n, C: *c, ClockNs: *t},
 		TotalFaults: *faults,
 		M1Fraction:  *m1,
 	}
@@ -47,7 +48,7 @@ func main() {
 	}
 
 	if *sweep {
-		runSweep(cs.Params)
+		runSweep(cs.Params, *jsonOut)
 		return
 	}
 
@@ -55,9 +56,16 @@ func main() {
 	tb := report.NewTable(
 		fmt.Sprintf("Diagnosis time (n=%d, c=%d, t=%.0fns, k=%d)", p.N, p.C, p.ClockNs, p.K),
 		"quantity", "no DRF", "with DRF")
-	tb.AddRow("T[7,8]   (Eq.1)", report.Ns(timing.BaselineNs(p)), report.Ns(timing.BaselineWithDRFNs(p)))
-	tb.AddRow("T_prop   (Eq.2)", report.Ns(timing.ProposedNs(p)), report.Ns(timing.ProposedWithDRFNs(p)))
-	tb.AddRowf("R (Eq.3/Eq.4)|%.1f|%.1f", timing.ReductionNoDRF(p), timing.ReductionWithDRF(p))
+	tb.AddRow("T[7,8]   (Eq.1)", report.Ns(memtest.BaselineTimeNs(p)), report.Ns(memtest.BaselineTimeWithDRFNs(p)))
+	tb.AddRow("T_prop   (Eq.2)", report.Ns(memtest.ProposedTimeNs(p)), report.Ns(memtest.ProposedTimeWithDRFNs(p)))
+	tb.AddRowf("R (Eq.3/Eq.4)|%.1f|%.1f", memtest.ReductionNoDRF(p), memtest.ReductionWithDRF(p))
+	if *jsonOut {
+		if err := tb.RenderJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := tb.Render(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -65,7 +73,7 @@ func main() {
 	fmt.Printf("\npaper reports: R >= 84 without DRFs, R >= 145 with DRFs (k = %d)\n", cs.K())
 }
 
-func runSweep(p timing.Params) {
+func runSweep(p memtest.TimingParams, jsonOut bool) {
 	tb := report.NewTable(
 		fmt.Sprintf("Reduction factor sweep (n=%d, c=%d, t=%.0fns)", p.N, p.C, p.ClockNs),
 		"k", "T[7,8]", "T_prop", "R no-DRF", "R with-DRF")
@@ -73,10 +81,16 @@ func runSweep(p timing.Params) {
 		q := p
 		q.K = k
 		tb.AddRowf("%d|%s|%s|%.1f|%.1f", k,
-			report.Ns(timing.BaselineNs(q)), report.Ns(timing.ProposedNs(q)),
-			timing.ReductionNoDRF(q), timing.ReductionWithDRF(q))
+			report.Ns(memtest.BaselineTimeNs(q)), report.Ns(memtest.ProposedTimeNs(q)),
+			memtest.ReductionNoDRF(q), memtest.ReductionWithDRF(q))
 	}
-	if err := tb.Render(os.Stdout); err != nil {
+	var err error
+	if jsonOut {
+		err = tb.RenderJSON(os.Stdout)
+	} else {
+		err = tb.Render(os.Stdout)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

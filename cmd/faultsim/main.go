@@ -8,7 +8,7 @@
 //
 //	faultsim [-n words] [-c width] [-samples n] [-seed s]
 //	         [-algo marchcw|marchc-|mats+|marchcw+nwrtm|delay]
-//	         [-csv]
+//	         [-csv | -json]
 package main
 
 import (
@@ -16,10 +16,8 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/fault"
-	"repro/internal/march"
 	"repro/internal/report"
-	"repro/internal/simulator"
+	"repro/memtest"
 )
 
 func main() {
@@ -29,16 +27,16 @@ func main() {
 	seed := flag.Int64("seed", 42, "PRNG seed")
 	algo := flag.String("algo", "marchcw+nwrtm", "algorithm: mats+, marchc-, marchcw, marchcw+nwrtm, delay")
 	csv := flag.Bool("csv", false, "emit CSV instead of a table")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of a table")
 	flag.Parse()
 
-	test, err := pickAlgo(*algo, *c)
+	test, err := memtest.NamedMarch(*algo, *c)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
-	classes := append([]fault.Class{}, fault.Classes()...)
-	rows := simulator.Coverage(*n, *c, test, classes, *samples, *seed)
+	rows := memtest.CoverageSweep(*n, *c, test, memtest.FaultClasses(), *samples, *seed)
 
 	tb := report.NewTable(
 		fmt.Sprintf("%s on %dx%d, %d samples/class", test.Name, *n, *c, *samples),
@@ -46,30 +44,16 @@ func main() {
 	for _, r := range rows {
 		tb.AddRow(r.Class.String(), report.Pct(r.DetectionRate()), report.Pct(r.LocationRate()))
 	}
-	if *csv {
+	switch {
+	case *jsonOut:
+		err = tb.RenderJSON(os.Stdout)
+	case *csv:
 		err = tb.RenderCSV(os.Stdout)
-	} else {
+	default:
 		err = tb.Render(os.Stdout)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
-	}
-}
-
-func pickAlgo(name string, c int) (march.Test, error) {
-	switch name {
-	case "mats+":
-		return march.MATSPlus(), nil
-	case "marchc-":
-		return march.MarchCMinus(), nil
-	case "marchcw":
-		return march.MarchCW(c), nil
-	case "marchcw+nwrtm":
-		return march.WithNWRTM(march.MarchCW(c)), nil
-	case "delay":
-		return march.DelayRetentionTest(100), nil
-	default:
-		return march.Test{}, fmt.Errorf("faultsim: unknown algorithm %q", name)
 	}
 }

@@ -14,10 +14,8 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/fault"
-	"repro/internal/march"
 	"repro/internal/report"
-	"repro/internal/simulator"
+	"repro/memtest"
 )
 
 func main() {
@@ -25,49 +23,69 @@ func main() {
 	n := flag.Int("n", 32, "memory words for evaluation")
 	c := flag.Int("c", 8, "memory width for evaluation")
 	samples := flag.Int("samples", 60, "random faults per class")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of a table")
 	flag.Parse()
 
 	if *eval == "" {
-		catalogue(*n)
+		catalogue(*n, *jsonOut)
 		return
 	}
-	test, err := march.Parse(*eval)
+	test, err := memtest.ParseMarch(*eval)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "marchcat:", err)
 		os.Exit(1)
 	}
 	test.Name = "custom"
-	fmt.Printf("%s\n\n", test)
-	rows := simulator.Coverage(*n, *c, test, fault.Classes(), *samples, 7)
+	if !*jsonOut {
+		fmt.Printf("%s\n\n", test)
+	}
+	rows := memtest.CoverageSweep(*n, *c, test, memtest.FaultClasses(), *samples, 7)
 	tb := report.NewTable(fmt.Sprintf("coverage on %dx%d (%d samples/class)", *n, *c, *samples),
 		"fault class", "detected", "located")
 	for _, r := range rows {
 		tb.AddRow(r.Class.String(), report.Pct(r.DetectionRate()), report.Pct(r.LocationRate()))
 	}
-	if err := tb.Render(os.Stdout); err != nil {
+	var err2 error
+	if *jsonOut {
+		// Text mode prints the canonical parsed notation above the
+		// table; carry it in the JSON document too.
+		alg := report.NewTable("Parsed algorithm", "name", "notation")
+		alg.AddRow(test.Name, test.String())
+		err2 = report.RenderJSONAll(os.Stdout, alg, tb)
+	} else {
+		err2 = tb.Render(os.Stdout)
+	}
+	if err2 != nil {
+		fmt.Fprintln(os.Stderr, "marchcat:", err2)
+		os.Exit(1)
+	}
+}
+
+func catalogue(n int, jsonOut bool) {
+	tb := report.NewTable("Built-in March algorithms",
+		"name", "ops/word", "elements", "sequence")
+	for _, alg := range memtest.MarchAlgorithms() {
+		cx := alg.ComplexityFor(n)
+		tb.AddRowf("%s|%dn|%d|%s", alg.Name, cx.Ops()/n, len(alg.Elements),
+			trimName(alg.String(), alg.Name))
+	}
+	cw := memtest.MarchCW(8)
+	cx := cw.ComplexityFor(n)
+	tb.AddRowf("%s (c=8)|%dn|%d|%s", cw.Name, cx.Ops()/n, len(cw.Elements), "March C- body + 3-element extension x ceil(log2 c) backgrounds")
+	nw := memtest.WithNWRTM(memtest.MarchCMinus())
+	cxn := nw.ComplexityFor(n)
+	tb.AddRowf("%s|%dn|%d|%s", nw.Name, cxn.Ops()/n, len(nw.Elements), trimName(nw.String(), nw.Name))
+	if err := render(tb, jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "marchcat:", err)
 		os.Exit(1)
 	}
 }
 
-func catalogue(n int) {
-	tb := report.NewTable("Built-in March algorithms",
-		"name", "ops/word", "elements", "sequence")
-	for _, alg := range march.Algorithms() {
-		cx := alg.ComplexityFor(n)
-		tb.AddRowf("%s|%dn|%d|%s", alg.Name, cx.Ops()/n, len(alg.Elements),
-			trimName(alg.String(), alg.Name))
+func render(tb *report.Table, jsonOut bool) error {
+	if jsonOut {
+		return tb.RenderJSON(os.Stdout)
 	}
-	cw := march.MarchCW(8)
-	cx := cw.ComplexityFor(n)
-	tb.AddRowf("%s (c=8)|%dn|%d|%s", cw.Name, cx.Ops()/n, len(cw.Elements), "March C- body + 3-element extension x ceil(log2 c) backgrounds")
-	nw := march.WithNWRTM(march.MarchCMinus())
-	cxn := nw.ComplexityFor(n)
-	tb.AddRowf("%s|%dn|%d|%s", nw.Name, cxn.Ops()/n, len(nw.Elements), trimName(nw.String(), nw.Name))
-	if err := tb.Render(os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "marchcat:", err)
-		os.Exit(1)
-	}
+	return tb.Render(os.Stdout)
 }
 
 func trimName(s, name string) string {

@@ -13,17 +13,16 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/internal/cell"
-	"repro/internal/config"
-	"repro/internal/core"
 	"repro/internal/fault"
-	"repro/internal/march"
 	"repro/internal/report"
 	"repro/internal/simulator"
 	"repro/internal/sram"
+	"repro/memtest"
 )
 
 func main() {
@@ -61,11 +60,11 @@ func marchLevel() {
 	}
 	for _, tc := range []struct {
 		name string
-		test march.Test
+		test memtest.MarchTest
 	}{
-		{"March CW (no DRF support)", march.MarchCW(8)},
-		{"March CW + NWRTM", march.WithNWRTM(march.MarchCW(8))},
-		{"delay test (2 x 100 ms)", march.DelayRetentionTest(100)},
+		{"March CW (no DRF support)", memtest.MarchCW(8)},
+		{"March CW + NWRTM", memtest.WithNWRTM(memtest.MarchCW(8))},
+		{"delay test (2 x 100 ms)", memtest.DelayRetentionTest(100)},
 	} {
 		res := simulator.Run(inject(), tc.test)
 		fmt.Printf("%-28s detected=%v  pauses=%s\n",
@@ -76,15 +75,15 @@ func marchLevel() {
 
 func schemeLevel() {
 	fmt.Println("-- scheme level --")
-	soc := config.SoC{
+	plan := memtest.Plan{
 		Name:    "drf-fleet",
 		ClockNs: 10,
-		Memories: []config.Memory{
+		Memories: []memtest.MemorySpec{
 			{Name: "buf0", Words: 64, Width: 8, DefectRate: 0.01, DRFCount: 2, Seed: 13},
 			{Name: "buf1", Words: 32, Width: 8, DRFCount: 1, Seed: 12},
 		},
 	}
-	cmp, err := core.CompareSchemes(soc, true)
+	cmp, err := memtest.Compare(context.Background(), plan, true)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,91 @@
+// Fleet streaming: the production shape of the new API. A lot of
+// devices — each an instance of the same SoC plan with an independent,
+// deterministically seeded defect population — is diagnosed across a
+// worker pool, and per-device results stream back as they are ready
+// (in device order) instead of being buffered fleet-wide. A deadline
+// shows context cancellation cutting the run short cleanly.
+//
+// Run with: go run ./examples/fleetstream
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/memtest"
+)
+
+func main() {
+	plan := memtest.Plan{
+		Name:    "lot-17",
+		ClockNs: 10,
+		Memories: []memtest.MemorySpec{
+			{Name: "pktbuf", Words: 64, Width: 16, DefectRate: 0.006, Seed: 1},
+			{Name: "hdrfifo", Words: 32, Width: 12, DefectRate: 0.01, DRFCount: 1, Seed: 2},
+		},
+	}
+
+	s, err := memtest.New(plan,
+		memtest.WithScheme("proposed"),
+		memtest.WithDRF(),
+		memtest.WithRepair(memtest.Budget{SpareWords: 1, SpareCells: 2}),
+		memtest.WithSeed(2026),
+		memtest.WithWorkers(4),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stream 8 devices; each result is JSON-serializable as-is, so a
+	// fleet pipeline can ship them line by line.
+	fmt.Println("-- streaming 8 devices (JSONL, one line per device) --")
+	ctx := context.Background()
+	for dr, err := range s.RunFleet(ctx, 8) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		line, err := json.Marshal(struct {
+			Device  int    `json:"device"`
+			Scheme  string `json:"scheme"`
+			Located int    `json:"located"`
+			Yield   string `json:"yield"`
+		}{
+			dr.Device, dr.Result.Engine,
+			dr.Result.Report.TotalLocated(),
+			fmt.Sprintf("%d/%d", dr.Result.Yield.Repairable, dr.Result.Yield.Memories),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(append(line, '\n'))
+	}
+
+	// A cancelled context stops the stream within one device's work:
+	// the engines poll ctx between March elements and iterations.
+	fmt.Println("\n-- cancellation --")
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	seen := 0
+	for _, err := range s.RunFleet(cctx, 1000) {
+		if err != nil {
+			fmt.Printf("stream ended after %d devices: cancelled=%v\n",
+				seen, errors.Is(err, context.Canceled))
+			break
+		}
+		seen++
+	}
+
+	// Per-memory streaming of a single device via Session.Run.
+	fmt.Println("\n-- single device, per-memory stream --")
+	for d, err := range s.Run(ctx) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %dx%-3d located %d/%d, false+ %d\n",
+			d.Name, d.Words, d.Width, d.TruthLocated, d.Detectable, d.FalsePositives)
+	}
+}

@@ -9,32 +9,32 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
-	"repro/internal/config"
-	"repro/internal/core"
 	"repro/internal/report"
+	"repro/memtest"
 )
 
 func main() {
-	soc := config.HeterogeneousExample()
-	fmt.Printf("fleet %q: %d e-SRAMs sharing one BISD controller\n\n", soc.Name, len(soc.Memories))
+	plan := memtest.HeterogeneousExample()
+	fmt.Printf("fleet %q: %d e-SRAMs sharing one BISD controller\n\n", plan.Name, len(plan.Memories))
 
-	cmp, err := core.CompareSchemes(soc, false)
+	cmp, err := memtest.Compare(context.Background(), plan, false)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	tb := report.NewTable("Parallel fleet diagnosis (no DRF phase)",
 		"scheme", "cycles", "time", "k", "faults located")
-	for _, r := range []*core.Result{cmp.Baseline, cmp.Proposed} {
+	for _, r := range []*memtest.Result{cmp.Baseline, cmp.Proposed} {
 		located := 0
 		for _, md := range r.Memories {
 			located += md.TruthLocated
 		}
-		tb.AddRowf("%s|%d|%s|%d|%d", r.SchemeName, r.Report.Cycles,
+		tb.AddRowf("%s|%d|%s|%d|%d", r.Scheme, r.Report.Cycles,
 			report.Ns(r.TimeNs()), r.Report.Iterations, located)
 	}
 	if err := tb.Render(os.Stdout); err != nil {
@@ -52,7 +52,7 @@ func main() {
 	detail := report.NewTable("Proposed scheme, per memory",
 		"memory", "geometry", "wraps", "injected", "located", "false+")
 	nMax := 0
-	for _, m := range soc.Memories {
+	for _, m := range plan.Memories {
 		if m.Words > nMax {
 			nMax = m.Words
 		}

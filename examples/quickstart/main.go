@@ -5,20 +5,20 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/config"
-	"repro/internal/core"
+	"repro/memtest"
 )
 
 func main() {
 	// Describe a fleet: two small buffers with synthetic defects. In a
-	// real flow this comes from a JSON file (see internal/config).
-	soc := config.SoC{
+	// real flow this comes from a JSON file (see memtest.ParsePlan).
+	plan := memtest.Plan{
 		Name:    "quickstart",
 		ClockNs: 10,
-		Memories: []config.Memory{
+		Memories: []memtest.MemorySpec{
 			{Name: "fifo0", Words: 64, Width: 16, DefectRate: 0.01, Seed: 1},
 			{Name: "fifo1", Words: 32, Width: 8, DefectRate: 0.02, DRFCount: 1, Seed: 2},
 		},
@@ -26,13 +26,13 @@ func main() {
 
 	// Run the proposed SPC/PSC scheme with NWRTM so data-retention
 	// faults are diagnosed too — with zero retention pauses.
-	res, err := core.Diagnose(soc, core.Options{Scheme: core.Proposed, IncludeDRF: true})
+	res, err := memtest.Diagnose(context.Background(), plan, memtest.WithDRF())
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("diagnosed %q in %d cycles (%.3f ms), retention pauses: %.0f ms\n",
-		soc.Name, res.Report.Cycles, res.TimeNs()/1e6, res.Report.RetentionNs/1e6)
+		plan.Name, res.Report.Cycles, res.TimeNs()/1e6, res.Report.RetentionNs/1e6)
 	for _, md := range res.Memories {
 		fmt.Printf("  %-6s %dx%-3d located %d/%d faults, %d false positives\n",
 			md.Name, md.Words, md.Width, md.TruthLocated, md.Detectable, md.FalsePositives)

@@ -7,23 +7,22 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
-	"repro/internal/config"
-	"repro/internal/core"
-	"repro/internal/repair"
 	"repro/internal/report"
+	"repro/memtest"
 )
 
 func main() {
 	// A production lot: many instances of the same buffer design with
 	// per-instance random defects (different seeds model different
 	// dies).
-	lot := config.SoC{Name: "lot", ClockNs: 10}
+	lot := memtest.Plan{Name: "lot", ClockNs: 10}
 	for i := 0; i < 12; i++ {
-		lot.Memories = append(lot.Memories, config.Memory{
+		lot.Memories = append(lot.Memories, memtest.MemorySpec{
 			Name:  fmt.Sprintf("die%02d", i),
 			Words: 64, Width: 16,
 			DefectRate: 0.004,
@@ -32,7 +31,7 @@ func main() {
 		})
 	}
 
-	budgets := []repair.Budget{
+	budgets := []memtest.Budget{
 		{},
 		{SpareCells: 1},
 		{SpareCells: 2},
@@ -43,11 +42,11 @@ func main() {
 	tb := report.NewTable("Yield vs spare budget (proposed scheme + NWRTM diagnosis)",
 		"spare words", "spare cells", "repairable", "yield", "unrepaired cells")
 	for _, b := range budgets {
-		opts := core.Options{Scheme: core.Proposed, IncludeDRF: true}
-		if b != (repair.Budget{}) {
-			opts.SpareBudget = b
+		opts := []memtest.Option{memtest.WithDRF()}
+		if b != (memtest.Budget{}) {
+			opts = append(opts, memtest.WithRepair(b))
 		}
-		res, err := core.Diagnose(lot, opts)
+		res, err := memtest.Diagnose(context.Background(), lot, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -59,7 +58,7 @@ func main() {
 					defective++
 				}
 			}
-			y := repair.YieldStats{Memories: len(res.Memories), Repairable: len(res.Memories) - defective}
+			y := memtest.YieldStats{Memories: len(res.Memories), Repairable: len(res.Memories) - defective}
 			tb.AddRowf("0|0|%d/%d|%s|-", y.Repairable, y.Memories, report.Pct(y.Yield()))
 			continue
 		}

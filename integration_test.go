@@ -1,13 +1,12 @@
 package repro_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/bisd"
-	"repro/internal/config"
-	"repro/internal/core"
 	"repro/internal/diagnose"
 	"repro/internal/fault"
 	"repro/internal/march"
@@ -15,6 +14,7 @@ import (
 	"repro/internal/scanout"
 	"repro/internal/simulator"
 	"repro/internal/sram"
+	"repro/memtest"
 )
 
 // Integration tests: full flows across module boundaries.
@@ -30,18 +30,17 @@ func TestFullFlowJSONToRepair(t *testing.T) {
 			{"name": "b", "words": 32, "width": 8, "defect_rate": 0.02, "drf_count": 1, "seed": 22}
 		]
 	}`)
-	soc, err := config.Parse(raw)
+	plan, err := memtest.ParsePlan(raw)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.Diagnose(soc, core.Options{
-		Scheme: core.Proposed, IncludeDRF: true,
-		SpareBudget: repair.Budget{SpareWords: 4, SpareCells: 16},
-	})
+	res, err := memtest.Diagnose(context.Background(), plan,
+		memtest.WithDRF(),
+		memtest.WithRepair(repair.Budget{SpareWords: 4, SpareCells: 16}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	test := core.DefaultTest(16, true)
+	test := memtest.DefaultTest(16, true)
 	for _, md := range res.Memories {
 		if md.TruthLocated != md.Detectable || md.FalsePositives != 0 {
 			t.Fatalf("%s: diagnosis imperfect: %+v", md.Name, md)
@@ -120,13 +119,14 @@ func TestQuickProposedMatchesReference(t *testing.T) {
 // scheme's diagnosis never loses or invents cells, for random fleets.
 func TestQuickDiagnosisFeedsRepairConsistently(t *testing.T) {
 	f := func(seed int64, wordsBudget, cellsBudget uint8) bool {
-		soc := config.SoC{Name: "q", ClockNs: 10, Memories: []config.Memory{
+		plan := memtest.Plan{Name: "q", ClockNs: 10, Memories: []memtest.MemorySpec{
 			{Name: "m", Words: 32, Width: 8, DefectRate: 0.02, Seed: seed},
 		}}
-		res, err := core.Diagnose(soc, core.Options{
-			Scheme:      core.Proposed,
-			SpareBudget: repair.Budget{SpareWords: int(wordsBudget % 4), SpareCells: int(cellsBudget % 8)},
-		})
+		var opts []memtest.Option
+		if b := (repair.Budget{SpareWords: int(wordsBudget % 4), SpareCells: int(cellsBudget % 8)}); b != (repair.Budget{}) {
+			opts = append(opts, memtest.WithRepair(b))
+		}
+		res, err := memtest.Diagnose(context.Background(), plan, opts...)
 		if err != nil {
 			return false
 		}
@@ -150,14 +150,14 @@ func TestQuickDiagnosisFeedsRepairConsistently(t *testing.T) {
 // (it sees DRFs and whole words), and the single-directional interface
 // is not trustworthy at all.
 func TestSchemesCoverageOrdering(t *testing.T) {
-	soc := config.SoC{Name: "ord", ClockNs: 10, Memories: []config.Memory{
+	plan := memtest.Plan{Name: "ord", ClockNs: 10, Memories: []memtest.MemorySpec{
 		{Name: "m0", Words: 32, Width: 8, DefectRate: 0.02, DRFCount: 2, Seed: 31},
 	}}
-	prop, err := core.Diagnose(soc, core.Options{Scheme: core.Proposed, IncludeDRF: true})
+	prop, err := memtest.Diagnose(context.Background(), plan, memtest.WithDRF())
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := core.Diagnose(soc, core.Options{Scheme: core.Baseline78})
+	base, err := memtest.Diagnose(context.Background(), plan, memtest.WithScheme("baseline"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +198,7 @@ func TestAnalyticAndBitLevelBaselineAgreeOnK(t *testing.T) {
 // TestLargeFleetAutoAnalytic: a paper-scale memory must route to the
 // analytic baseline instead of hanging in O((nc)^2) simulation.
 func TestLargeFleetAutoAnalytic(t *testing.T) {
-	res, err := core.Diagnose(config.Benchmark16(), core.Options{Scheme: core.Baseline78})
+	res, err := memtest.Diagnose(context.Background(), memtest.Benchmark16(), memtest.WithScheme("baseline"))
 	if err != nil {
 		t.Fatal(err)
 	}

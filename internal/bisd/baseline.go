@@ -1,6 +1,7 @@
 package bisd
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/fault"
@@ -29,6 +30,9 @@ type BaselineOptions struct {
 	// proposed scheme's measured speedup conservative. It is the mode
 	// the paper-scale benchmark (n=512, c=100) uses.
 	Analytic bool
+	// Ctx, when non-nil, is polled between M1 iterations: once it is
+	// cancelled the run aborts promptly and returns Ctx.Err().
+	Ctx context.Context
 }
 
 // drfPauseNs is the conventional retention pause (100 ms) in ns.
@@ -74,6 +78,9 @@ func RunBaseline(mems []*sram.Memory, opt BaselineOptions) (*Report, error) {
 	// M1 iteration loop: all memories in parallel; k counts iterations
 	// in which any memory identified a new fault.
 	for iter := 0; ; iter++ {
+		if err := ctxErr(opt.Ctx); err != nil {
+			return nil, err
+		}
 		if iter > opt.MaxIterations {
 			return nil, fmt.Errorf("bisd: baseline did not converge after %d iterations", iter)
 		}
@@ -122,6 +129,9 @@ func RunBaseline(mems []*sram.Memory, opt BaselineOptions) (*Report, error) {
 func runBaselineAnalytic(mems []*sram.Memory, opt BaselineOptions, nMax, cMax int, coll *collector) (*Report, error) {
 	rep := &Report{Scheme: "baseline [7,8] (analytic model)", ClockNs: opt.ClockNs}
 	for i, m := range mems {
+		if err := ctxErr(opt.Ctx); err != nil {
+			return nil, err
+		}
 		m1 := 0
 		for _, f := range m.Faults() {
 			switch f.Class {

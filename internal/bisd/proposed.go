@@ -1,6 +1,7 @@
 package bisd
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bitvec"
@@ -25,6 +26,9 @@ type ProposedOptions struct {
 	// Trace, when non-nil, receives cycle-stamped events (deliveries,
 	// element starts, miscompares) for debugging.
 	Trace *trace.Recorder
+	// Ctx, when non-nil, is polled between March elements: once it is
+	// cancelled the run aborts promptly and returns Ctx.Err().
+	Ctx context.Context
 }
 
 // RunProposed executes the proposed diagnosis scheme (Fig. 3) over a
@@ -92,7 +96,10 @@ func RunProposed(mems []*sram.Memory, test march.Test, opt ProposedOptions) (*Re
 	}
 
 	elemIdx := 0
-	runElement := func(e march.Element, bgIdx int) {
+	runElement := func(e march.Element, bgIdx int) error {
+		if err := ctxErr(opt.Ctx); err != nil {
+			return err
+		}
 		if e.DelayMs > 0 {
 			for _, m := range mems {
 				m.Hold(e.DelayMs)
@@ -169,11 +176,14 @@ func RunProposed(mems []*sram.Memory, test march.Test, opt ProposedOptions) (*Re
 			}
 		}
 		elemIdx++
+		return nil
 	}
 
 	for i := 0; i < len(test.Elements); {
 		if !repeatedElement(test, i) {
-			runElement(test.Elements[i], 0)
+			if err := runElement(test.Elements[i], 0); err != nil {
+				return nil, err
+			}
 			i++
 			continue
 		}
@@ -183,7 +193,9 @@ func RunProposed(mems []*sram.Memory, test march.Test, opt ProposedOptions) (*Re
 		}
 		for bg := 1; bg < nBgs; bg++ {
 			for k := i; k < j; k++ {
-				runElement(test.Elements[k], bg)
+				if err := runElement(test.Elements[k], bg); err != nil {
+					return nil, err
+				}
 			}
 		}
 		i = j
@@ -191,6 +203,15 @@ func RunProposed(mems []*sram.Memory, test march.Test, opt ProposedOptions) (*Re
 
 	rep.Memories = coll.finish()
 	return rep, nil
+}
+
+// ctxErr is a non-blocking cancellation poll; a nil context never
+// cancels.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // repeatedElement mirrors march.Test's per-background repetition flag.

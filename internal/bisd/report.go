@@ -29,15 +29,18 @@ import (
 // analysis (Sec. 3.1).
 type FailureRecord struct {
 	// Memory is the index of the e-SRAM in the fleet.
-	Memory int
+	Memory int `json:"memory"`
 	// LogicalAddr is the controller-side address; PhysicalAddr is the
 	// address inside the (possibly smaller, wrapped) memory.
-	LogicalAddr, PhysicalAddr int
+	LogicalAddr  int `json:"logical_addr"`
+	PhysicalAddr int `json:"physical_addr"`
 	// Bit is the failing bit position.
-	Bit int
+	Bit int `json:"bit"`
 	// Element and Background identify the March element execution;
 	// Op is the read's index within the element's op list.
-	Element, Background, Op int
+	Element    int `json:"element"`
+	Background int `json:"background"`
+	Op         int `json:"op"`
 }
 
 // String renders the record as a scan-out log line.
@@ -49,13 +52,14 @@ func (r FailureRecord) String() string {
 // MemoryResult is the per-memory diagnosis outcome.
 type MemoryResult struct {
 	// Index is the memory's position in the fleet.
-	Index int
+	Index int `json:"index"`
 	// Words and Width are the memory geometry.
-	Words, Width int
+	Words int `json:"words"`
+	Width int `json:"width"`
 	// Failures are the registered miscompares in execution order.
-	Failures []FailureRecord
+	Failures []FailureRecord `json:"failures,omitempty"`
 	// Located is the deduplicated, sorted set of failing cells.
-	Located []fault.Cell
+	Located []fault.Cell `json:"located"`
 }
 
 // LocatedCell reports whether the cell is in the located set.
@@ -71,20 +75,20 @@ func (m MemoryResult) LocatedCell(c fault.Cell) bool {
 // Report is the outcome of a fleet diagnosis run.
 type Report struct {
 	// Scheme names the architecture that produced the report.
-	Scheme string
+	Scheme string `json:"scheme"`
 	// Cycles is the total diagnosis clock cycle count (global, all
 	// memories in parallel).
-	Cycles int64
+	Cycles int64 `json:"cycles"`
 	// ClockNs is the diagnosis clock period t in nanoseconds.
-	ClockNs float64
+	ClockNs float64 `json:"clock_ns"`
 	// RetentionNs is wall-clock spent in retention pauses (delay-based
 	// DRF testing); zero for the proposed NWRTM scheme.
-	RetentionNs float64
+	RetentionNs float64 `json:"retention_ns"`
 	// Iterations is the number of M1 iterations the baseline needed
 	// (its k); zero for the proposed scheme.
-	Iterations int
+	Iterations int `json:"iterations"`
 	// Memories holds per-memory results, fleet order.
-	Memories []MemoryResult
+	Memories []MemoryResult `json:"memories"`
 }
 
 // TimeNs is the total diagnosis time in nanoseconds: cycle time plus

@@ -141,12 +141,25 @@ func (k AFKind) String() string {
 // Cell addresses a single bit in a memory: word address Addr, bit
 // position Bit (0 = LSB).
 type Cell struct {
-	Addr int
-	Bit  int
+	Addr int `json:"addr"`
+	Bit  int `json:"bit"`
 }
 
 // String renders the cell as "addr.bit".
 func (c Cell) String() string { return fmt.Sprintf("%d.%d", c.Addr, c.Bit) }
+
+// Splitmix64 applies the splitmix64 finalizer — the shared primitive
+// behind every derived-seed scheme in this module (per-sample sweep
+// seeds, per-device fleet seeds). Determinism contracts depend on this
+// exact arithmetic; change it nowhere and never.
+func Splitmix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
 
 // Less orders cells by address then bit, for deterministic reports.
 func (c Cell) Less(o Cell) bool {

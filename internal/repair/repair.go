@@ -17,21 +17,21 @@ import (
 // Budget is the spare resources attached to one e-SRAM.
 type Budget struct {
 	// SpareWords can each replace one full word (all its bits).
-	SpareWords int
+	SpareWords int `json:"spare_words"`
 	// SpareCells can each replace one individual bit cell.
-	SpareCells int
+	SpareCells int `json:"spare_cells"`
 }
 
 // Allocation is the outcome of repairing one memory.
 type Allocation struct {
 	// WordRepairs maps repaired word addresses to the located cells
 	// they cover.
-	WordRepairs map[int][]fault.Cell
+	WordRepairs map[int][]fault.Cell `json:"word_repairs,omitempty"`
 	// CellRepairs lists cells repaired individually.
-	CellRepairs []fault.Cell
+	CellRepairs []fault.Cell `json:"cell_repairs,omitempty"`
 	// Unrepaired lists located cells left unrepaired (budget
 	// exhausted).
-	Unrepaired []fault.Cell
+	Unrepaired []fault.Cell `json:"unrepaired,omitempty"`
 }
 
 // Repaired reports whether every located cell was covered.
@@ -92,9 +92,11 @@ func Allocate(located []fault.Cell, b Budget) Allocation {
 type YieldStats struct {
 	// Memories is the fleet size; Repairable counts memories whose
 	// located faults all fit the budget.
-	Memories, Repairable int
+	Memories   int `json:"memories"`
+	Repairable int `json:"repairable"`
 	// TotalLocated and TotalUnrepaired count cells.
-	TotalLocated, TotalUnrepaired int
+	TotalLocated    int `json:"total_located"`
+	TotalUnrepaired int `json:"total_unrepaired"`
 }
 
 // Yield is the fraction of memories fully repairable.

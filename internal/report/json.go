@@ -1,0 +1,54 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonTable is the machine-readable form of a Table: the column list
+// preserves order, rows are objects keyed by column header.
+type jsonTable struct {
+	Title   string              `json:"title,omitempty"`
+	Columns []string            `json:"columns"`
+	Rows    []map[string]string `json:"rows"`
+}
+
+func (t *Table) jsonDoc() jsonTable {
+	doc := jsonTable{Title: t.Title, Columns: t.headers, Rows: make([]map[string]string, 0, len(t.rows))}
+	for _, row := range t.rows {
+		obj := make(map[string]string, len(t.headers))
+		for i, h := range t.headers {
+			obj[h] = row[i]
+		}
+		doc.Rows = append(doc.Rows, obj)
+	}
+	return doc
+}
+
+// RenderJSON writes the table as one indented JSON document: the
+// columns array preserves column order, each row is an object keyed by
+// header — the -json output mode of the command-line tools.
+func (t *Table) RenderJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(t.jsonDoc(), "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", data)
+	return err
+}
+
+// RenderJSONAll writes several tables as one JSON array, for tools that
+// print more than one table per invocation.
+func RenderJSONAll(w io.Writer, tables ...*Table) error {
+	docs := make([]jsonTable, len(tables))
+	for i, t := range tables {
+		docs[i] = t.jsonDoc()
+	}
+	data, err := json.MarshalIndent(docs, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", data)
+	return err
+}

@@ -1,0 +1,58 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRenderJSON(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("1", "x,y")
+	tb.AddRow("2")
+	var sb strings.Builder
+	if err := tb.RenderJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Title   string              `json:"title"`
+		Columns []string            `json:"columns"`
+		Rows    []map[string]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if doc.Title != "t" || len(doc.Columns) != 2 || len(doc.Rows) != 2 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	if doc.Rows[0]["b"] != "x,y" {
+		t.Errorf("cell survived unquoted-unescaped: %q", doc.Rows[0]["b"])
+	}
+	if doc.Rows[1]["b"] != "" {
+		t.Errorf("missing cell = %q, want empty", doc.Rows[1]["b"])
+	}
+	if !strings.HasSuffix(sb.String(), "\n") {
+		t.Error("output not newline-terminated")
+	}
+}
+
+func TestRenderJSONAll(t *testing.T) {
+	a := NewTable("", "x")
+	a.AddRow("1")
+	b := NewTable("second", "y")
+	var sb strings.Builder
+	if err := RenderJSONAll(&sb, a, b); err != nil {
+		t.Fatal(err)
+	}
+	var docs []struct {
+		Title   string              `json:"title"`
+		Columns []string            `json:"columns"`
+		Rows    []map[string]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &docs); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if len(docs) != 2 || docs[1].Title != "second" || len(docs[0].Rows) != 1 {
+		t.Fatalf("docs = %+v", docs)
+	}
+}

@@ -127,12 +127,7 @@ func CoverageParallel(n, c int, t march.Test, classes []fault.Class, samples int
 // every sample's fault is independent of scheduling order.
 func sampleSeed(seed int64, class, sample int) int64 {
 	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(class+1) + 0xbf58476d1ce4e5b9*uint64(sample+1)
-	z ^= z >> 30
-	z *= 0xbf58476d1ce4e5b9
-	z ^= z >> 27
-	z *= 0x94d049bb133111eb
-	z ^= z >> 31
-	return int64(z)
+	return int64(fault.Splitmix64(z))
 }
 
 // locatedFault decides whether the diagnosis pinpointed the injected

@@ -1,0 +1,180 @@
+package memtest
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// collectFleet drains a RunFleet stream into JSON lines for comparison.
+func collectFleet(t *testing.T, s *Session, devices int) []string {
+	t.Helper()
+	var lines []string
+	for dr, err := range s.RunFleet(context.Background(), devices) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dr.Device != len(lines) {
+			t.Fatalf("device %d yielded at position %d", dr.Device, len(lines))
+		}
+		data, err := json.Marshal(dr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, string(data))
+	}
+	return lines
+}
+
+func TestRunFleetDeterministicAcrossWorkerCounts(t *testing.T) {
+	const devices = 12
+	var got [][]string
+	for _, workers := range []int{1, 3, 8} {
+		s, err := New(smallPlan(), WithSeed(7), WithWorkers(workers), WithDRF())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, collectFleet(t, s, devices))
+	}
+	for i := 1; i < len(got); i++ {
+		if len(got[i]) != devices {
+			t.Fatalf("stream %d yielded %d devices", i, len(got[i]))
+		}
+		for d := range got[0] {
+			if got[i][d] != got[0][d] {
+				t.Fatalf("worker-count run %d differs at device %d:\n%s\nvs\n%s",
+					i, d, got[i][d], got[0][d])
+			}
+		}
+	}
+}
+
+func TestRunFleetDevicesDrawDistinctDefects(t *testing.T) {
+	s, err := New(smallPlan(), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := collectFleet(t, s, 6)
+	seen := map[string]bool{}
+	for _, l := range lines {
+		// Strip the device/seed prefix so only the diagnosis is compared.
+		var dr DeviceResult
+		if err := json.Unmarshal([]byte(l), &dr); err != nil {
+			t.Fatal(err)
+		}
+		body, _ := json.Marshal(dr.Result.Memories)
+		seen[string(body)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("all %d devices drew identical defect populations", len(lines))
+	}
+}
+
+func TestRunFleetConcurrentStreams(t *testing.T) {
+	// Two goroutines stream fleets from the same Session at once — the
+	// -race CI step makes this a data-race probe for the worker pool.
+	s, err := New(smallPlan(), WithSeed(11), WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := collectFleet(t, s, 8)
+	var wg sync.WaitGroup
+	results := make([][]string, 2)
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lines []string
+			for dr, err := range s.RunFleet(context.Background(), 8) {
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				data, _ := json.Marshal(dr)
+				lines = append(lines, string(data))
+			}
+			results[g] = lines
+		}()
+	}
+	wg.Wait()
+	for g, lines := range results {
+		if len(lines) != len(ref) {
+			t.Fatalf("stream %d yielded %d devices, want %d", g, len(lines), len(ref))
+		}
+		for d := range ref {
+			if lines[d] != ref[d] {
+				t.Fatalf("concurrent stream %d differs at device %d", g, d)
+			}
+		}
+	}
+}
+
+func TestRunFleetCancellationStopsStream(t *testing.T) {
+	s, err := New(smallPlan(), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const devices = 500
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	yielded := 0
+	var streamErr error
+	for _, err := range s.RunFleet(ctx, devices) {
+		if err != nil {
+			streamErr = err
+			break
+		}
+		yielded++
+		cancel() // cancel after the first successful device
+	}
+	if streamErr == nil {
+		t.Fatalf("stream of %d devices completed despite cancellation after %d", devices, yielded)
+	}
+	if !errors.Is(streamErr, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", streamErr)
+	}
+	if yielded >= devices {
+		t.Fatalf("yielded all %d devices", yielded)
+	}
+}
+
+func TestRunFleetEarlyBreakReleasesWorkers(t *testing.T) {
+	s, err := New(smallPlan(), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, err := range s.RunFleet(context.Background(), 50) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+		if n == 2 {
+			break
+		}
+	}
+	if n != 2 {
+		t.Fatalf("consumed %d devices", n)
+	}
+	// The internal cancel must have released the pool; a fresh stream
+	// on the same session still works.
+	if lines := collectFleet(t, s, 3); len(lines) != 3 {
+		t.Fatalf("follow-up stream yielded %d devices", len(lines))
+	}
+}
+
+func TestRunFleetRejectsBadDeviceCount(t *testing.T) {
+	s, err := New(smallPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamErr error
+	for _, err := range s.RunFleet(context.Background(), 0) {
+		streamErr = err
+	}
+	if !errors.Is(streamErr, ErrBadDeviceCount) {
+		t.Fatalf("err = %v, want ErrBadDeviceCount", streamErr)
+	}
+}

@@ -1,0 +1,70 @@
+package memtest
+
+import (
+	"fmt"
+
+	"repro/internal/march"
+	"repro/internal/simulator"
+)
+
+// March algorithm surface: the built-in library, the notation parser
+// and the RAMSES-style coverage sweep, so test development (write an
+// algorithm, measure its coverage, commit it to a controller) runs
+// entirely against the public package.
+
+// MarchMATSPlus returns MATS+ (5n).
+func MarchMATSPlus() MarchTest { return march.MATSPlus() }
+
+// MarchCMinus returns March C- (10n).
+func MarchCMinus() MarchTest { return march.MarchCMinus() }
+
+// MarchCW returns March CW sized for IO width c — March C- plus the
+// paper's 3-element extension over ceil(log2 c)+1 data backgrounds.
+func MarchCW(c int) MarchTest { return march.MarchCW(c) }
+
+// WithNWRTM merges No Write Recovery Test Mode ops into a test,
+// enabling zero-delay data-retention-fault diagnosis.
+func WithNWRTM(t MarchTest) MarchTest { return march.WithNWRTM(t) }
+
+// DelayRetentionTest returns the conventional delay-based DRF test with
+// the given pause per polarity, in ms.
+func DelayRetentionTest(pauseMs float64) MarchTest { return march.DelayRetentionTest(pauseMs) }
+
+// MarchAlgorithms lists the built-in width-independent algorithms.
+func MarchAlgorithms() []MarchTest { return march.Algorithms() }
+
+// ParseMarch parses a March algorithm written in the usual notation,
+// e.g. "a(w0); u(r0,w1); d(r1,w0); a(r0)".
+func ParseMarch(s string) (MarchTest, error) { return march.Parse(s) }
+
+// NamedMarch resolves the algorithm names the command-line tools accept
+// ("mats+", "marchc-", "marchcw", "marchcw+nwrtm", "delay"), sizing
+// width-dependent tests for IO width c.
+func NamedMarch(name string, c int) (MarchTest, error) {
+	switch name {
+	case "mats+":
+		return march.MATSPlus(), nil
+	case "marchc-":
+		return march.MarchCMinus(), nil
+	case "marchcw":
+		return march.MarchCW(c), nil
+	case "marchcw+nwrtm":
+		return march.WithNWRTM(march.MarchCW(c)), nil
+	case "delay":
+		return march.DelayRetentionTest(100), nil
+	default:
+		return MarchTest{}, fmt.Errorf("memtest: unknown algorithm %q", name)
+	}
+}
+
+// CoverageSweep sweeps `samples` random single faults per class over an
+// n x c memory and reports detection and location coverage of the
+// March test — deterministic in the seed at any worker count.
+func CoverageSweep(n, c int, t MarchTest, classes []Class, samples int, seed int64) []CoverageRow {
+	return simulator.Coverage(n, c, t, classes, samples, seed)
+}
+
+// CoverageSweepParallel is CoverageSweep with an explicit worker count.
+func CoverageSweepParallel(n, c int, t MarchTest, classes []Class, samples int, seed int64, workers int) []CoverageRow {
+	return simulator.CoverageParallel(n, c, t, classes, samples, seed, workers)
+}

@@ -1,0 +1,88 @@
+package memtest
+
+import (
+	"repro/internal/area"
+	"repro/internal/timing"
+)
+
+// Analytic timing model — the paper's equations (1)-(4), for callers
+// that want diagnosis-time arithmetic without running an engine.
+
+// TimingParams carries the quantities the equations use: n, c, the
+// clock period t and the baseline's iteration count k.
+type TimingParams = timing.Params
+
+// TimingCaseStudy derives k from an assumed fault population, the
+// paper's Sec. 4.2 discipline.
+type TimingCaseStudy = timing.CaseStudy
+
+// PaperCaseStudy returns the paper's exact case-study point (n=512,
+// c=100, t=10ns, 256 faults, 75% M1 coverage).
+func PaperCaseStudy() TimingCaseStudy { return timing.PaperCaseStudy() }
+
+// BaselineTimeNs evaluates Eq. (1): T[7,8] = (17k+9)·n·c·t.
+func BaselineTimeNs(p TimingParams) float64 { return timing.BaselineNs(p) }
+
+// BaselineTimeWithDRFNs evaluates Eq. (4)'s baseline term: Eq. (1) plus
+// 8k serial units and 200 ms of retention pauses.
+func BaselineTimeWithDRFNs(p TimingParams) float64 { return timing.BaselineWithDRFNs(p) }
+
+// ProposedCycles evaluates Eq. (2)'s cycle count for an n x c memory.
+func ProposedCycles(n, c int) int64 { return timing.ProposedCycles(n, c) }
+
+// ProposedTimeNs evaluates Eq. (2): the proposed scheme's single-pass
+// time.
+func ProposedTimeNs(p TimingParams) float64 { return timing.ProposedNs(p) }
+
+// ProposedTimeWithDRFNs evaluates Eq. (2) with the NWRTM merge's
+// (2n+2c) extra cycles.
+func ProposedTimeWithDRFNs(p TimingParams) float64 { return timing.ProposedWithDRFNs(p) }
+
+// ReductionNoDRF evaluates Eq. (3): R without DRF diagnosis.
+func ReductionNoDRF(p TimingParams) float64 { return timing.ReductionNoDRF(p) }
+
+// ReductionWithDRF evaluates Eq. (4): R with DRF diagnosis.
+func ReductionWithDRF(p TimingParams) float64 { return timing.ReductionWithDRF(p) }
+
+// Area model — Sec. 4.3's transistor ledger for the interface
+// structures, re-exported for the areacalc tool and DFT planning.
+
+// AreaOverhead is a per-memory overhead breakdown.
+type AreaOverhead = area.MemoryOverhead
+
+// AreaWires counts the global diagnosis wires a scheme routes.
+type AreaWires = area.GlobalWires
+
+// AreaCells converts a transistor count into equivalent 6T cell areas.
+func AreaCells(transistors int) float64 { return area.Cells(transistors) }
+
+// AreaBaselinePerBit is the [7,8] per-IO-bit interface cost (4:1 mux +
+// latch).
+func AreaBaselinePerBit() int { return area.BaselinePerBit() }
+
+// AreaProposedPerBit is the proposed per-IO-bit interface cost (SPC DFF
+// + PSC scan DFF + two 2:1 muxes).
+func AreaProposedPerBit() int { return area.ProposedPerBit() }
+
+// AreaExtraPerBitCells is the proposed scheme's extra per-bit cost over
+// the baseline, in 6T cells.
+func AreaExtraPerBitCells() float64 { return area.ExtraPerBitCells() }
+
+// AreaBaselineOverhead is the baseline's per-memory overhead for an
+// n x c memory.
+func AreaBaselineOverhead(n, c int) AreaOverhead { return area.BaselineOverhead(n, c) }
+
+// AreaProposedOverhead is the proposed scheme's per-memory overhead for
+// an n x c memory.
+func AreaProposedOverhead(n, c int) AreaOverhead { return area.ProposedOverhead(n, c) }
+
+// AreaCombinedOverheadFraction is the Sec. 4.3 basis: both schemes
+// applied to one n x c memory, as a fraction of cell area.
+func AreaCombinedOverheadFraction(n, c int) float64 { return area.CombinedOverheadFraction(n, c) }
+
+// AreaBaselineWires counts the baseline's global wires.
+func AreaBaselineWires() AreaWires { return area.BaselineWires() }
+
+// AreaProposedWires counts the proposed scheme's global wires, with or
+// without the NWRTM control line.
+func AreaProposedWires(withNWRTM bool) AreaWires { return area.ProposedWires(withNWRTM) }

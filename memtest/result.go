@@ -1,0 +1,81 @@
+package memtest
+
+import (
+	"repro/internal/fault"
+	"repro/internal/repair"
+)
+
+// Diagnosis is the evaluated per-memory outcome — what Session.Run
+// streams. It marshals to JSON for fleet pipelines.
+type Diagnosis struct {
+	// Name and geometry from the plan.
+	Name  string `json:"name"`
+	Words int    `json:"words"`
+	Width int    `json:"width"`
+	// Located is the scheme's diagnosis: the cells it claims are
+	// defective.
+	Located []Cell `json:"located"`
+	// Injected is the ground-truth fault count; Detectable excludes
+	// faults outside the run's reach (DRFs when DRF diagnosis is off).
+	Injected   int `json:"injected"`
+	Detectable int `json:"detectable"`
+	// TruthLocated counts injected faults whose victim cell appears in
+	// Located; FalsePositives counts located cells with no injected
+	// fault.
+	TruthLocated   int `json:"truth_located"`
+	FalsePositives int `json:"false_positives"`
+	// Repair is the spare allocation when a budget was configured.
+	Repair *Allocation `json:"repair,omitempty"`
+}
+
+// Result is a full fleet diagnosis outcome, the materialized form
+// RunAll and Diagnose return.
+type Result struct {
+	// Engine is the registry name of the engine that ran; Scheme is
+	// its human-readable architecture label.
+	Engine string `json:"engine"`
+	Scheme string `json:"scheme"`
+	// Plan echoes the plan name.
+	Plan string `json:"plan"`
+	// Report is the engine's raw cycle-level outcome.
+	Report *Report `json:"report"`
+	// Memories holds the evaluated per-memory results.
+	Memories []Diagnosis `json:"memories"`
+	// Yield summarizes repair over the fleet when a budget was set.
+	Yield *YieldStats `json:"yield,omitempty"`
+}
+
+// TimeNs is the total diagnosis time in ns (cycles plus retention).
+func (r *Result) TimeNs() float64 { return r.Report.TimeNs() }
+
+// evaluate scores one memory's raw engine outcome against the injected
+// ground truth and, when a budget is set, allocates repair.
+func (s *Session) evaluate(f *Fleet, rep *Report, i int) Diagnosis {
+	mr := &rep.Memories[i]
+	d := Diagnosis{
+		Name:  f.plan.Memories[i].Name,
+		Words: mr.Words, Width: mr.Width,
+		Located:  mr.Located,
+		Injected: len(f.truth[i]),
+	}
+	victims := make(map[Cell]bool)
+	for _, ft := range f.truth[i] {
+		if ft.Class == fault.DRF && !s.eopt.IncludeDRF {
+			continue
+		}
+		d.Detectable++
+		victims[ft.Victim] = true
+	}
+	for _, c := range mr.Located {
+		if victims[c] {
+			d.TruthLocated++
+		} else {
+			d.FalsePositives++
+		}
+	}
+	if s.budget != (Budget{}) {
+		a := repair.Allocate(mr.Located, s.budget)
+		d.Repair = &a
+	}
+	return d
+}

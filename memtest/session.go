@@ -1,0 +1,414 @@
+package memtest
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/repair"
+	"repro/internal/timing"
+)
+
+// Session is a configured diagnosis run: one plan, one engine, one set
+// of options. Sessions are created with New and executed with Run,
+// RunAll or RunFleet; a Session is safe for concurrent fleet execution
+// (RunFleet) but Run/RunAll store the last report for Trace access and
+// should not race with each other.
+type Session struct {
+	plan    Plan
+	engine  Engine
+	eopt    EngineOptions
+	budget  Budget
+	workers int
+	seed    int64
+	seedSet bool
+
+	report *Report // last single-run report, for evaluate/Trace
+}
+
+// Option configures a Session; see the With* constructors.
+type Option func(*Session) error
+
+// WithScheme selects the diagnosis engine by registry name ("proposed",
+// "baseline", "singledir", "rawsim", or any name registered via
+// RegisterEngine). New fails with ErrUnknownScheme for unknown names.
+func WithScheme(name string) Option {
+	return func(s *Session) error {
+		e, err := LookupEngine(name)
+		if err != nil {
+			return err
+		}
+		s.engine = e
+		return nil
+	}
+}
+
+// WithEngine plugs an engine instance in directly, bypassing the
+// registry.
+func WithEngine(e Engine) Option {
+	return func(s *Session) error {
+		s.engine = e
+		return nil
+	}
+}
+
+// WithDRF enables data-retention-fault diagnosis: the NWRTM merge for
+// the proposed scheme (no added delay), the 2x100 ms delay phase for
+// the baseline.
+func WithDRF() Option {
+	return func(s *Session) error {
+		s.eopt.IncludeDRF = true
+		return nil
+	}
+}
+
+// WithWorkers sets the RunFleet worker-pool size; n < 1 selects
+// GOMAXPROCS.
+func WithWorkers(n int) Option {
+	return func(s *Session) error {
+		s.workers = n
+		return nil
+	}
+}
+
+// WithSeed sets the base seed: every memory's defect draw is reseeded
+// with a deterministic mix of this base, the spec seed and the memory
+// index (and, under RunFleet, the device index). Without WithSeed a
+// single Run uses the plan's literal per-memory seeds.
+func WithSeed(seed int64) Option {
+	return func(s *Session) error {
+		s.seed = seed
+		s.seedSet = true
+		return nil
+	}
+}
+
+// WithRepair configures per-memory spare repair allocation after
+// diagnosis and fleet yield accounting.
+func WithRepair(b Budget) Option {
+	return func(s *Session) error {
+		s.budget = b
+		return nil
+	}
+}
+
+// WithTrace attaches a recorder that receives cycle-stamped engine
+// events (deliveries, element starts, miscompares).
+func WithTrace(r *TraceRecorder) Option {
+	return func(s *Session) error {
+		s.eopt.Trace = r
+		return nil
+	}
+}
+
+// WithDeliveryOrder sets the proposed scheme's background serialization
+// order; LSBFirst reproduces the Fig. 4 hazard.
+func WithDeliveryOrder(o Order) Option {
+	return func(s *Session) error {
+		s.eopt.DeliveryOrder = o
+		return nil
+	}
+}
+
+// WithMarchTest overrides the March test for test-programmable engines.
+func WithMarchTest(t MarchTest) Option {
+	return func(s *Session) error {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		s.eopt.Test = &t
+		return nil
+	}
+}
+
+// WithAnalyticBaseline forces the baseline engine's coarse accounting
+// model even for small fleets.
+func WithAnalyticBaseline() Option {
+	return func(s *Session) error {
+		s.eopt.AnalyticBaseline = true
+		return nil
+	}
+}
+
+// New validates the plan, applies the options and resolves the engine
+// (default "proposed"). Errors wrap the package's sentinel errors.
+func New(plan Plan, opts ...Option) (*Session, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Session{plan: plan}
+	s.eopt.ClockNs = plan.ClockNs
+	for _, o := range opts {
+		if err := o(s); err != nil {
+			return nil, err
+		}
+	}
+	if s.engine == nil {
+		e, err := LookupEngine("proposed")
+		if err != nil {
+			return nil, err
+		}
+		s.engine = e
+	}
+	return s, nil
+}
+
+// Plan returns the session's plan.
+func (s *Session) Plan() Plan { return s.plan }
+
+// Engine returns the resolved engine.
+func (s *Session) Engine() Engine { return s.engine }
+
+// Trace returns the events recorded by the WithTrace recorder, if any.
+func (s *Session) Trace() []TraceEvent { return s.eopt.Trace.Events() }
+
+// runOnce builds one device's fleet and runs the engine on it.
+func (s *Session) runOnce(ctx context.Context, base int64, derive bool) (*Fleet, *Report, error) {
+	f, err := s.plan.build(base, derive)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := s.engine.Run(ctx, f, s.eopt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, rep, nil
+}
+
+// Run executes the session's engine once and streams the evaluated
+// per-memory Diagnosis values. The sequence yields a single non-nil
+// error (with a zero Diagnosis) if the engine fails or ctx is
+// cancelled; engines abort promptly on cancellation. The returned
+// iterator is single-use in spirit: each range over it re-executes the
+// diagnosis.
+func (s *Session) Run(ctx context.Context) iter.Seq2[Diagnosis, error] {
+	return func(yield func(Diagnosis, error) bool) {
+		f, rep, err := s.runOnce(ctx, s.seed, s.seedSet)
+		if err != nil {
+			yield(Diagnosis{}, err)
+			return
+		}
+		s.report = rep
+		for i := range rep.Memories {
+			if err := ctx.Err(); err != nil {
+				yield(Diagnosis{}, err)
+				return
+			}
+			if !yield(s.evaluate(f, rep, i), nil) {
+				return
+			}
+		}
+	}
+}
+
+// RunAll executes the session and materializes the full Result,
+// including fleet yield statistics when a repair budget is set.
+func (s *Session) RunAll(ctx context.Context) (*Result, error) {
+	f, rep, err := s.runOnce(ctx, s.seed, s.seedSet)
+	if err != nil {
+		return nil, err
+	}
+	s.report = rep
+	return s.resultFrom(f, rep), nil
+}
+
+// resultFrom evaluates every memory of a completed run.
+func (s *Session) resultFrom(f *Fleet, rep *Report) *Result {
+	res := &Result{
+		Engine: s.engine.Name(),
+		Scheme: s.engine.Describe(),
+		Plan:   s.plan.Name,
+		Report: rep,
+	}
+	var locatedPerMem [][]Cell
+	for i := range rep.Memories {
+		res.Memories = append(res.Memories, s.evaluate(f, rep, i))
+		locatedPerMem = append(locatedPerMem, rep.Memories[i].Located)
+	}
+	if s.budget != (Budget{}) {
+		y := repair.FleetYield(locatedPerMem, s.budget)
+		res.Yield = &y
+	}
+	return res
+}
+
+// DeviceResult pairs one fleet device's index and derived seed with its
+// full diagnosis result.
+type DeviceResult struct {
+	// Device is the device index in [0, devices).
+	Device int `json:"device"`
+	// Seed is the per-device base seed the defect draw derived from.
+	Seed int64 `json:"seed"`
+	// Result is the device's evaluated diagnosis.
+	Result *Result `json:"result"`
+}
+
+// RunFleet diagnoses `devices` instances of the session's plan — the
+// fleet-scale workload: each device is the same design with an
+// independent, deterministically seeded defect population (device d
+// mixes the session seed with d, so results are reproducible at any
+// worker count). Devices fan out across a worker pool (WithWorkers,
+// default GOMAXPROCS) and results stream back in device order without
+// materializing the whole fleet. On cancellation the stream ends with
+// ctx.Err() after at most the in-flight devices' work.
+func (s *Session) RunFleet(ctx context.Context, devices int) iter.Seq2[DeviceResult, error] {
+	return func(yield func(DeviceResult, error) bool) {
+		if devices <= 0 {
+			yield(DeviceResult{}, fmt.Errorf("%w: %d", ErrBadDeviceCount, devices))
+			return
+		}
+		// A private cancel releases the workers when the consumer stops
+		// iterating early, so no goroutine outlives the stream.
+		ctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		workers := s.workers
+		if workers < 1 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > devices {
+			workers = devices
+		}
+
+		type slot struct {
+			res *Result
+			err error
+		}
+		results := make(chan struct {
+			device int
+			slot
+		}, workers)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		// Each worker owns a shallow Session copy so per-run state
+		// (report caching, trace) never races across devices.
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				local := *s
+				local.eopt.Trace = nil // trace is single-run only
+				for {
+					d := int(next.Add(1)) - 1
+					if d >= devices || ctx.Err() != nil {
+						return
+					}
+					f, rep, err := local.runOnce(ctx, deviceSeed(s.seed, d), true)
+					var res *Result
+					if err == nil {
+						res = local.resultFrom(f, rep)
+					}
+					select {
+					case results <- struct {
+						device int
+						slot
+					}{d, slot{res, err}}:
+					case <-ctx.Done():
+						return
+					}
+				}
+			}()
+		}
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+
+		// Reorder: yield strictly in device order so the stream is
+		// deterministic regardless of worker scheduling.
+		pending := make(map[int]slot)
+		nextYield := 0
+		for nextYield < devices {
+			if sl, ok := pending[nextYield]; ok {
+				delete(pending, nextYield)
+				if sl.err != nil {
+					yield(DeviceResult{Device: nextYield}, sl.err)
+					return
+				}
+				if !yield(DeviceResult{Device: nextYield, Seed: deviceSeed(s.seed, nextYield), Result: sl.res}, nil) {
+					return
+				}
+				nextYield++
+				continue
+			}
+			select {
+			case r := <-results:
+				pending[r.device] = r.slot
+			case <-ctx.Done():
+				<-done // workers exit on ctx; don't leak them
+				yield(DeviceResult{}, ctx.Err())
+				return
+			}
+		}
+	}
+}
+
+// deviceSeed derives device d's base seed from the session seed.
+func deviceSeed(base int64, device int) int64 {
+	return mixSeed(base, int64(device)+0x5eed, device)
+}
+
+// Diagnose is the one-shot convenience: New + RunAll.
+func Diagnose(ctx context.Context, plan Plan, opts ...Option) (*Result, error) {
+	s, err := New(plan, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return s.RunAll(ctx)
+}
+
+// Comparison pairs a proposed-scheme run against the baseline on the
+// same plan, the paper's Sec. 4.2 experiment.
+type Comparison struct {
+	Proposed *Result `json:"proposed"`
+	Baseline *Result `json:"baseline"`
+	// MeasuredReduction is T_baseline / T_proposed from the
+	// cycle-accurate engines.
+	MeasuredReduction float64 `json:"measured_reduction"`
+	// AnalyticReduction evaluates Eq. (3)/(4) with the baseline's
+	// measured iteration count k and the fleet's largest geometry.
+	AnalyticReduction float64 `json:"analytic_reduction"`
+}
+
+// Compare runs both architectures on the plan and derives the reduction
+// factors.
+func Compare(ctx context.Context, plan Plan, includeDRF bool, opts ...Option) (*Comparison, error) {
+	// The scheme selections are appended after the caller's options so
+	// a stray WithScheme/WithEngine cannot turn the comparison into the
+	// same engine vs itself; shared is a fresh slice so the appends
+	// below never alias the caller's backing array.
+	shared := make([]Option, 0, len(opts)+2)
+	shared = append(shared, opts...)
+	if includeDRF {
+		shared = append(shared, WithDRF())
+	}
+	propS, err := New(plan, append(shared[:len(shared):len(shared)], WithScheme("proposed"))...)
+	if err != nil {
+		return nil, err
+	}
+	baseS, err := New(plan, append(shared[:len(shared):len(shared)], WithScheme("baseline"))...)
+	if err != nil {
+		return nil, err
+	}
+	prop, err := propS.RunAll(ctx)
+	if err != nil {
+		return nil, err
+	}
+	base, err := baseS.RunAll(ctx)
+	if err != nil {
+		return nil, err
+	}
+	cmp := &Comparison{Proposed: prop, Baseline: base}
+	cmp.MeasuredReduction = base.TimeNs() / prop.TimeNs()
+
+	p := timing.Params{N: plan.LargestWords(), C: plan.WidestWidth(), ClockNs: plan.ClockNs, K: base.Report.Iterations}
+	// The analytic equation must answer the same question the engines
+	// ran: key it off the sessions' effective DRF setting, so a caller-
+	// supplied WithDRF() cannot desynchronize the two reduction figures.
+	if propS.eopt.IncludeDRF {
+		cmp.AnalyticReduction = timing.ReductionWithDRF(p)
+	} else {
+		cmp.AnalyticReduction = timing.ReductionNoDRF(p)
+	}
+	return cmp, nil
+}

@@ -1,0 +1,88 @@
+// Command benchjson converts `go test -bench` text output (stdin) into
+// a JSON benchmark snapshot (stdout) — the perf-trajectory format the
+// CI bench-capture step writes to BENCH_<pr>.json. Non-benchmark lines
+// (the harness prints paper-style tables) are skipped.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | go run ./scripts/benchjson > BENCH_pr2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one parsed benchmark result line.
+type Entry struct {
+	// Name is the benchmark name including any -cpu suffix
+	// (e.g. "BenchmarkCoverageSweep-4").
+	Name string `json:"name"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the headline time metric.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present with -benchmem.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric values (e.g. "cycles/run").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	var entries []Entry
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name  N  value unit  [value unit ...]
+		if len(fields) < 4 {
+			continue
+		}
+		n, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		e := Entry{Name: fields[0], Iterations: n}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				e.NsPerOp = v
+			case "B/op":
+				e.BytesPerOp = &v
+			case "allocs/op":
+				e.AllocsPerOp = &v
+			default:
+				if e.Metrics == nil {
+					e.Metrics = map[string]float64{}
+				}
+				e.Metrics[unit] = v
+			}
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	out, err := json.MarshalIndent(struct {
+		Benchmarks []Entry `json:"benchmarks"`
+	}{entries}, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(out))
+}
