@@ -1,0 +1,75 @@
+// Command memtestd serves fleet diagnosis over HTTP: JSON job
+// submissions in, NDJSON per-device results streaming out, backed by
+// the memtest library's cancellable fleet sessions. See the
+// repro/service package documentation for the endpoint table and
+// README.md for curl examples.
+//
+// Usage:
+//
+//	memtestd [-addr :8347] [-jobs 2] [-queue 16] [-workers 0] [-drain 15s]
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: new submissions are
+// refused, running jobs are cancelled (the engines abort within one
+// poll interval), open result streams terminate with an error line,
+// and the listener drains within -drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8347", "listen address")
+		jobs    = flag.Int("jobs", 2, "maximum concurrently running jobs (scheduler workers)")
+		queue   = flag.Int("queue", 16, "queued-job backlog before submissions get HTTP 429")
+		workers = flag.Int("workers", 0, "shared fleet-worker capacity divided across jobs (0 = GOMAXPROCS)")
+		drain   = flag.Duration("drain", 15*time.Second, "graceful shutdown drain timeout")
+	)
+	flag.Parse()
+
+	m := service.NewManager(service.Config{Jobs: *jobs, Queue: *queue, FleetWorkers: *workers})
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: service.NewServer(m),
+		// Bound header reads so stalled clients cannot pin connections
+		// forever; no blanket WriteTimeout — result streams are
+		// long-lived by design.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("memtestd listening on %s (jobs=%d queue=%d)", *addr, *jobs, *queue)
+
+	select {
+	case err := <-errCh:
+		m.Close()
+		log.Fatalf("memtestd: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("memtestd: signal received, draining (timeout %s)", *drain)
+	// Cancel jobs first so open result streams terminate and the
+	// listener can actually drain, then close the listener.
+	m.Close()
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("memtestd: drain: %v", err)
+	}
+	log.Printf("memtestd: stopped")
+}

@@ -26,10 +26,18 @@ type ProposedOptions struct {
 	// Trace, when non-nil, receives cycle-stamped events (deliveries,
 	// element starts, miscompares) for debugging.
 	Trace *trace.Recorder
-	// Ctx, when non-nil, is polled between March elements: once it is
+	// Ctx, when non-nil, is polled between March elements and, inside
+	// an element, every cancelPollInterval addresses: once it is
 	// cancelled the run aborts promptly and returns Ctx.Err().
 	Ctx context.Context
 }
+
+// cancelPollInterval is the address-loop cancellation granularity:
+// within a March element the optional Ctx is polled every this many
+// addresses, so even a single very large memory aborts promptly
+// instead of finishing a multi-second element first. A power of two
+// keeps the poll check a mask test.
+const cancelPollInterval = 1 << 14
 
 // RunProposed executes the proposed diagnosis scheme (Fig. 3) over a
 // fleet of e-SRAMs in parallel, cycle-accurately:
@@ -124,7 +132,12 @@ func RunProposed(mems []*sram.Memory, test march.Test, opt ProposedOptions) (*Re
 			intended[i].CopyTruncated(pattern)
 			intendedInv[i].InvertFrom(intended[i])
 		}
-		for _, logical := range trigger.Sequence(e.Order) {
+		for ai, logical := range trigger.Sequence(e.Order) {
+			if ai&(cancelPollInterval-1) == cancelPollInterval-1 {
+				if err := ctxErr(opt.Ctx); err != nil {
+					return err
+				}
+			}
 			for opIdx, op := range e.Ops {
 				switch op.Kind {
 				case march.WriteWeak:

@@ -111,6 +111,85 @@ func TestRunFleetConcurrentStreams(t *testing.T) {
 	}
 }
 
+func TestRunFleetUnorderedSameResultSet(t *testing.T) {
+	const devices = 12
+	ordered, err := New(smallPlan(), WithSeed(7), WithWorkers(4), WithDRF())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := collectFleet(t, ordered, devices)
+
+	unordered, err := New(smallPlan(), WithSeed(7), WithWorkers(4), WithDRF(),
+		WithFleetDelivery(Unordered))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[int]string, devices)
+	for dr, err := range unordered.RunFleet(context.Background(), devices) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, dup := got[dr.Device]; dup {
+			t.Fatalf("device %d yielded twice", dr.Device)
+		}
+		data, err := json.Marshal(dr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[dr.Device] = string(data)
+	}
+	if len(got) != devices {
+		t.Fatalf("unordered stream yielded %d devices, want %d", len(got), devices)
+	}
+	// Re-keyed by device index, the unordered stream must be
+	// byte-identical to the ordered one: same seeds, same payloads.
+	for d, line := range want {
+		if got[d] != line {
+			t.Fatalf("unordered device %d differs from ordered run:\n%s\nvs\n%s", d, got[d], line)
+		}
+	}
+}
+
+func TestRunFleetUnorderedCancellation(t *testing.T) {
+	s, err := New(smallPlan(), WithWorkers(2), WithFleetDelivery(Unordered))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	yielded := 0
+	var streamErr error
+	for _, err := range s.RunFleet(ctx, 500) {
+		if err != nil {
+			streamErr = err
+			break
+		}
+		yielded++
+		cancel()
+	}
+	if !errors.Is(streamErr, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", streamErr)
+	}
+	if yielded >= 500 {
+		t.Fatalf("yielded all %d devices despite cancellation", yielded)
+	}
+}
+
+func TestFleetDeliveryParseRoundTrip(t *testing.T) {
+	for _, d := range []FleetDelivery{Ordered, Unordered} {
+		got, err := ParseFleetDelivery(d.String())
+		if err != nil || got != d {
+			t.Fatalf("ParseFleetDelivery(%q) = %v, %v", d.String(), got, err)
+		}
+	}
+	if _, err := ParseFleetDelivery("bogus"); !errors.Is(err, ErrBadFleetDelivery) {
+		t.Fatalf("err = %v, want ErrBadFleetDelivery", err)
+	}
+	if _, err := New(smallPlan(), WithFleetDelivery(FleetDelivery(42))); !errors.Is(err, ErrBadFleetDelivery) {
+		t.Fatalf("err = %v, want ErrBadFleetDelivery", err)
+	}
+}
+
 func TestRunFleetCancellationStopsStream(t *testing.T) {
 	s, err := New(smallPlan(), WithWorkers(2))
 	if err != nil {

@@ -18,13 +18,14 @@ import (
 // (RunFleet) but Run/RunAll store the last report for Trace access and
 // should not race with each other.
 type Session struct {
-	plan    Plan
-	engine  Engine
-	eopt    EngineOptions
-	budget  Budget
-	workers int
-	seed    int64
-	seedSet bool
+	plan     Plan
+	engine   Engine
+	eopt     EngineOptions
+	budget   Budget
+	workers  int
+	seed     int64
+	seedSet  bool
+	delivery FleetDelivery
 
 	report *Report // last single-run report, for evaluate/Trace
 }
@@ -109,6 +110,57 @@ func WithTrace(r *TraceRecorder) Option {
 func WithDeliveryOrder(o Order) Option {
 	return func(s *Session) error {
 		s.eopt.DeliveryOrder = o
+		return nil
+	}
+}
+
+// FleetDelivery selects how RunFleet orders its result stream.
+type FleetDelivery int
+
+const (
+	// Ordered (the default) yields results strictly in device order:
+	// the stream is deterministic at any worker count, at the cost of
+	// head-of-line buffering while a slow device blocks faster ones.
+	Ordered FleetDelivery = iota
+	// Unordered yields each device's result as soon as its worker
+	// finishes — the latency-sensitive streaming mode network
+	// consumers use. The result set is identical to Ordered (same
+	// per-device seeds and payloads); only the interleaving varies
+	// with worker scheduling.
+	Unordered
+)
+
+// String returns the wire name of the delivery mode.
+func (d FleetDelivery) String() string {
+	switch d {
+	case Ordered:
+		return "ordered"
+	case Unordered:
+		return "unordered"
+	}
+	return fmt.Sprintf("FleetDelivery(%d)", int(d))
+}
+
+// ParseFleetDelivery resolves the wire names "ordered" and "unordered";
+// it fails with ErrBadFleetDelivery for anything else.
+func ParseFleetDelivery(s string) (FleetDelivery, error) {
+	switch s {
+	case "ordered":
+		return Ordered, nil
+	case "unordered":
+		return Unordered, nil
+	}
+	return Ordered, fmt.Errorf("%w: %q", ErrBadFleetDelivery, s)
+}
+
+// WithFleetDelivery selects Ordered (the default) or Unordered RunFleet
+// result delivery.
+func WithFleetDelivery(d FleetDelivery) Option {
+	return func(s *Session) error {
+		if d != Ordered && d != Unordered {
+			return fmt.Errorf("%w: %d", ErrBadFleetDelivery, int(d))
+		}
+		s.delivery = d
 		return nil
 	}
 }
@@ -251,9 +303,11 @@ type DeviceResult struct {
 // independent, deterministically seeded defect population (device d
 // mixes the session seed with d, so results are reproducible at any
 // worker count). Devices fan out across a worker pool (WithWorkers,
-// default GOMAXPROCS) and results stream back in device order without
-// materializing the whole fleet. On cancellation the stream ends with
-// ctx.Err() after at most the in-flight devices' work.
+// default GOMAXPROCS) and results stream back without materializing
+// the whole fleet: in device order by default, or as each worker
+// finishes under WithFleetDelivery(Unordered). On cancellation the
+// stream ends with ctx.Err() after at most the in-flight devices'
+// work.
 func (s *Session) RunFleet(ctx context.Context, devices int) iter.Seq2[DeviceResult, error] {
 	return func(yield func(DeviceResult, error) bool) {
 		if devices <= 0 {
@@ -313,6 +367,29 @@ func (s *Session) RunFleet(ctx context.Context, devices int) iter.Seq2[DeviceRes
 		}
 		done := make(chan struct{})
 		go func() { wg.Wait(); close(done) }()
+
+		if s.delivery == Unordered {
+			// Unordered: yield each device the moment its worker
+			// delivers it — minimum latency, scheduling-dependent
+			// interleaving.
+			for yielded := 0; yielded < devices; yielded++ {
+				select {
+				case r := <-results:
+					if r.err != nil {
+						yield(DeviceResult{Device: r.device}, r.err)
+						return
+					}
+					if !yield(DeviceResult{Device: r.device, Seed: deviceSeed(s.seed, r.device), Result: r.res}, nil) {
+						return
+					}
+				case <-ctx.Done():
+					<-done // workers exit on ctx; don't leak them
+					yield(DeviceResult{}, ctx.Err())
+					return
+				}
+			}
+			return
+		}
 
 		// Reorder: yield strictly in device order so the stream is
 		// deterministic regardless of worker scheduling.

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func ptr(v float64) *float64 { return &v }
+
+func snap(entries ...Entry) Snapshot { return Snapshot{Benchmarks: entries} }
+
+func TestCompareFlagsRegressionsOverThreshold(t *testing.T) {
+	oldS := snap(
+		Entry{Name: "BenchmarkFast", NsPerOp: 100},
+		Entry{Name: "BenchmarkSlow", NsPerOp: 1000},
+		Entry{Name: "BenchmarkGone", NsPerOp: 5},
+	)
+	newS := snap(
+		Entry{Name: "BenchmarkFast", NsPerOp: 110},  // +10%: fine
+		Entry{Name: "BenchmarkSlow", NsPerOp: 1200}, // +20%: regression
+		Entry{Name: "BenchmarkNew", NsPerOp: 7},
+	)
+	deltas, onlyOld, onlyNew := compareSnapshots(oldS, newS, "ns/op", 0.15)
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2", len(deltas))
+	}
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if byName["BenchmarkFast"].Regressed {
+		t.Fatal("+10% flagged at a 15% threshold")
+	}
+	if !byName["BenchmarkSlow"].Regressed {
+		t.Fatal("+20% not flagged at a 15% threshold")
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "BenchmarkGone" {
+		t.Fatalf("onlyOld = %v", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "BenchmarkNew" {
+		t.Fatalf("onlyNew = %v", onlyNew)
+	}
+}
+
+func TestCompareImprovementsNeverRegress(t *testing.T) {
+	deltas, _, _ := compareSnapshots(
+		snap(Entry{Name: "B", NsPerOp: 1000}),
+		snap(Entry{Name: "B", NsPerOp: 10}),
+		"ns/op", 0.15)
+	if len(deltas) != 1 || deltas[0].Regressed {
+		t.Fatalf("a 100x speedup was flagged: %+v", deltas)
+	}
+}
+
+func TestCompareAllocsMetricAndZeroGrowth(t *testing.T) {
+	oldS := snap(Entry{Name: "B", NsPerOp: 1, AllocsPerOp: ptr(0)})
+	newS := snap(Entry{Name: "B", NsPerOp: 1, AllocsPerOp: ptr(3)})
+	deltas, _, _ := compareSnapshots(oldS, newS, "allocs/op", 0.15)
+	if len(deltas) != 1 || !deltas[0].Regressed {
+		t.Fatalf("0 -> 3 allocs/op not flagged: %+v", deltas)
+	}
+	// Entries without the metric are skipped, not compared as zero.
+	deltas, _, _ = compareSnapshots(
+		snap(Entry{Name: "B", NsPerOp: 1}),
+		snap(Entry{Name: "B", NsPerOp: 1, AllocsPerOp: ptr(3)}),
+		"allocs/op", 0.15)
+	if len(deltas) != 0 {
+		t.Fatalf("metric-less entry compared: %+v", deltas)
+	}
+}
+
+func TestCompareCustomMetric(t *testing.T) {
+	oldS := snap(Entry{Name: "B", NsPerOp: 1, Metrics: map[string]float64{"cycles/run": 15664}})
+	newS := snap(Entry{Name: "B", NsPerOp: 1, Metrics: map[string]float64{"cycles/run": 15664}})
+	deltas, _, _ := compareSnapshots(oldS, newS, "cycles/run", 0)
+	if len(deltas) != 1 || deltas[0].Regressed {
+		t.Fatalf("identical custom metric flagged: %+v", deltas)
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-4":      "BenchmarkFoo",
+		"BenchmarkFoo-16":     "BenchmarkFoo",
+		"BenchmarkFoo":        "BenchmarkFoo",
+		"BenchmarkFoo/n-64-2": "BenchmarkFoo/n-64",
+		"BenchmarkFoo-":       "BenchmarkFoo-",
+		"BenchmarkFoo-4x":     "BenchmarkFoo-4x",
+	}
+	for in, want := range cases {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCompareAcrossGOMAXPROCSSuffixes(t *testing.T) {
+	// A 1-CPU baseline (suffix-free names) must pair with a multi-core
+	// capture ("-4" suffixes) instead of matching nothing.
+	deltas, onlyOld, onlyNew := compareSnapshots(
+		snap(Entry{Name: "BenchmarkB", NsPerOp: 100}),
+		snap(Entry{Name: "BenchmarkB-4", NsPerOp: 105}),
+		"ns/op", 0.15)
+	if len(deltas) != 1 || len(onlyOld) != 0 || len(onlyNew) != 0 {
+		t.Fatalf("deltas=%v onlyOld=%v onlyNew=%v, want one pairing", deltas, onlyOld, onlyNew)
+	}
+}
+
+func TestCompareExactNamesBeatStripping(t *testing.T) {
+	// Sibling sub-benchmarks legitimately ending in digits strip to the
+	// same key; exact-name matching must pair each with itself instead
+	// of colliding through the stripped map.
+	olds := snap(
+		Entry{Name: "BenchmarkGeo/words-512", NsPerOp: 100},
+		Entry{Name: "BenchmarkGeo/words-1024", NsPerOp: 200},
+	)
+	deltas, onlyOld, onlyNew := compareSnapshots(olds, olds, "ns/op", 0.15)
+	if len(deltas) != 2 || len(onlyOld) != 0 || len(onlyNew) != 0 {
+		t.Fatalf("deltas=%v onlyOld=%v onlyNew=%v, want two exact pairings", deltas, onlyOld, onlyNew)
+	}
+	for _, d := range deltas {
+		if d.Old != d.New || d.Regressed {
+			t.Fatalf("self-compare drifted: %+v", d)
+		}
+	}
+}
+
+func TestRunCompareFailsOnZeroMatches(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, s Snapshot) string {
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	oldP := write("old.json", snap(Entry{Name: "BenchmarkA", NsPerOp: 1, Metrics: map[string]float64{"cycles/run": 5}}))
+	// A rename leaves zero benchmarks matched on the metric: the gate
+	// must fail rather than pass having checked nothing.
+	newP := write("new.json", snap(Entry{Name: "BenchmarkRenamed", NsPerOp: 1, Metrics: map[string]float64{"cycles/run": 5}}))
+	var buf strings.Builder
+	if code := runCompare(oldP, newP, "cycles/run", 0, &buf); code != 1 {
+		t.Fatalf("vacuous gate exit = %d, want 1\n%s", code, buf.String())
+	}
+	buf.Reset()
+	if code := runCompare(oldP, oldP, "cycles/run", 0, &buf); code != 0 {
+		t.Fatalf("matched gate exit = %d, want 0\n%s", code, buf.String())
+	}
+}
+
+func TestParseBenchOutputRoundTrip(t *testing.T) {
+	text := `goos: linux
+BenchmarkCoverageSweep-4   	      98	  20600000 ns/op	   93000 B/op	     396 allocs/op
+BenchmarkFig3ProposedScheme 	       1	   1174289 ns/op	  149496 B/op	     626 allocs/op	     15664 cycles/run
+not a benchmark line
+PASS
+`
+	entries, err := parseBenchOutput(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("parsed %d entries, want 2", len(entries))
+	}
+	e := entries[1]
+	if e.Name != "BenchmarkFig3ProposedScheme" || e.Metrics["cycles/run"] != 15664 {
+		t.Fatalf("entry = %+v", e)
+	}
+	if v, ok := entries[0].metric("allocs/op"); !ok || v != 396 {
+		t.Fatalf("allocs/op = %v, %v", v, ok)
+	}
+}

@@ -1,17 +1,31 @@
-// Command benchjson converts `go test -bench` text output (stdin) into
-// a JSON benchmark snapshot (stdout) — the perf-trajectory format the
-// CI bench-capture step writes to BENCH_<pr>.json. Non-benchmark lines
-// (the harness prints paper-style tables) are skipped.
+// Command benchjson maintains the perf-trajectory snapshots.
 //
-// Usage:
+// Capture mode (default) converts `go test -bench` text output (stdin)
+// into a JSON benchmark snapshot (stdout) — the format the CI
+// bench-capture step writes to BENCH_<pr>.json. Non-benchmark lines
+// (the harness prints paper-style tables) are skipped:
 //
 //	go test -run '^$' -bench . -benchmem ./... | go run ./scripts/benchjson > BENCH_pr2.json
+//
+// Compare mode gates one snapshot against another and exits non-zero
+// when any benchmark regressed by more than the threshold (default
+// 15% on ns/op):
+//
+//	go run ./scripts/benchjson -compare BENCH_pr2.json BENCH_new.json
+//	go run ./scripts/benchjson -compare -metric allocs/op -threshold 0 old.json new.json
+//
+// Benchmarks present in only one snapshot are reported and skipped —
+// new benchmarks must not fail the gate — but a comparison that
+// matches zero benchmarks on the metric fails rather than passing
+// vacuously.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -33,9 +47,174 @@ type Entry struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
-func main() {
+// Snapshot is the on-disk BENCH_*.json shape.
+type Snapshot struct {
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+// metric extracts one named metric from an entry; ok is false when the
+// entry does not carry it.
+func (e Entry) metric(name string) (v float64, ok bool) {
+	switch name {
+	case "ns/op":
+		return e.NsPerOp, true
+	case "B/op":
+		if e.BytesPerOp == nil {
+			return 0, false
+		}
+		return *e.BytesPerOp, true
+	case "allocs/op":
+		if e.AllocsPerOp == nil {
+			return 0, false
+		}
+		return *e.AllocsPerOp, true
+	}
+	v, ok = e.Metrics[name]
+	return v, ok
+}
+
+// Delta is one benchmark's old-vs-new comparison.
+type Delta struct {
+	Name     string
+	Old, New float64
+	// Ratio is New/Old - 1 (positive = slower/bigger).
+	Ratio float64
+	// Regressed is set when Ratio exceeds the threshold.
+	Regressed bool
+}
+
+// stripProcs drops the trailing "-<GOMAXPROCS>" suffix `go test
+// -bench` appends to benchmark names (benchstat does the same), so
+// snapshots captured on machines with different core counts pair up.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	for _, r := range name[i+1:] {
+		if r < '0' || r > '9' {
+			return name
+		}
+	}
+	if i+1 == len(name) {
+		return name
+	}
+	return name[:i]
+}
+
+// compareSnapshots pairs the two snapshots by benchmark name — exact
+// names first, then with the GOMAXPROCS suffix normalized away so
+// captures from machines with different core counts still pair — and
+// flags every metric increase beyond threshold (a fraction: 0.15 =
+// +15%). Exact-first matching keeps names that legitimately end in
+// "-<digits>" intact whenever both snapshots carry them verbatim.
+// Benchmarks missing from either side are returned in onlyOld/onlyNew
+// and never count as regressions.
+func compareSnapshots(oldS, newS Snapshot, metric string, threshold float64) (deltas []Delta, onlyOld, onlyNew []string) {
+	oldExact := make(map[string]int, len(oldS.Benchmarks))
+	oldStripped := make(map[string]int, len(oldS.Benchmarks))
+	for i, e := range oldS.Benchmarks {
+		oldExact[e.Name] = i
+		oldStripped[stripProcs(e.Name)] = i
+	}
+	usedOld := make([]bool, len(oldS.Benchmarks))
+	for _, ne := range newS.Benchmarks {
+		i, ok := oldExact[ne.Name]
+		if !ok {
+			i, ok = oldStripped[stripProcs(ne.Name)]
+		}
+		if !ok {
+			onlyNew = append(onlyNew, ne.Name)
+			continue
+		}
+		oe := oldS.Benchmarks[i]
+		usedOld[i] = true
+		ov, oOK := oe.metric(metric)
+		nv, nOK := ne.metric(metric)
+		if !oOK || !nOK {
+			continue
+		}
+		d := Delta{Name: ne.Name, Old: ov, New: nv}
+		switch {
+		case ov > 0:
+			d.Ratio = nv/ov - 1
+		case nv > 0:
+			// From zero to non-zero (e.g. 0 allocs/op grew): infinite
+			// relative growth, always a regression.
+			d.Ratio = 1e9
+		}
+		d.Regressed = d.Ratio > threshold
+		deltas = append(deltas, d)
+	}
+	for i, oe := range oldS.Benchmarks {
+		if !usedOld[i] {
+			onlyOld = append(onlyOld, oe.Name)
+		}
+	}
+	return deltas, onlyOld, onlyNew
+}
+
+func loadSnapshot(path string) (Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// runCompare is the -compare entry point; it returns the process exit
+// code.
+func runCompare(oldPath, newPath, metric string, threshold float64, w io.Writer) int {
+	oldS, err := loadSnapshot(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newS, err := loadSnapshot(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	deltas, onlyOld, onlyNew := compareSnapshots(oldS, newS, metric, threshold)
+	regressions := 0
+	fmt.Fprintf(w, "%-44s %14s %14s %9s\n", "benchmark ("+metric+")", "old", "new", "delta")
+	for _, d := range deltas {
+		mark := ""
+		if d.Regressed {
+			regressions++
+			mark = "  REGRESSION"
+		}
+		fmt.Fprintf(w, "%-44s %14.6g %14.6g %+8.1f%%%s\n", d.Name, d.Old, d.New, d.Ratio*100, mark)
+	}
+	for _, n := range onlyOld {
+		fmt.Fprintf(w, "%-44s only in %s (skipped)\n", n, oldPath)
+	}
+	for _, n := range onlyNew {
+		fmt.Fprintf(w, "%-44s only in %s (skipped)\n", n, newPath)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "FAIL: %d benchmark(s) regressed > %.0f%% on %s\n", regressions, threshold*100, metric)
+		return 1
+	}
+	if len(deltas) == 0 {
+		// Zero matched benchmarks would make the gate pass vacuously —
+		// e.g. after renaming the only benchmark carrying a custom
+		// metric — so an empty comparison is a failure, not a pass.
+		fmt.Fprintf(w, "FAIL: no benchmark carries %s in both snapshots; the gate checked nothing\n", metric)
+		return 1
+	}
+	fmt.Fprintf(w, "OK: %d benchmark(s) within %.0f%% on %s\n", len(deltas), threshold*100, metric)
+	return 0
+}
+
+// parseBenchOutput converts `go test -bench` text lines into entries.
+func parseBenchOutput(r io.Reader) ([]Entry, error) {
 	var entries []Entry
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		line := sc.Text()
@@ -73,13 +252,29 @@ func main() {
 		}
 		entries = append(entries, e)
 	}
-	if err := sc.Err(); err != nil {
+	return entries, sc.Err()
+}
+
+func main() {
+	compare := flag.Bool("compare", false, "compare two snapshots: benchjson -compare old.json new.json")
+	metric := flag.String("metric", "ns/op", "metric to gate on in -compare mode (ns/op, B/op, allocs/op, or a custom unit)")
+	threshold := flag.Float64("threshold", 0.15, "maximum allowed relative increase in -compare mode (0.15 = +15%)")
+	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare [-metric M] [-threshold T] old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *metric, *threshold, os.Stdout))
+	}
+
+	entries, err := parseBenchOutput(os.Stdin)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	out, err := json.MarshalIndent(struct {
-		Benchmarks []Entry `json:"benchmarks"`
-	}{entries}, "", "  ")
+	out, err := json.MarshalIndent(Snapshot{Benchmarks: entries}, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)

@@ -1,0 +1,243 @@
+// Package client is the typed Go client for the memtestd service: it
+// round-trips the same wire types the server speaks (repro/service)
+// and exposes result streaming with the same iter.Seq2 shape as
+// memtest.Session.RunFleet, so a consumer can switch between
+// in-process and over-the-wire diagnosis without restructuring.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"iter"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"repro/memtest"
+	"repro/service"
+)
+
+// maxLine bounds one NDJSON result line (a full per-device Result with
+// failure records can be large).
+const maxLine = 16 << 20
+
+// APIError is a non-2xx response, carrying the server's error
+// envelope.
+type APIError struct {
+	// StatusCode is the HTTP status.
+	StatusCode int
+	// Message is the server's error string.
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("memtestd: %s (HTTP %d)", e.Message, e.StatusCode)
+}
+
+// JobError is a terminal {"error": ...} line in a results stream: the
+// job failed or was cancelled server-side while the stream was open.
+type JobError struct {
+	Message string
+}
+
+func (e *JobError) Error() string { return fmt.Sprintf("memtestd job: %s", e.Message) }
+
+// Client talks to one memtestd instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the server at base (e.g.
+// "http://localhost:8347"). A nil http.Client selects
+// http.DefaultClient; pass a custom one for timeouts or transports.
+func New(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// do issues one JSON round-trip; out may be nil.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return apiError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// apiError reads a failed response's error envelope.
+func apiError(resp *http.Response) error {
+	var eb service.ErrorBody
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxLine)).Decode(&eb); err != nil || eb.Error == "" {
+		eb.Error = resp.Status
+	}
+	return &APIError{StatusCode: resp.StatusCode, Message: eb.Error}
+}
+
+// Submit enqueues a fleet job and returns its accepted status.
+func (c *Client) Submit(ctx context.Context, req service.JobRequest) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st)
+	return st, err
+}
+
+// Diagnose runs one device synchronously and returns the full result.
+func (c *Client) Diagnose(ctx context.Context, req service.JobRequest) (*memtest.Result, error) {
+	var res memtest.Result
+	if err := c.do(ctx, http.MethodPost, "/v1/diagnose", req, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(ctx context.Context, id string) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &st)
+	return st, err
+}
+
+// Jobs lists every job the server knows, in submission order.
+func (c *Client) Jobs(ctx context.Context) ([]service.JobStatus, error) {
+	var out []service.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out, err
+}
+
+// Cancel stops a job and returns its status as of the cancellation.
+func (c *Client) Cancel(ctx context.Context, id string) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &st)
+	return st, err
+}
+
+// Schemes lists the engine names registered on the server.
+func (c *Client) Schemes(ctx context.Context) ([]string, error) {
+	var out []string
+	err := c.do(ctx, http.MethodGet, "/v1/schemes", nil, &out)
+	return out, err
+}
+
+// Health fetches the server's capacity/load snapshot.
+func (c *Client) Health(ctx context.Context) (service.Health, error) {
+	var h service.Health
+	err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &h)
+	return h, err
+}
+
+// Results tails a job's NDJSON result stream, replaying buffered
+// devices and then following live ones until the job finishes. The
+// iterator mirrors Session.RunFleet: it yields one DeviceResult per
+// line, or a single terminal error — *JobError when the job failed or
+// was cancelled server-side, ctx.Err() when ctx ends first. With
+// cancelOnDisconnect the server cancels the job if this reader goes
+// away before the stream completes (including via an early break, which
+// closes the connection).
+func (c *Client) Results(ctx context.Context, id string, cancelOnDisconnect bool) iter.Seq2[memtest.DeviceResult, error] {
+	return func(yield func(memtest.DeviceResult, error) bool) {
+		path := c.base + "/v1/jobs/" + url.PathEscape(id) + "/results"
+		if cancelOnDisconnect {
+			path += "?cancel_on_disconnect=true"
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, path, nil)
+		if err != nil {
+			yield(memtest.DeviceResult{}, err)
+			return
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			yield(memtest.DeviceResult{}, err)
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			yield(memtest.DeviceResult{}, apiError(resp))
+			return
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 64*1024), maxLine)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(bytes.TrimSpace(line)) == 0 {
+				continue
+			}
+			// A DeviceResult line never carries an "error" key; the
+			// terminal error envelope carries nothing else, so one
+			// decode discriminates both shapes.
+			var probe struct {
+				memtest.DeviceResult
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(line, &probe); err != nil {
+				yield(memtest.DeviceResult{}, fmt.Errorf("memtestd: bad stream line: %w", err))
+				return
+			}
+			if probe.Error != "" {
+				yield(memtest.DeviceResult{}, &JobError{Message: probe.Error})
+				return
+			}
+			if !yield(probe.DeviceResult, nil) {
+				return
+			}
+		}
+		if err := sc.Err(); err != nil {
+			if ctx.Err() != nil {
+				err = ctx.Err()
+			}
+			yield(memtest.DeviceResult{}, err)
+		}
+	}
+}
+
+// Run is the submit-and-tail convenience: it submits the job with
+// cancel-on-disconnect semantics and streams its results, so breaking
+// out of the loop (or cancelling ctx) cancels the job server-side.
+// The accepted job's ID is reported through info when non-nil.
+func (c *Client) Run(ctx context.Context, req service.JobRequest, info *service.JobStatus) iter.Seq2[memtest.DeviceResult, error] {
+	return func(yield func(memtest.DeviceResult, error) bool) {
+		st, err := c.Submit(ctx, req)
+		if err != nil {
+			yield(memtest.DeviceResult{}, err)
+			return
+		}
+		if info != nil {
+			*info = st
+		}
+		for dr, err := range c.Results(ctx, st.ID, true) {
+			if !yield(dr, err) {
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// The full client surface is exercised end-to-end in the service
+// package's server tests; these pin the client's own error mapping.
+
+func TestAPIErrorMapping(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTeapot)
+		w.Write([]byte(`{"error": "no coffee"}`)) //nolint:errcheck
+	}))
+	defer ts.Close()
+	c := New(ts.URL+"/", nil) // trailing slash must not double up
+	_, err := c.Job(context.Background(), "x")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if apiErr.StatusCode != http.StatusTeapot || apiErr.Message != "no coffee" {
+		t.Fatalf("apiErr = %+v", apiErr)
+	}
+}
+
+func TestAPIErrorWithoutEnvelopeFallsBackToStatus(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "plain text", http.StatusBadGateway)
+	}))
+	defer ts.Close()
+	_, err := New(ts.URL, nil).Jobs(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadGateway {
+		t.Fatalf("err = %v", err)
+	}
+	if apiErr.Message == "" {
+		t.Fatal("fallback message empty")
+	}
+}
+
+func TestResultsTerminalErrorLine(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Write([]byte(`{"device":0,"seed":1,"result":null}` + "\n")) //nolint:errcheck
+		w.Write([]byte(`{"error":"it broke"}` + "\n"))                //nolint:errcheck
+	}))
+	defer ts.Close()
+	devices := 0
+	var last error
+	for _, err := range New(ts.URL, nil).Results(context.Background(), "job-000001", false) {
+		if err != nil {
+			last = err
+			break
+		}
+		devices++
+	}
+	var jobErr *JobError
+	if devices != 1 || !errors.As(last, &jobErr) || jobErr.Message != "it broke" {
+		t.Fatalf("devices=%d err=%v", devices, last)
+	}
+}

@@ -1,0 +1,36 @@
+// Package service is the memtestd network front-end: an HTTP server
+// that turns the memtest library into a streaming fleet-diagnosis
+// service.
+//
+// Clients submit memtest.Plan-based jobs as JSON and read per-device
+// results back as NDJSON while the diagnosis is still running — the
+// stream is backed directly by Session.RunFleet's iterator, so a
+// device's result is on the wire as soon as its worker finishes
+// (unordered delivery, the service default).
+//
+// The HTTP surface:
+//
+//	POST   /v1/jobs              submit a fleet job        -> 202 JobStatus
+//	GET    /v1/jobs              list jobs                 -> 200 []JobStatus
+//	GET    /v1/jobs/{id}         job status                -> 200 JobStatus
+//	DELETE /v1/jobs/{id}         cancel a job              -> 200 JobStatus
+//	GET    /v1/jobs/{id}/results stream results            -> 200 NDJSON
+//	POST   /v1/diagnose          one-shot single device    -> 200 memtest.Result
+//	GET    /v1/schemes           registered engine names   -> 200 []string
+//	GET    /v1/healthz           liveness + capacity       -> 200 Health
+//
+// Every line of a results stream is one memtest.DeviceResult, exactly
+// as json.Marshal renders it — byte-identical to running the same
+// seeded plan through Session.RunFleet in-process. A failed or
+// cancelled job terminates its stream with one {"error": "..."} line.
+//
+// Jobs flow through a Manager: a bounded queue (submissions beyond it
+// fail with HTTP 429) feeding a fixed pool of scheduler workers, each
+// running one job at a time with the shared fleet-worker capacity
+// statically divided among them. Each job runs under its own context;
+// DELETE — or a results reader that set cancel_on_disconnect and went
+// away — cancels it, and the engines abort within one poll interval.
+//
+// The typed Go client lives in repro/service/client; cmd/memtestd is
+// the server binary and examples/fleetclient a complete driver.
+package service

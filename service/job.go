@@ -1,0 +1,466 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/memtest"
+)
+
+// Typed manager errors; the server maps them onto HTTP statuses.
+var (
+	// ErrQueueFull: the bounded backlog is full (HTTP 429).
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrDiagnoseBusy: every one-shot diagnosis slot is taken
+	// (HTTP 429).
+	ErrDiagnoseBusy = errors.New("service: diagnose capacity exhausted")
+	// ErrUnknownJob: no job with that ID (HTTP 404).
+	ErrUnknownJob = errors.New("service: unknown job")
+	// ErrShuttingDown: the manager no longer accepts work (HTTP 503).
+	ErrShuttingDown = errors.New("service: shutting down")
+	// ErrBadDevices: a job submission without a positive device count.
+	ErrBadDevices = errors.New("service: job needs a positive device count")
+)
+
+// Config sizes a Manager.
+type Config struct {
+	// Jobs is the scheduler worker count — the maximum number of jobs
+	// diagnosing concurrently. Zero defaults to 2.
+	Jobs int
+	// Queue is the bounded backlog beyond the running jobs; a Submit
+	// while it is full fails with ErrQueueFull. Zero defaults to 16.
+	Queue int
+	// FleetWorkers is the shared device-worker capacity multiplexed
+	// across concurrent jobs: each job's RunFleet pool is clamped to
+	// max(1, FleetWorkers/Jobs), a static division of the machine.
+	// Zero defaults to GOMAXPROCS.
+	FleetWorkers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Jobs <= 0 {
+		c.Jobs = 2
+	}
+	if c.Queue <= 0 {
+		c.Queue = 16
+	}
+	if c.FleetWorkers <= 0 {
+		c.FleetWorkers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// perJobWorkers is one job's share of the fleet-worker capacity.
+func (c Config) perJobWorkers() int {
+	if w := c.FleetWorkers / c.Jobs; w > 1 {
+		return w
+	}
+	return 1
+}
+
+// job is one submitted fleet diagnosis: its session, its result
+// buffer, and the plumbing that lets any number of readers follow the
+// buffer while a scheduler worker appends to it.
+type job struct {
+	id      string
+	session *memtest.Session
+	devices int
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	status    JobStatus
+	lines     [][]byte           // one marshalled DeviceResult per completed device
+	cancelRun context.CancelFunc // set while running
+	cancelled bool               // cancel requested (before or during the run)
+}
+
+func (j *job) snapshot() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// start transitions queued -> running; it reports false when the job
+// was cancelled while still queued, in which case the worker must skip
+// it.
+func (j *job) start(cancel context.CancelFunc, now time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.cancelled {
+		return false
+	}
+	j.status.State = StateRunning
+	t := now
+	j.status.Started = &t
+	j.cancelRun = cancel
+	j.cond.Broadcast()
+	return true
+}
+
+// append buffers one device's marshalled result and wakes followers.
+func (j *job) append(line []byte) {
+	j.mu.Lock()
+	j.lines = append(j.lines, line)
+	j.status.Completed = len(j.lines)
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state and wakes followers.
+func (j *job) finish(state State, err error, now time.Time) {
+	j.mu.Lock()
+	j.status.State = state
+	if err != nil {
+		j.status.Error = err.Error()
+	}
+	t := now
+	j.status.Finished = &t
+	j.cancelRun = nil
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// follow replays the job's result lines from the start and then tails
+// live appends, calling emit once per line, until the job reaches a
+// terminal state or ctx is cancelled. It returns the job's terminal
+// error message (empty for done jobs) and the follower's own error
+// (context cancellation or an emit failure), exactly one of which is
+// meaningful.
+func (j *job) follow(ctx context.Context, emit func([]byte) error) (string, error) {
+	// cond.Wait cannot watch a context, so a cancelled context
+	// broadcasts the condition to unblock waiters.
+	stop := context.AfterFunc(ctx, func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		j.cond.Broadcast()
+	})
+	defer stop()
+
+	next := 0
+	for {
+		j.mu.Lock()
+		for next >= len(j.lines) && !j.status.State.Terminal() && ctx.Err() == nil {
+			j.cond.Wait()
+		}
+		batch := j.lines[next:]
+		state, jobErr := j.status.State, j.status.Error
+		j.mu.Unlock()
+
+		for _, line := range batch {
+			if err := emit(line); err != nil {
+				return "", err
+			}
+		}
+		next += len(batch)
+		if state.Terminal() {
+			return jobErr, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return "", err
+		}
+	}
+}
+
+// Manager owns the job table, the bounded backlog and the scheduler
+// workers. One Manager backs one Server.
+type Manager struct {
+	cfg Config
+	now func() time.Time
+	// diagSem bounds concurrent one-shot diagnoses to cfg.Jobs, so
+	// /v1/diagnose cannot bypass the capacity the scheduler enforces
+	// for jobs.
+	diagSem chan struct{}
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu sync.Mutex
+	// backlog is the bounded queue (cap cfg.Queue). A slice, not a
+	// channel, so Cancel can remove a queued job immediately instead
+	// of leaving a dead entry occupying a slot; qcond signals workers
+	// when it fills.
+	backlog []*job
+	qcond   *sync.Cond
+	jobs    map[string]*job
+	order   []string
+	seq     int
+	running int
+	closed  bool
+}
+
+// NewManager starts cfg.Jobs scheduler workers and returns the ready
+// manager. Call Close to stop it.
+func NewManager(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	ctx, stop := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:     cfg,
+		now:     time.Now,
+		diagSem: make(chan struct{}, cfg.Jobs),
+		baseCtx: ctx,
+		stop:    stop,
+		jobs:    map[string]*job{},
+	}
+	m.qcond = sync.NewCond(&m.mu)
+	for range cfg.Jobs {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for len(m.backlog) == 0 && !m.closed {
+			m.qcond.Wait()
+		}
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		j := m.backlog[0]
+		m.backlog = m.backlog[1:]
+		m.mu.Unlock()
+		m.run(j)
+	}
+}
+
+// StartDiagnose claims a one-shot diagnosis slot; it fails with
+// ErrDiagnoseBusy when all cfg.Jobs slots are in flight, and with
+// ErrShuttingDown after Close. The returned context derives from ctx
+// but is also cancelled when the manager shuts down, so an in-flight
+// diagnosis aborts on Close just like a job. The returned release
+// must be called when the diagnosis ends.
+func (m *Manager) StartDiagnose(ctx context.Context) (context.Context, func(), error) {
+	m.mu.Lock()
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		return nil, nil, ErrShuttingDown
+	}
+	select {
+	case m.diagSem <- struct{}{}:
+		dctx, cancel := context.WithCancel(ctx)
+		stop := context.AfterFunc(m.baseCtx, cancel)
+		release := func() {
+			stop()
+			cancel()
+			<-m.diagSem
+		}
+		return dctx, release, nil
+	default:
+		return nil, nil, fmt.Errorf("%w (capacity %d)", ErrDiagnoseBusy, m.cfg.Jobs)
+	}
+}
+
+// run executes one job: it streams Session.RunFleet under a per-job
+// context, buffering each device's result as its worker finishes.
+func (m *Manager) run(j *job) {
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	defer cancel()
+	if !j.start(cancel, m.now()) {
+		// Cancelled while queued; Cancel already finished it.
+		return
+	}
+	m.mu.Lock()
+	m.running++
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		m.running--
+		m.mu.Unlock()
+	}()
+
+	err := func() error {
+		for dr, err := range j.session.RunFleet(ctx, j.devices) {
+			if err != nil {
+				return err
+			}
+			line, err := json.Marshal(dr)
+			if err != nil {
+				return err
+			}
+			j.append(line)
+		}
+		return nil
+	}()
+	switch {
+	case err == nil:
+		j.finish(StateDone, nil, m.now())
+	case errors.Is(err, context.Canceled):
+		j.finish(StateCancelled, err, m.now())
+	default:
+		j.finish(StateFailed, err, m.now())
+	}
+}
+
+// Submit validates a job request, assigns it an ID and enqueues it.
+// It fails fast: a bad request never occupies a queue slot, and a full
+// queue returns ErrQueueFull without blocking.
+func (m *Manager) Submit(req JobRequest) (JobStatus, error) {
+	if req.Devices <= 0 {
+		return JobStatus{}, fmt.Errorf("%w (got %d)", ErrBadDevices, req.Devices)
+	}
+	session, err := req.session(m.cfg.perJobWorkers())
+	if err != nil {
+		return JobStatus{}, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return JobStatus{}, ErrShuttingDown
+	}
+	if len(m.backlog) >= m.cfg.Queue {
+		return JobStatus{}, fmt.Errorf("%w (capacity %d)", ErrQueueFull, m.cfg.Queue)
+	}
+	m.seq++
+	j := &job{
+		id:      fmt.Sprintf("job-%06d", m.seq),
+		session: session,
+		devices: req.Devices,
+	}
+	j.cond = sync.NewCond(&j.mu)
+	j.status = JobStatus{
+		ID: j.id, State: StateQueued,
+		Plan: req.Plan.Name, Scheme: session.Engine().Name(),
+		Devices: req.Devices, Created: m.now(),
+	}
+	// Snapshot before signalling: a worker may pick the job up (and
+	// mutate its status under j.mu) the instant it is enqueued.
+	accepted := j.status
+	m.backlog = append(m.backlog, j)
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.qcond.Signal()
+	return accepted, nil
+}
+
+// lookup resolves a job ID.
+func (m *Manager) lookup(id string) (*job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return j, nil
+}
+
+// Status returns a job's current state.
+func (m *Manager) Status(id string) (JobStatus, error) {
+	j, err := m.lookup(id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	return j.snapshot(), nil
+}
+
+// Jobs lists every job in submission order.
+func (m *Manager) Jobs() []JobStatus {
+	m.mu.Lock()
+	jobs := make([]*job, 0, len(m.order))
+	for _, id := range m.order {
+		jobs = append(jobs, m.jobs[id])
+	}
+	m.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.snapshot()
+	}
+	return out
+}
+
+// Cancel stops a job: a queued job is pulled out of the backlog (its
+// slot frees immediately) and finishes as cancelled, a running one
+// has its context cancelled and the engines abort within one poll
+// interval. Cancelling a terminal job is a no-op. The returned status
+// is the state right after the request took effect — a running job
+// may still report "running" until its workers unwind.
+func (m *Manager) Cancel(id string) (JobStatus, error) {
+	j, err := m.lookup(id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	m.dequeue(j)
+	j.mu.Lock()
+	j.cancelled = true
+	switch j.status.State {
+	case StateQueued:
+		j.status.State = StateCancelled
+		j.status.Error = context.Canceled.Error()
+		t := m.now()
+		j.status.Finished = &t
+		j.cond.Broadcast()
+	case StateRunning:
+		j.cancelRun()
+	}
+	st := j.status
+	j.mu.Unlock()
+	return st, nil
+}
+
+// dequeue removes a job from the backlog if it is still there, so a
+// cancelled-while-queued job stops occupying a bounded slot.
+func (m *Manager) dequeue(j *job) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, q := range m.backlog {
+		if q == j {
+			m.backlog = append(m.backlog[:i], m.backlog[i+1:]...)
+			return
+		}
+	}
+}
+
+// Follow streams a job's buffered and live result lines; see
+// job.follow for the contract.
+func (m *Manager) Follow(ctx context.Context, id string, emit func([]byte) error) (string, error) {
+	j, err := m.lookup(id)
+	if err != nil {
+		return "", err
+	}
+	return j.follow(ctx, emit)
+}
+
+// Health reports configured capacity and current load.
+func (m *Manager) Health() Health {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Health{
+		Jobs: m.cfg.Jobs, Queue: m.cfg.Queue,
+		QueuedJobs: len(m.backlog), RunningJobs: m.running,
+		Diagnosing: len(m.diagSem),
+	}
+}
+
+// Close stops accepting submissions, cancels every running job, waits
+// for the scheduler workers to unwind and marks the backlog cancelled,
+// so every follower's stream terminates. It is idempotent.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	backlog := m.backlog
+	m.backlog = nil
+	m.qcond.Broadcast()
+	m.mu.Unlock()
+	m.stop()
+	m.wg.Wait()
+	for _, j := range backlog {
+		j.mu.Lock()
+		j.cancelled = true
+		j.mu.Unlock()
+		j.finish(StateCancelled, ErrShuttingDown, m.now())
+	}
+}

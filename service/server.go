@@ -1,0 +1,207 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/memtest"
+)
+
+// maxRequestBody bounds submission bodies; plans are small.
+const maxRequestBody = 1 << 20
+
+// Server is the memtestd HTTP front-end over one Manager. It is an
+// http.Handler; see the package documentation for the route table.
+type Server struct {
+	m   *Manager
+	mux *http.ServeMux
+}
+
+// NewServer wires the /v1 routes over the manager.
+func NewServer(m *Manager) *Server {
+	s := &Server{m: m, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleResults)
+	s.mux.HandleFunc("POST /v1/diagnose", s.handleDiagnose)
+	s.mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// writeJSON renders one JSON body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the client is gone if this fails
+}
+
+// writeError maps a manager/library error onto its HTTP status and the
+// JSON error envelope.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDiagnoseBusy):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrUnknownJob):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrShuttingDown):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, ErrorBody{Error: err.Error()})
+}
+
+// decode parses a bounded JSON request body.
+func decode(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("service: bad request body: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := decode(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	st, err := s.m.Submit(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.m.Jobs())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.m.Status(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.m.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleResults streams a job's results as NDJSON: every line is one
+// memtest.DeviceResult exactly as json.Marshal renders it, flushed as
+// it completes; a failed or cancelled job terminates the stream with
+// one {"error": "..."} line. With ?cancel_on_disconnect=true a reader
+// that goes away mid-stream cancels the job itself — the tail-and-own
+// mode the one-client-per-job workflow uses.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	// Resolve before committing to a 200: unknown jobs are a 404.
+	if _, err := s.m.Status(id); err != nil {
+		writeError(w, err)
+		return
+	}
+	cancelOnDisconnect, _ := strconv.ParseBool(r.URL.Query().Get("cancel_on_disconnect"))
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	emit := func(line []byte) error {
+		if _, err := w.Write(line); err != nil {
+			return err
+		}
+		if _, err := w.Write([]byte("\n")); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+	jobErr, err := s.m.Follow(r.Context(), id, emit)
+	if err != nil {
+		// The reader disconnected (or its write failed) before the job
+		// finished.
+		if cancelOnDisconnect {
+			s.m.Cancel(id) //nolint:errcheck // job may have finished racing the disconnect
+		}
+		return
+	}
+	if jobErr != "" {
+		emit(mustMarshal(ErrorBody{Error: jobErr})) //nolint:errcheck
+	}
+}
+
+// handleDiagnose runs one device synchronously under a context that
+// follows both the request (a disconnecting client aborts the engines
+// directly) and the manager's lifetime (shutdown aborts in-flight
+// one-shots instead of blocking the drain), and returns the full
+// memtest.Result. One-shots draw from their own cfg.Jobs-sized slot
+// pool, so they are capacity-bounded like jobs and overload answers
+// 429.
+func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := decode(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	session, err := req.session(s.m.cfg.perJobWorkers())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	ctx, release, err := s.m.StartDiagnose(r.Context())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer release()
+	res, err := session.RunAll(ctx)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, res)
+	case r.Context().Err() != nil:
+		// Client gone; nobody is listening.
+	case errors.Is(err, context.Canceled):
+		// The manager shut down under the request.
+		writeError(w, fmt.Errorf("%w: diagnosis aborted", ErrShuttingDown))
+	default:
+		writeJSON(w, http.StatusInternalServerError, ErrorBody{Error: err.Error()})
+	}
+}
+
+func (s *Server) handleSchemes(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, memtest.Schemes())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.m.Health())
+}
+
+func mustMarshal(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

@@ -1,0 +1,140 @@
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"repro/memtest"
+)
+
+// JobRequest is the wire form of a diagnosis submission, shared by
+// POST /v1/jobs (fleet jobs) and POST /v1/diagnose (one-shot runs).
+// The embedded plan is the same JSON the memtest library and the CLI
+// fleet files use.
+type JobRequest struct {
+	// Plan is the fleet of memories to diagnose.
+	Plan memtest.Plan `json:"plan"`
+	// Devices is the fleet size — how many deterministically seeded
+	// instances of the plan to diagnose. Required for jobs; ignored by
+	// /v1/diagnose, which always runs a single device.
+	Devices int `json:"devices,omitempty"`
+	// Scheme selects the diagnosis engine by registry name; empty
+	// means "proposed".
+	Scheme string `json:"scheme,omitempty"`
+	// DRF enables data-retention-fault diagnosis (the NWRTM merge for
+	// the proposed scheme).
+	DRF bool `json:"drf,omitempty"`
+	// Seed is the base seed every per-device defect draw derives from;
+	// the same (plan, seed) pair always produces the same results.
+	Seed int64 `json:"seed"`
+	// Workers requests a per-job fleet worker count; the server clamps
+	// it to its per-job share of the shared capacity. Zero takes the
+	// full share.
+	Workers int `json:"workers,omitempty"`
+	// Delivery is "unordered" (the service default: stream each device
+	// as its worker finishes) or "ordered" (deterministic device
+	// order, head-of-line buffered).
+	Delivery string `json:"delivery,omitempty"`
+	// Repair, when set, allocates spare repair per memory and reports
+	// fleet yield.
+	Repair *memtest.Budget `json:"repair,omitempty"`
+}
+
+// session builds the memtest session a request describes, clamping the
+// fleet worker count to maxWorkers. Errors wrap the memtest sentinel
+// errors, so the server can report them as client mistakes (HTTP 400).
+func (r JobRequest) session(maxWorkers int) (*memtest.Session, error) {
+	scheme := r.Scheme
+	if scheme == "" {
+		scheme = "proposed"
+	}
+	delivery := memtest.Unordered
+	if r.Delivery != "" {
+		var err error
+		if delivery, err = memtest.ParseFleetDelivery(r.Delivery); err != nil {
+			return nil, err
+		}
+	}
+	workers := r.Workers
+	if workers <= 0 || workers > maxWorkers {
+		workers = maxWorkers
+	}
+	opts := []memtest.Option{
+		memtest.WithScheme(scheme),
+		memtest.WithSeed(r.Seed),
+		memtest.WithWorkers(workers),
+		memtest.WithFleetDelivery(delivery),
+	}
+	if r.DRF {
+		opts = append(opts, memtest.WithDRF())
+	}
+	if r.Repair != nil {
+		opts = append(opts, memtest.WithRepair(*r.Repair))
+	}
+	return memtest.New(r.Plan, opts...)
+}
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	// StateQueued: accepted, waiting for a scheduler worker.
+	StateQueued State = "queued"
+	// StateRunning: a worker is streaming devices.
+	StateRunning State = "running"
+	// StateDone: every device's result is buffered.
+	StateDone State = "done"
+	// StateFailed: the engine reported an error.
+	StateFailed State = "failed"
+	// StateCancelled: stopped by DELETE, a disconnecting reader that
+	// asked for it, or server shutdown.
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final — no more results will
+// be appended to the job's stream.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// JobStatus is the wire form of a job's current state.
+type JobStatus struct {
+	// ID addresses the job in every /v1/jobs/{id} route.
+	ID string `json:"id"`
+	// State is the lifecycle position.
+	State State `json:"state"`
+	// Plan and Scheme echo the submission.
+	Plan   string `json:"plan"`
+	Scheme string `json:"scheme"`
+	// Devices is the requested fleet size; Completed counts device
+	// results buffered so far.
+	Devices   int `json:"devices"`
+	Completed int `json:"completed"`
+	// Error is set for failed and cancelled jobs.
+	Error string `json:"error,omitempty"`
+	// Created/Started/Finished are the lifecycle timestamps.
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+}
+
+// Health is the /v1/healthz body.
+type Health struct {
+	// Jobs and Queue echo the manager's configured capacity;
+	// QueuedJobs and RunningJobs are the current load. Diagnosing
+	// counts in-flight one-shot /v1/diagnose runs, which draw from
+	// their own Jobs-sized slot pool.
+	Jobs        int `json:"jobs"`
+	Queue       int `json:"queue"`
+	QueuedJobs  int `json:"queued_jobs"`
+	RunningJobs int `json:"running_jobs"`
+	Diagnosing  int `json:"diagnosing"`
+}
+
+// ErrorBody is the JSON error envelope every non-2xx response — and
+// the terminal line of a failed job's NDJSON stream — carries.
+type ErrorBody struct {
+	Error string `json:"error"`
+}
+
+func (e ErrorBody) String() string { return fmt.Sprintf("service error: %s", e.Error) }
