@@ -2,11 +2,18 @@
 // submissions in, NDJSON per-device results streaming out, backed by
 // the memtest library's cancellable fleet sessions. See the
 // repro/service package documentation for the endpoint table and
-// README.md for curl examples.
+// docs/OPERATIONS.md for the full flag and endpoint reference.
 //
 // Usage:
 //
 //	memtestd [-addr :8347] [-jobs 2] [-queue 16] [-workers 0] [-drain 15s]
+//	         [-data-dir DIR] [-retain-jobs N] [-retain-bytes N]
+//
+// Without -data-dir, jobs live in process memory and die with the
+// process. With it, every job's results spool to disk as they are
+// produced and the daemon recovers the directory on startup: finished
+// jobs re-stream byte-identically, jobs interrupted by the previous
+// crash report failed with their partial results still streamable.
 //
 // SIGINT/SIGTERM triggers a graceful shutdown: new submissions are
 // refused, running jobs are cancelled (the engines abort within one
@@ -26,19 +33,40 @@ import (
 	"time"
 
 	"repro/service"
+	"repro/service/store"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8347", "listen address")
-		jobs    = flag.Int("jobs", 2, "maximum concurrently running jobs (scheduler workers)")
-		queue   = flag.Int("queue", 16, "queued-job backlog before submissions get HTTP 429")
-		workers = flag.Int("workers", 0, "shared fleet-worker capacity divided across jobs (0 = GOMAXPROCS)")
-		drain   = flag.Duration("drain", 15*time.Second, "graceful shutdown drain timeout")
+		addr        = flag.String("addr", ":8347", "listen address")
+		jobs        = flag.Int("jobs", 2, "maximum concurrently running jobs (scheduler workers)")
+		queue       = flag.Int("queue", 16, "queued-job backlog before submissions get HTTP 429")
+		workers     = flag.Int("workers", 0, "fleet-worker pool lent dynamically to running jobs (0 = GOMAXPROCS)")
+		drain       = flag.Duration("drain", 15*time.Second, "graceful shutdown drain timeout")
+		dataDir     = flag.String("data-dir", "", "spool job manifests and results here; empty = in-memory (jobs die with the process)")
+		retainJobs  = flag.Int("retain-jobs", 0, "finished jobs kept before the oldest are evicted (0 = unlimited)")
+		retainBytes = flag.Int64("retain-bytes", 0, "total spooled result bytes kept before the oldest finished jobs are evicted (0 = unlimited)")
 	)
 	flag.Parse()
 
-	m := service.NewManager(service.Config{Jobs: *jobs, Queue: *queue, FleetWorkers: *workers})
+	cfg := service.Config{
+		Jobs: *jobs, Queue: *queue, FleetWorkers: *workers,
+		RetainJobs: *retainJobs, RetainBytes: *retainBytes,
+	}
+	if *dataDir != "" {
+		st, err := store.NewDisk(*dataDir)
+		if err != nil {
+			log.Fatalf("memtestd: %v", err)
+		}
+		cfg.Store = st
+	}
+	m, err := service.NewManager(cfg)
+	if err != nil {
+		log.Fatalf("memtestd: %v", err)
+	}
+	if *dataDir != "" {
+		log.Printf("memtestd: data dir %s: recovered %d jobs", *dataDir, len(m.Jobs()))
+	}
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: service.NewServer(m),

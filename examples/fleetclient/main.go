@@ -34,7 +34,10 @@ func main() {
 
 	base := *addr
 	if base == "" {
-		m := service.NewManager(service.Config{Jobs: 2, Queue: 8})
+		m, err := service.NewManager(service.Config{Jobs: 2, Queue: 8})
+		if err != nil {
+			log.Fatal(err)
+		}
 		defer m.Close()
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -67,7 +70,7 @@ func main() {
 	// Tail the stream: unordered delivery means the device indices
 	// interleave with worker scheduling.
 	seen := 0
-	for dr, err := range c.Results(ctx, st.ID, false) {
+	for dr, err := range c.Results(ctx, st.ID) {
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -99,7 +102,7 @@ func main() {
 		log.Fatal(err)
 	}
 	taken := 0
-	for _, err := range c.Results(ctx, big.ID, false) {
+	for _, err := range c.Results(ctx, big.ID) {
 		if err != nil {
 			fmt.Printf("big job stream ended: %v\n", err)
 			break

@@ -1,0 +1,122 @@
+// Command mdlinks checks that every relative link in the repo's
+// Markdown files resolves to an existing file or directory, so docs
+// cannot silently rot as files move. CI runs it over the repo root:
+//
+//	go run ./scripts/mdlinks .
+//
+// It walks the given roots for *.md files (skipping dot-directories
+// and testdata), extracts inline links and images ([text](target) /
+// ![alt](target)), ignores absolute URLs (a scheme followed by a
+// colon) and pure in-page anchors (#...), strips any #fragment and
+// ?query from the rest, and resolves the target against the file's
+// directory. Broken links are reported one per line and the exit
+// status is non-zero.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline Markdown links and images; group 1 is the
+// target. Nested brackets and angle-bracket targets are out of scope
+// — the repo's docs use plain [text](target) links.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)[^)]*\)`)
+
+// schemeRe recognises absolute URLs (http:, https:, mailto:, ...).
+var schemeRe = regexp.MustCompile(`^[a-zA-Z][a-zA-Z0-9+.-]*:`)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	broken := 0
+	for _, root := range roots {
+		files, err := markdownFiles(root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdlinks: %v\n", err)
+			os.Exit(2)
+		}
+		for _, file := range files {
+			bad, err := checkFile(file)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mdlinks: %v\n", err)
+				os.Exit(2)
+			}
+			for _, b := range bad {
+				fmt.Printf("%s: broken link: %s\n", file, b)
+				broken++
+			}
+		}
+	}
+	if broken > 0 {
+		fmt.Printf("mdlinks: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+}
+
+// markdownFiles walks root for *.md files, skipping dot-directories
+// (except .github, which can carry documentation) and testdata trees
+// (golden files are not documentation).
+func markdownFiles(root string) ([]string, error) {
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && ((strings.HasPrefix(name, ".") && name != ".github") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(name), ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	return files, err
+}
+
+// checkFile returns the unresolved relative link targets in one file.
+func checkFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var broken []string
+	for _, target := range Links(string(data)) {
+		dest := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+		if _, err := os.Stat(dest); err != nil {
+			broken = append(broken, target)
+		}
+	}
+	return broken, nil
+}
+
+// Links extracts the relative link targets worth checking from one
+// Markdown document: inline links and images, minus absolute URLs and
+// in-page anchors, with #fragments and ?queries stripped.
+func Links(doc string) []string {
+	var out []string
+	for _, m := range linkRe.FindAllStringSubmatch(doc, -1) {
+		target := m[1]
+		if schemeRe.MatchString(target) || strings.HasPrefix(target, "#") {
+			continue
+		}
+		if i := strings.IndexAny(target, "#?"); i >= 0 {
+			target = target[:i]
+		}
+		if target == "" {
+			continue
+		}
+		out = append(out, target)
+	}
+	return out
+}

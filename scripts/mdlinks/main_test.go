@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestLinks(t *testing.T) {
+	doc := `
+# Doc
+
+Inline [one](a.md), an image ![shot](img/shot.png), and a
+[fragment link](b.md#section) plus a [query](c.md?x=1).
+
+Absolute links are ignored: [web](https://example.com/x.md),
+[mail](mailto:a@b.c), [scheme](ftp://host/f.md).
+In-page anchors are ignored: [above](#doc).
+Reference-style and bare text are out of scope.
+Two on one line: [x](d.md) and [y](e/f.md).
+`
+	got := Links(doc)
+	want := []string{"a.md", "img/shot.png", "b.md", "c.md", "d.md", "e/f.md"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Links = %v, want %v", got, want)
+	}
+}
+
+func TestLinksEmptyAfterStrip(t *testing.T) {
+	if got := Links("[self](#only-anchor) [empty]()"); len(got) != 0 {
+		t.Fatalf("Links = %v, want none", got)
+	}
+}
+
+func TestCheckFileAndWalk(t *testing.T) {
+	dir := t.TempDir()
+	mkdir := func(p string) {
+		t.Helper()
+		if err := os.MkdirAll(filepath.Join(dir, p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write := func(p, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, p), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mkdir("docs")
+	mkdir("testdata")
+	mkdir(".hidden")
+	write("README.md", "[ok](docs/GUIDE.md) [dir](docs) [missing](gone.md) [web](https://x.y/z.md)")
+	write("docs/GUIDE.md", "[up](../README.md) [frag](../README.md#x)")
+	write("testdata/skipme.md", "[broken](nope.md)")
+	write(".hidden/skipme.md", "[broken](nope.md)")
+	write("notes.txt", "[not markdown](nope.md)")
+
+	files, err := markdownFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("walked files = %v, want README.md and docs/GUIDE.md", files)
+	}
+
+	bad, err := checkFile(filepath.Join(dir, "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bad, []string{"gone.md"}) {
+		t.Fatalf("broken in README = %v, want [gone.md]", bad)
+	}
+	bad, err = checkFile(filepath.Join(dir, "docs", "GUIDE.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 0 {
+		t.Fatalf("broken in GUIDE = %v, want none", bad)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"iter"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 
 	"repro/memtest"
@@ -153,19 +154,52 @@ func (c *Client) Health(ctx context.Context) (service.Health, error) {
 	return h, err
 }
 
-// Results tails a job's NDJSON result stream, replaying buffered
+// ResultsOption tunes one Results stream; see WithOffset and
+// WithCancelOnDisconnect.
+type ResultsOption func(*resultsConfig)
+
+type resultsConfig struct {
+	offset             int
+	cancelOnDisconnect bool
+}
+
+// WithOffset skips the first n spooled result lines — the pagination
+// hook: resume a stream that broke after n devices, or page through a
+// finished job's spool window by window, without re-transferring what
+// was already read.
+func WithOffset(n int) ResultsOption {
+	return func(c *resultsConfig) { c.offset = n }
+}
+
+// WithCancelOnDisconnect makes the server cancel the job if this
+// reader goes away before the stream completes (including via an
+// early break, which closes the connection) — the tail-and-own mode
+// the one-client-per-job workflow uses.
+func WithCancelOnDisconnect() ResultsOption {
+	return func(c *resultsConfig) { c.cancelOnDisconnect = true }
+}
+
+// Results tails a job's NDJSON result stream, replaying spooled
 // devices and then following live ones until the job finishes. The
 // iterator mirrors Session.RunFleet: it yields one DeviceResult per
 // line, or a single terminal error — *JobError when the job failed or
-// was cancelled server-side, ctx.Err() when ctx ends first. With
-// cancelOnDisconnect the server cancels the job if this reader goes
-// away before the stream completes (including via an early break, which
-// closes the connection).
-func (c *Client) Results(ctx context.Context, id string, cancelOnDisconnect bool) iter.Seq2[memtest.DeviceResult, error] {
+// was cancelled server-side, ctx.Err() when ctx ends first.
+func (c *Client) Results(ctx context.Context, id string, opts ...ResultsOption) iter.Seq2[memtest.DeviceResult, error] {
+	var rc resultsConfig
+	for _, o := range opts {
+		o(&rc)
+	}
 	return func(yield func(memtest.DeviceResult, error) bool) {
+		q := url.Values{}
+		if rc.cancelOnDisconnect {
+			q.Set("cancel_on_disconnect", "true")
+		}
+		if rc.offset > 0 {
+			q.Set("offset", strconv.Itoa(rc.offset))
+		}
 		path := c.base + "/v1/jobs/" + url.PathEscape(id) + "/results"
-		if cancelOnDisconnect {
-			path += "?cancel_on_disconnect=true"
+		if len(q) > 0 {
+			path += "?" + q.Encode()
 		}
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, path, nil)
 		if err != nil {
@@ -231,7 +265,7 @@ func (c *Client) Run(ctx context.Context, req service.JobRequest, info *service.
 		if info != nil {
 			*info = st
 		}
-		for dr, err := range c.Results(ctx, st.ID, true) {
+		for dr, err := range c.Results(ctx, st.ID, WithCancelOnDisconnect()) {
 			if !yield(dr, err) {
 				return
 			}

@@ -53,7 +53,7 @@ func TestResultsTerminalErrorLine(t *testing.T) {
 	defer ts.Close()
 	devices := 0
 	var last error
-	for _, err := range New(ts.URL, nil).Results(context.Background(), "job-000001", false) {
+	for _, err := range New(ts.URL, nil).Results(context.Background(), "job-000001") {
 		if err != nil {
 			last = err
 			break

@@ -1,0 +1,57 @@
+package client_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"repro/memtest"
+	"repro/service"
+	"repro/service/client"
+)
+
+// ExampleClient_Results_offset pages through a finished job's result
+// spool with WithOffset: the server skips the first N spooled lines,
+// so a reader that already has N devices (or one resuming a broken
+// stream) never re-transfers them.
+func ExampleClient_Results_offset() {
+	// Self-host a memtestd instance for the example.
+	m, err := service.NewManager(service.Config{Jobs: 1, Queue: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+	ts := httptest.NewServer(service.NewServer(m))
+	defer ts.Close()
+	c := client.New(ts.URL, ts.Client())
+	ctx := context.Background()
+
+	plan := memtest.Plan{
+		Name:    "offset-doc",
+		ClockNs: 10,
+		Memories: []memtest.MemorySpec{
+			{Name: "buf", Words: 16, Width: 4, DefectRate: 0.05, Seed: 1},
+		},
+	}
+	st, err := c.Submit(ctx, service.JobRequest{Plan: plan, Devices: 5, Seed: 1, Delivery: "ordered"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Drain the stream once; it follows the job to completion.
+	for _, err := range c.Results(ctx, st.ID) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Second page: skip the 3 devices already read.
+	for dr, err := range c.Results(ctx, st.ID, client.WithOffset(3)) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("device %d\n", dr.Device)
+	}
+	// Output:
+	// device 3
+	// device 4
+}

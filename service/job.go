@@ -9,7 +9,7 @@ import (
 	"sync"
 	"time"
 
-	"repro/memtest"
+	"repro/service/store"
 )
 
 // Typed manager errors; the server maps them onto HTTP statuses.
@@ -25,6 +25,9 @@ var (
 	ErrShuttingDown = errors.New("service: shutting down")
 	// ErrBadDevices: a job submission without a positive device count.
 	ErrBadDevices = errors.New("service: job needs a positive device count")
+	// ErrStorage: the job store failed (HTTP 500) — e.g. the data
+	// directory became unwritable mid-job.
+	ErrStorage = errors.New("service: job storage")
 )
 
 // Config sizes a Manager.
@@ -35,11 +38,28 @@ type Config struct {
 	// Queue is the bounded backlog beyond the running jobs; a Submit
 	// while it is full fails with ErrQueueFull. Zero defaults to 16.
 	Queue int
-	// FleetWorkers is the shared device-worker capacity multiplexed
-	// across concurrent jobs: each job's RunFleet pool is clamped to
-	// max(1, FleetWorkers/Jobs), a static division of the machine.
-	// Zero defaults to GOMAXPROCS.
+	// FleetWorkers is the shared device-worker capacity lent out to
+	// jobs as they start: a job starting on an otherwise idle manager
+	// borrows the whole pool, one starting alongside queued work takes
+	// its fair split of what is still available, and every grant is
+	// returned when the job finishes. A job never gets less than one
+	// worker, so a saturated pool oversubscribes by at most one worker
+	// per running job instead of stalling. Zero defaults to GOMAXPROCS.
 	FleetWorkers int
+	// Store persists job manifests and result spools. Nil selects an
+	// in-memory store: jobs die with the process, exactly the pre-
+	// persistence behaviour. With a disk store (store.NewDisk), jobs
+	// survive restarts — NewManager recovers the directory on startup.
+	Store store.Store
+	// RetainJobs caps how many finished (done, failed or cancelled)
+	// jobs are kept; the oldest are evicted — removed from the job
+	// table and the store — once the cap is exceeded. Zero keeps all.
+	RetainJobs int
+	// RetainBytes caps the total bytes of spooled results across all
+	// jobs; oldest finished jobs are evicted until the total fits.
+	// Running jobs count toward the total but are never evicted. Zero
+	// keeps all.
+	RetainBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -55,26 +75,19 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// perJobWorkers is one job's share of the fleet-worker capacity.
-func (c Config) perJobWorkers() int {
-	if w := c.FleetWorkers / c.Jobs; w > 1 {
-		return w
-	}
-	return 1
-}
-
-// job is one submitted fleet diagnosis: its session, its result
-// buffer, and the plumbing that lets any number of readers follow the
-// buffer while a scheduler worker appends to it.
+// job is one submitted fleet diagnosis: its request, its result spool,
+// and the plumbing that lets any number of readers follow the spool
+// while a scheduler worker appends to it.
 type job struct {
-	id      string
-	session *memtest.Session
-	devices int
+	id        string
+	req       JobRequest // zero for recovered jobs, which never run
+	devices   int
+	recovered bool
+	spool     store.Job
 
 	mu        sync.Mutex
 	cond      *sync.Cond
 	status    JobStatus
-	lines     [][]byte           // one marshalled DeviceResult per completed device
 	cancelRun context.CancelFunc // set while running
 	cancelled bool               // cancel requested (before or during the run)
 }
@@ -85,33 +98,55 @@ func (j *job) snapshot() JobStatus {
 	return j.status
 }
 
-// start transitions queued -> running; it reports false when the job
-// was cancelled while still queued, in which case the worker must skip
-// it.
-func (j *job) start(cancel context.CancelFunc, now time.Time) bool {
+// persist writes the job's current status into its spool manifest, so
+// a restarted manager recovers the job where it stood. Call with j.mu
+// held.
+func (j *job) persist() error {
+	m, err := json.Marshal(j.status)
+	if err != nil {
+		return err
+	}
+	if err := j.spool.WriteManifest(m); err != nil {
+		return fmt.Errorf("%w: %v", ErrStorage, err)
+	}
+	return nil
+}
+
+// start transitions queued -> running with its granted worker count;
+// it reports false when the job was cancelled while still queued, in
+// which case the worker must skip it.
+func (j *job) start(cancel context.CancelFunc, workers int, now time.Time) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.cancelled {
 		return false
 	}
 	j.status.State = StateRunning
+	j.status.Workers = workers
 	t := now
 	j.status.Started = &t
 	j.cancelRun = cancel
+	j.persist() //nolint:errcheck // a failing manifest write must not kill a runnable job; the spool is authoritative
 	j.cond.Broadcast()
 	return true
 }
 
-// append buffers one device's marshalled result and wakes followers.
-func (j *job) append(line []byte) {
+// append spools one device's marshalled result and wakes followers.
+// A spool failure aborts the job: results the service cannot retain
+// must not silently vanish from late readers.
+func (j *job) append(line []byte) error {
+	if err := j.spool.Append(line); err != nil {
+		return fmt.Errorf("%w: %v", ErrStorage, err)
+	}
 	j.mu.Lock()
-	j.lines = append(j.lines, line)
-	j.status.Completed = len(j.lines)
+	j.status.Completed++
 	j.cond.Broadcast()
 	j.mu.Unlock()
+	return nil
 }
 
-// finish moves the job to a terminal state and wakes followers.
+// finish moves the job to a terminal state, persists the final
+// manifest and wakes followers.
 func (j *job) finish(state State, err error, now time.Time) {
 	j.mu.Lock()
 	j.status.State = state
@@ -121,17 +156,18 @@ func (j *job) finish(state State, err error, now time.Time) {
 	t := now
 	j.status.Finished = &t
 	j.cancelRun = nil
+	j.persist() //nolint:errcheck // best effort: recovery marks a running manifest failed anyway
 	j.cond.Broadcast()
 	j.mu.Unlock()
 }
 
-// follow replays the job's result lines from the start and then tails
-// live appends, calling emit once per line, until the job reaches a
-// terminal state or ctx is cancelled. It returns the job's terminal
-// error message (empty for done jobs) and the follower's own error
-// (context cancellation or an emit failure), exactly one of which is
-// meaningful.
-func (j *job) follow(ctx context.Context, emit func([]byte) error) (string, error) {
+// follow replays the job's result lines starting at line `offset` and
+// then tails live appends, calling emit once per line, until the job
+// reaches a terminal state or ctx is cancelled. It returns the job's
+// terminal error message (empty for done jobs) and the follower's own
+// error (context cancellation, a spool read failure or an emit
+// failure), exactly one of which is meaningful.
+func (j *job) follow(ctx context.Context, offset int, emit func([]byte) error) (string, error) {
 	// cond.Wait cannot watch a context, so a cancelled context
 	// broadcasts the condition to unblock waiters.
 	stop := context.AfterFunc(ctx, func() {
@@ -141,22 +177,40 @@ func (j *job) follow(ctx context.Context, emit func([]byte) error) (string, erro
 	})
 	defer stop()
 
-	next := 0
+	next := max(offset, 0)
 	for {
 		j.mu.Lock()
-		for next >= len(j.lines) && !j.status.State.Terminal() && ctx.Err() == nil {
+		for next >= j.status.Completed && !j.status.State.Terminal() && ctx.Err() == nil {
 			j.cond.Wait()
 		}
-		batch := j.lines[next:]
+		n := j.status.Completed
 		state, jobErr := j.status.State, j.status.Error
 		j.mu.Unlock()
 
-		for _, line := range batch {
-			if err := emit(line); err != nil {
-				return "", err
+		// Lines below n are immutable, so the spool read happens
+		// outside the lock and never stalls the appender.
+		if n > next {
+			// Distinguish the reader going away (emit failed — nothing
+			// left to tell it) from the spool failing under a live
+			// reader (wrapped in ErrStorage so the server can
+			// terminate the stream with an explicit error line
+			// instead of truncating it silently).
+			var emitErr error
+			err := j.spool.Read(next, n, func(line []byte) error {
+				if e := emit(line); e != nil {
+					emitErr = e
+					return e
+				}
+				return nil
+			})
+			if emitErr != nil {
+				return "", emitErr
 			}
+			if err != nil {
+				return "", fmt.Errorf("%w: %v", ErrStorage, err)
+			}
+			next = n
 		}
-		next += len(batch)
 		if state.Terminal() {
 			return jobErr, nil
 		}
@@ -166,11 +220,12 @@ func (j *job) follow(ctx context.Context, emit func([]byte) error) (string, erro
 	}
 }
 
-// Manager owns the job table, the bounded backlog and the scheduler
-// workers. One Manager backs one Server.
+// Manager owns the job table, the bounded backlog, the fleet-worker
+// ledger and the scheduler workers. One Manager backs one Server.
 type Manager struct {
-	cfg Config
-	now func() time.Time
+	cfg   Config
+	store store.Store
+	now   func() time.Time
 	// diagSem bounds concurrent one-shot diagnoses to cfg.Jobs, so
 	// /v1/diagnose cannot bypass the capacity the scheduler enforces
 	// for jobs.
@@ -191,28 +246,109 @@ type Manager struct {
 	order   []string
 	seq     int
 	running int
-	closed  bool
+	// avail is the fleet-worker ledger: FleetWorkers minus the grants
+	// currently lent to running jobs. The 1-worker floor can push it
+	// negative (bounded oversubscription); releases restore it.
+	avail  int
+	closed bool
 }
 
-// NewManager starts cfg.Jobs scheduler workers and returns the ready
-// manager. Call Close to stop it.
-func NewManager(cfg Config) *Manager {
+// NewManager starts cfg.Jobs scheduler workers over cfg.Store (an
+// in-memory store when nil) and returns the ready manager. With a
+// durable store it first recovers the stored jobs: finished jobs
+// replay their spooled results byte-identically, and jobs that were
+// queued or running when the previous process died are marked failed
+// — their spooled prefix stays streamable. Call Close to stop the
+// manager and release the store.
+func NewManager(cfg Config) (*Manager, error) {
 	cfg = cfg.withDefaults()
+	st := cfg.Store
+	if st == nil {
+		st = store.NewMem()
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:     cfg,
+		store:   st,
 		now:     time.Now,
 		diagSem: make(chan struct{}, cfg.Jobs),
 		baseCtx: ctx,
 		stop:    stop,
 		jobs:    map[string]*job{},
+		avail:   cfg.FleetWorkers,
 	}
 	m.qcond = sync.NewCond(&m.mu)
+	if err := m.recover(); err != nil {
+		stop()
+		return nil, err
+	}
+	m.enforceRetention()
 	for range cfg.Jobs {
 		m.wg.Add(1)
 		go m.worker()
 	}
-	return m
+	return m, nil
+}
+
+// recover rebuilds the job table from the store. Store IDs sort in
+// creation order (zero-padded sequence numbers), and the sequence
+// counter resumes past the highest recovered ID so new jobs never
+// collide with stored ones.
+func (m *Manager) recover() error {
+	ids, err := m.store.Jobs()
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrStorage, err)
+	}
+	for _, id := range ids {
+		spool, err := m.store.Open(id)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrStorage, err)
+		}
+		manifest, err := spool.Manifest()
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrStorage, err)
+		}
+		var st JobStatus
+		if err := json.Unmarshal(manifest, &st); err != nil {
+			return fmt.Errorf("%w: manifest for %s: %v", ErrStorage, id, err)
+		}
+		st.ID = id // the file name is authoritative
+		st.Recovered = true
+		j := &job{id: id, devices: st.Devices, recovered: true, spool: spool}
+		j.cond = sync.NewCond(&j.mu)
+		interrupted := !st.State.Terminal()
+		if interrupted {
+			// The previous process died with this job queued or
+			// running. It cannot be resumed (its in-flight devices are
+			// gone), but everything already spooled still streams.
+			// Counting the spooled lines here also truncates a torn
+			// final append.
+			st.Completed = spool.Lines()
+			st.State = StateFailed
+			st.Error = fmt.Sprintf("interrupted by server restart; %d/%d device results retained", st.Completed, st.Devices)
+			t := m.now()
+			st.Finished = &t
+		}
+		// Terminal jobs keep the manifest's Completed (persisted after
+		// the last append) and stay unindexed until somebody reads
+		// them, so recovery costs O(jobs), not O(spooled bytes).
+		j.status = st
+		if interrupted {
+			j.mu.Lock()
+			err := j.persist()
+			j.mu.Unlock()
+			if err != nil {
+				return err
+			}
+		}
+		var seq int
+		if _, err := fmt.Sscanf(id, "job-%d", &seq); err == nil && seq > m.seq {
+			m.seq = seq
+		}
+		m.jobs[id] = j
+		m.order = append(m.order, id)
+	}
+	return nil
 }
 
 func (m *Manager) worker() {
@@ -261,12 +397,41 @@ func (m *Manager) StartDiagnose(ctx context.Context) (context.Context, func(), e
 	}
 }
 
-// run executes one job: it streams Session.RunFleet under a per-job
-// context, buffering each device's result as its worker finishes.
+// claimWorkers grants a starting job its fleet-worker share: the
+// available capacity split evenly with the jobs still queued behind
+// it, capped by the job's device count and its requested worker limit,
+// with a floor of one. The grant is deducted from the ledger until
+// releaseWorkers returns it.
+func (m *Manager) claimWorkers(j *job) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	share := m.avail / (1 + len(m.backlog))
+	if share > j.devices {
+		share = j.devices
+	}
+	if j.req.Workers > 0 && j.req.Workers < share {
+		share = j.req.Workers
+	}
+	share = max(share, 1)
+	m.avail -= share
+	return share
+}
+
+func (m *Manager) releaseWorkers(n int) {
+	m.mu.Lock()
+	m.avail += n
+	m.mu.Unlock()
+}
+
+// run executes one job: it claims a fleet-worker grant, streams
+// Session.RunFleet under a per-job context, and spools each device's
+// result as its worker finishes.
 func (m *Manager) run(j *job) {
+	granted := m.claimWorkers(j)
+	defer m.releaseWorkers(granted)
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	defer cancel()
-	if !j.start(cancel, m.now()) {
+	if !j.start(cancel, granted, m.now()) {
 		// Cancelled while queued; Cancel already finished it.
 		return
 	}
@@ -280,7 +445,13 @@ func (m *Manager) run(j *job) {
 	}()
 
 	err := func() error {
-		for dr, err := range j.session.RunFleet(ctx, j.devices) {
+		// The session is built at start time, not submit time, so the
+		// worker grant reflects the load of the moment it runs.
+		session, err := j.req.session(granted)
+		if err != nil {
+			return err
+		}
+		for dr, err := range session.RunFleet(ctx, j.devices) {
 			if err != nil {
 				return err
 			}
@@ -288,7 +459,9 @@ func (m *Manager) run(j *job) {
 			if err != nil {
 				return err
 			}
-			j.append(line)
+			if err := j.append(line); err != nil {
+				return err
+			}
 		}
 		return nil
 	}()
@@ -300,16 +473,20 @@ func (m *Manager) run(j *job) {
 	default:
 		j.finish(StateFailed, err, m.now())
 	}
+	m.enforceRetention()
 }
 
-// Submit validates a job request, assigns it an ID and enqueues it.
-// It fails fast: a bad request never occupies a queue slot, and a full
-// queue returns ErrQueueFull without blocking.
+// Submit validates a job request, assigns it an ID, creates its spool
+// and enqueues it. It fails fast: a bad request never occupies a queue
+// slot, and a full queue returns ErrQueueFull without blocking.
 func (m *Manager) Submit(req JobRequest) (JobStatus, error) {
 	if req.Devices <= 0 {
 		return JobStatus{}, fmt.Errorf("%w (got %d)", ErrBadDevices, req.Devices)
 	}
-	session, err := req.session(m.cfg.perJobWorkers())
+	// Build (and discard) a session to validate the plan and options
+	// up front; the real session is built at run time with the worker
+	// grant of that moment.
+	probe, err := req.session(1)
 	if err != nil {
 		return JobStatus{}, err
 	}
@@ -324,15 +501,27 @@ func (m *Manager) Submit(req JobRequest) (JobStatus, error) {
 	m.seq++
 	j := &job{
 		id:      fmt.Sprintf("job-%06d", m.seq),
-		session: session,
+		req:     req,
 		devices: req.Devices,
 	}
 	j.cond = sync.NewCond(&j.mu)
 	j.status = JobStatus{
 		ID: j.id, State: StateQueued,
-		Plan: req.Plan.Name, Scheme: session.Engine().Name(),
+		Plan: req.Plan.Name, Scheme: probe.Engine().Name(),
 		Devices: req.Devices, Created: m.now(),
 	}
+	manifest, err := json.Marshal(j.status)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	// On failure the sequence number is burned, not rolled back: the
+	// store cleans up its own partial files, and never reusing an ID
+	// means a leftover foreign file cannot wedge every future Submit.
+	spool, err := m.store.Create(j.id, manifest)
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("%w: %v", ErrStorage, err)
+	}
+	j.spool = spool
 	// Snapshot before signalling: a worker may pick the job up (and
 	// mutate its status under j.mu) the instant it is enqueued.
 	accepted := j.status
@@ -363,7 +552,8 @@ func (m *Manager) Status(id string) (JobStatus, error) {
 	return j.snapshot(), nil
 }
 
-// Jobs lists every job in submission order.
+// Jobs lists every retained job in submission order, recovered jobs
+// included.
 func (m *Manager) Jobs() []JobStatus {
 	m.mu.Lock()
 	jobs := make([]*job, 0, len(m.order))
@@ -398,6 +588,7 @@ func (m *Manager) Cancel(id string) (JobStatus, error) {
 		j.status.Error = context.Canceled.Error()
 		t := m.now()
 		j.status.Finished = &t
+		j.persist() //nolint:errcheck // best effort: recovery marks a queued manifest failed anyway
 		j.cond.Broadcast()
 	case StateRunning:
 		j.cancelRun()
@@ -420,14 +611,69 @@ func (m *Manager) dequeue(j *job) {
 	}
 }
 
-// Follow streams a job's buffered and live result lines; see
-// job.follow for the contract.
-func (m *Manager) Follow(ctx context.Context, id string, emit func([]byte) error) (string, error) {
+// Follow streams a job's spooled and live result lines starting at
+// line `offset` (0 replays everything); see job.follow for the
+// contract.
+func (m *Manager) Follow(ctx context.Context, id string, offset int, emit func([]byte) error) (string, error) {
 	j, err := m.lookup(id)
 	if err != nil {
 		return "", err
 	}
-	return j.follow(ctx, emit)
+	return j.follow(ctx, offset, emit)
+}
+
+// enforceRetention evicts the oldest finished jobs until the retention
+// caps hold: at most RetainJobs finished jobs, at most RetainBytes of
+// spooled results in total. Queued and running jobs are never evicted
+// (their bytes still count toward the total). Evicted jobs vanish from
+// the job table and the store; followers already streaming one keep
+// their handle.
+func (m *Manager) enforceRetention() {
+	if m.cfg.RetainJobs <= 0 && m.cfg.RetainBytes <= 0 {
+		return
+	}
+	m.mu.Lock()
+	var total int64
+	finished := 0
+	for _, id := range m.order {
+		j := m.jobs[id]
+		total += j.spool.Size()
+		if j.snapshot().State.Terminal() {
+			finished++
+		}
+	}
+	var evict []string
+	for _, id := range m.order {
+		over := (m.cfg.RetainJobs > 0 && finished > m.cfg.RetainJobs) ||
+			(m.cfg.RetainBytes > 0 && total > m.cfg.RetainBytes)
+		if !over {
+			break
+		}
+		j := m.jobs[id]
+		if !j.snapshot().State.Terminal() {
+			continue
+		}
+		evict = append(evict, id)
+		finished--
+		total -= j.spool.Size()
+		delete(m.jobs, id)
+	}
+	if len(evict) > 0 {
+		kept := m.order[:0]
+		for _, id := range m.order {
+			if _, ok := m.jobs[id]; ok {
+				kept = append(kept, id)
+			}
+		}
+		m.order = kept
+	}
+	m.mu.Unlock()
+	// Store deletion is I/O; do it outside the manager lock. The IDs
+	// are already invisible to lookups, so a racing Follow either got
+	// its handle in time (and keeps streaming) or sees 404.
+	for _, id := range evict {
+		m.store.Remove(id) //nolint:errcheck // eviction is best effort; a leaked spool is re-listed and re-evicted on restart
+	}
 }
 
 // Health reports configured capacity and current load.
@@ -437,13 +683,16 @@ func (m *Manager) Health() Health {
 	return Health{
 		Jobs: m.cfg.Jobs, Queue: m.cfg.Queue,
 		QueuedJobs: len(m.backlog), RunningJobs: m.running,
-		Diagnosing: len(m.diagSem),
+		Diagnosing:   len(m.diagSem),
+		FleetWorkers: m.cfg.FleetWorkers,
+		IdleWorkers:  max(m.avail, 0),
 	}
 }
 
 // Close stops accepting submissions, cancels every running job, waits
-// for the scheduler workers to unwind and marks the backlog cancelled,
-// so every follower's stream terminates. It is idempotent.
+// for the scheduler workers to unwind, marks the backlog cancelled
+// (so every follower's stream terminates) and releases the store. It
+// is idempotent.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	if m.closed {
@@ -463,4 +712,5 @@ func (m *Manager) Close() {
 		j.mu.Unlock()
 		j.finish(StateCancelled, ErrShuttingDown, m.now())
 	}
+	m.store.Close() //nolint:errcheck // nothing left to do with a failing store at shutdown
 }

@@ -9,6 +9,16 @@ import (
 	"repro/memtest"
 )
 
+// mustManager builds a manager over the default in-memory store.
+func mustManager(t *testing.T, cfg Config) *Manager {
+	t.Helper()
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
 func unitPlan() memtest.Plan {
 	return memtest.Plan{
 		Name:    "unit",
@@ -19,30 +29,69 @@ func unitPlan() memtest.Plan {
 	}
 }
 
-func TestConfigDefaultsAndShares(t *testing.T) {
+func TestConfigDefaults(t *testing.T) {
 	c := Config{}.withDefaults()
 	if c.Jobs != 2 || c.Queue != 16 || c.FleetWorkers < 1 {
 		t.Fatalf("defaults = %+v", c)
 	}
-	shares := Config{Jobs: 4, FleetWorkers: 16}
-	if w := shares.perJobWorkers(); w != 4 {
-		t.Fatalf("16 workers / 4 jobs = %d", w)
+}
+
+// TestWorkerLedger pins the dynamic fleet-worker sharing arithmetic:
+// an idle pool is lent whole, queued work splits what is available,
+// device counts and requested limits cap the grant, and the 1-worker
+// floor keeps a drained pool from stalling jobs.
+func TestWorkerLedger(t *testing.T) {
+	m := mustManager(t, Config{Jobs: 4, Queue: 8, FleetWorkers: 8})
+	defer m.Close()
+	big := &job{devices: 1 << 20}
+
+	// Idle manager: the whole pool goes to the first job.
+	if got := m.claimWorkers(big); got != 8 {
+		t.Fatalf("idle claim = %d, want 8", got)
 	}
-	starved := Config{Jobs: 8, FleetWorkers: 2}
-	if w := starved.perJobWorkers(); w != 1 {
-		t.Fatalf("starved share = %d, want the 1-worker floor", w)
+	// Pool drained: the floor grants one worker (bounded oversubscription).
+	if got := m.claimWorkers(big); got != 1 {
+		t.Fatalf("drained claim = %d, want the 1-worker floor", got)
 	}
+	m.releaseWorkers(1)
+	m.releaseWorkers(8)
+	if h := m.Health(); h.IdleWorkers != 8 {
+		t.Fatalf("idle workers after release = %d, want 8", h.IdleWorkers)
+	}
+
+	// Three jobs queued behind this one: fair split of 8 over 4.
+	m.mu.Lock()
+	m.backlog = []*job{big, big, big}
+	m.mu.Unlock()
+	if got := m.claimWorkers(big); got != 2 {
+		t.Fatalf("split claim = %d, want 2", got)
+	}
+	m.releaseWorkers(2)
+	m.mu.Lock()
+	m.backlog = nil
+	m.mu.Unlock()
+
+	// A small fleet never claims more workers than devices.
+	if got := m.claimWorkers(&job{devices: 3}); got != 3 {
+		t.Fatalf("device-capped claim = %d, want 3", got)
+	}
+	m.releaseWorkers(3)
+	// An explicit request caps the grant below the fair share.
+	if got := m.claimWorkers(&job{devices: 1 << 20, req: JobRequest{Workers: 2}}); got != 2 {
+		t.Fatalf("requested-capped claim = %d, want 2", got)
+	}
+	m.releaseWorkers(2)
 }
 
 func TestManagerRunsJobToDone(t *testing.T) {
-	m := NewManager(Config{Jobs: 1, Queue: 2})
+	m := mustManager(t, Config{Jobs: 1, Queue: 2})
 	defer m.Close()
 	st, err := m.Submit(JobRequest{Plan: unitPlan(), Devices: 3, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	var lines int
-	jobErr, err := m.Follow(context.Background(), st.ID, func([]byte) error { lines++; return nil })
+	jobErr, err := m.Follow(context.Background(), st.ID, 0, func([]byte) error { lines++; return nil })
 	if err != nil || jobErr != "" {
 		t.Fatalf("follow: %q, %v", jobErr, err)
 	}
@@ -62,7 +111,7 @@ func TestCancelQueuedJob(t *testing.T) {
 	// No scheduler workers pull from a closed-over manager with a
 	// full-blocking setup; easiest deterministic route: saturate the
 	// single worker with a job that outlives the test window.
-	m := NewManager(Config{Jobs: 1, Queue: 2})
+	m := mustManager(t, Config{Jobs: 1, Queue: 2})
 	defer m.Close()
 	// Park the worker on a big fleet of the unit plan.
 	if _, err := m.Submit(JobRequest{Plan: unitPlan(), Devices: 1 << 30, Seed: 1}); err != nil {
@@ -78,14 +127,14 @@ func TestCancelQueuedJob(t *testing.T) {
 	}
 	// A follower of the cancelled-while-queued job terminates at once
 	// with the job error.
-	jobErr, err := m.Follow(context.Background(), queued.ID, func([]byte) error { return nil })
+	jobErr, err := m.Follow(context.Background(), queued.ID, 0, func([]byte) error { return nil })
 	if err != nil || jobErr == "" {
 		t.Fatalf("follow cancelled job: %q, %v", jobErr, err)
 	}
 }
 
 func TestManagerCloseCancelsEverything(t *testing.T) {
-	m := NewManager(Config{Jobs: 1, Queue: 4})
+	m := mustManager(t, Config{Jobs: 1, Queue: 4})
 	running, err := m.Submit(JobRequest{Plan: unitPlan(), Devices: 1 << 30, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -97,7 +146,7 @@ func TestManagerCloseCancelsEverything(t *testing.T) {
 	// A live follower of the running job must be unblocked by Close.
 	followDone := make(chan error, 1)
 	go func() {
-		_, err := m.Follow(context.Background(), running.ID, func([]byte) error { return nil })
+		_, err := m.Follow(context.Background(), running.ID, 0, func([]byte) error { return nil })
 		followDone <- err
 	}()
 	m.Close()
@@ -125,7 +174,7 @@ func TestManagerCloseCancelsEverything(t *testing.T) {
 }
 
 func TestCloseAbortsInFlightDiagnose(t *testing.T) {
-	m := NewManager(Config{Jobs: 1, Queue: 1})
+	m := mustManager(t, Config{Jobs: 1, Queue: 1})
 	ctx, release, err := m.StartDiagnose(context.Background())
 	if err != nil {
 		t.Fatal(err)
@@ -146,7 +195,7 @@ func TestCloseAbortsInFlightDiagnose(t *testing.T) {
 }
 
 func TestSubmitValidation(t *testing.T) {
-	m := NewManager(Config{Jobs: 1, Queue: 1})
+	m := mustManager(t, Config{Jobs: 1, Queue: 1})
 	defer m.Close()
 	if _, err := m.Submit(JobRequest{Plan: unitPlan()}); !errors.Is(err, ErrBadDevices) {
 		t.Fatalf("no devices: %v", err)
@@ -160,7 +209,7 @@ func TestSubmitValidation(t *testing.T) {
 }
 
 func TestFollowContextCancellation(t *testing.T) {
-	m := NewManager(Config{Jobs: 1, Queue: 2})
+	m := mustManager(t, Config{Jobs: 1, Queue: 2})
 	defer m.Close()
 	st, err := m.Submit(JobRequest{Plan: unitPlan(), Devices: 1 << 30, Seed: 1})
 	if err != nil {
@@ -171,7 +220,7 @@ func TestFollowContextCancellation(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 		cancel()
 	}()
-	_, err = m.Follow(ctx, st.ID, func([]byte) error { return nil })
+	_, err = m.Follow(ctx, st.ID, 0, func([]byte) error { return nil })
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("follow err = %v, want context.Canceled", err)
 	}

@@ -59,6 +59,8 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, ErrShuttingDown):
 		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrStorage):
+		status = http.StatusInternalServerError
 	}
 	writeJSON(w, status, ErrorBody{Error: err.Error()})
 }
@@ -111,9 +113,12 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 // handleResults streams a job's results as NDJSON: every line is one
 // memtest.DeviceResult exactly as json.Marshal renders it, flushed as
 // it completes; a failed or cancelled job terminates the stream with
-// one {"error": "..."} line. With ?cancel_on_disconnect=true a reader
-// that goes away mid-stream cancels the job itself — the tail-and-own
-// mode the one-client-per-job workflow uses.
+// one {"error": "..."} line. ?offset=N skips the first N lines of the
+// spool — the pagination hook for resuming an interrupted read or
+// fetching the tail of a huge finished job. With
+// ?cancel_on_disconnect=true a reader that goes away mid-stream
+// cancels the job itself — the tail-and-own mode the
+// one-client-per-job workflow uses.
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	// Resolve before committing to a 200: unknown jobs are a 404.
@@ -122,6 +127,15 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cancelOnDisconnect, _ := strconv.ParseBool(r.URL.Query().Get("cancel_on_disconnect"))
+	offset := 0
+	if v := r.URL.Query().Get("offset"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, fmt.Errorf("service: offset must be a non-negative integer, got %q", v))
+			return
+		}
+		offset = n
+	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
@@ -138,8 +152,16 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		}
 		return nil
 	}
-	jobErr, err := s.m.Follow(r.Context(), id, emit)
+	jobErr, err := s.m.Follow(r.Context(), id, offset, emit)
 	if err != nil {
+		if errors.Is(err, ErrStorage) {
+			// The spool failed under a still-connected reader (disk
+			// fault, or the job was evicted mid-stream). Terminate
+			// explicitly — a silently truncated stream would be
+			// indistinguishable from a complete one.
+			emit(mustMarshal(ErrorBody{Error: err.Error()})) //nolint:errcheck
+			return
+		}
 		// The reader disconnected (or its write failed) before the job
 		// finished.
 		if cancelOnDisconnect {
@@ -165,7 +187,9 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	session, err := req.session(s.m.cfg.perJobWorkers())
+	// One-shots run a single device, so the fleet-worker pool is not
+	// involved; the session only needs the plan and options validated.
+	session, err := req.session(1)
 	if err != nil {
 		writeError(w, err)
 		return

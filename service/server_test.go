@@ -31,7 +31,10 @@ func testPlan() memtest.Plan {
 // newTestServer spins a manager + HTTP server and returns a client.
 func newTestServer(t *testing.T, cfg service.Config) (*client.Client, *service.Manager, *httptest.Server) {
 	t.Helper()
-	m := service.NewManager(cfg)
+	m, err := service.NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(service.NewServer(m))
 	t.Cleanup(func() { ts.Close(); m.Close() })
 	return client.New(ts.URL, ts.Client()), m, ts
@@ -316,7 +319,7 @@ func TestDeleteCancelsRunningJob(t *testing.T) {
 	streamErr := make(chan error, 1)
 	go func() {
 		var last error
-		for _, err := range c.Results(ctx, st.ID, false) {
+		for _, err := range c.Results(ctx, st.ID) {
 			last = err
 		}
 		streamErr <- last
@@ -363,7 +366,7 @@ func TestDisconnectCancelsJob(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		for _, err := range c.Results(rctx, st.ID, true) {
+		for _, err := range c.Results(rctx, st.ID, client.WithCancelOnDisconnect()) {
 			if err != nil {
 				return
 			}
@@ -396,7 +399,7 @@ func TestManyConcurrentJobs(t *testing.T) {
 				return
 			}
 			n := 0
-			for _, err := range c.Results(ctx, st.ID, false) {
+			for _, err := range c.Results(ctx, st.ID) {
 				if err != nil {
 					errs <- err
 					return

@@ -1,0 +1,445 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// File naming inside a Disk data directory: one spool and one manifest
+// per job, flat, keyed by the job ID, plus one advisory lock file.
+const (
+	spoolSuffix    = ".ndjson"
+	manifestSuffix = ".json"
+	lockName       = ".lock"
+)
+
+// Disk is the durable Store: each job spools to <dir>/<id>.ndjson with
+// its manifest at <dir>/<id>.json. Reopening the same directory
+// recovers every job; torn trailing bytes from a crash mid-append are
+// truncated away so replay only ever sees whole lines. An advisory
+// lock on <dir>/.lock (where the platform supports it) makes NewDisk
+// fail fast if another live process owns the directory — two writers
+// appending and truncating the same spools would corrupt them.
+type Disk struct {
+	dir  string
+	lock *os.File
+
+	mu     sync.Mutex
+	open   map[string]*diskJob // handle cache: one diskJob per ID
+	closed bool
+}
+
+// NewDisk opens (creating if needed) the data directory, takes its
+// advisory lock and returns the store over it. Existing spools are
+// indexed lazily, on first read — startup cost is O(jobs), not
+// O(spooled bytes).
+func NewDisk(dir string) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: data dir: %w", err)
+	}
+	lock, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: data dir lock: %w", err)
+	}
+	if err := lockFile(lock); err != nil {
+		lock.Close()
+		return nil, err
+	}
+	return &Disk{dir: dir, lock: lock, open: map[string]*diskJob{}}, nil
+}
+
+// validID keeps job IDs usable as flat file names.
+func validID(id string) error {
+	if id == "" || id == "." || id == ".." || strings.ContainsAny(id, "/\\") {
+		return fmt.Errorf("%w: %q", ErrBadID, id)
+	}
+	return nil
+}
+
+func (s *Disk) spoolPath(id string) string    { return filepath.Join(s.dir, id+spoolSuffix) }
+func (s *Disk) manifestPath(id string) string { return filepath.Join(s.dir, id+manifestSuffix) }
+
+// Create implements Store.
+func (s *Disk) Create(id string, manifest []byte) (Job, error) {
+	if err := validID(id); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("store: closed")
+	}
+	if _, ok := s.open[id]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrJobExists, id)
+	}
+	w, err := os.OpenFile(s.spoolPath(id), os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			return nil, fmt.Errorf("%w: %q", ErrJobExists, id)
+		}
+		return nil, fmt.Errorf("store: create spool: %w", err)
+	}
+	r, err := os.Open(s.spoolPath(id))
+	if err == nil {
+		err = writeManifestFile(s.manifestPath(id), manifest)
+	}
+	if err != nil {
+		// Leave nothing behind: an orphan spool would make every
+		// retry of this ID fail with ErrJobExists forever.
+		w.Close()
+		if r != nil {
+			r.Close()
+		}
+		os.Remove(s.spoolPath(id))
+		os.Remove(s.manifestPath(id))
+		return nil, fmt.Errorf("store: create job: %w", err)
+	}
+	j := &diskJob{
+		spoolPath:    s.spoolPath(id),
+		manifestPath: s.manifestPath(id),
+		w:            w, r: r,
+		offsets:  []int64{0},
+		indexed:  true,
+		manifest: append([]byte(nil), manifest...),
+	}
+	s.open[id] = j
+	return j, nil
+}
+
+// Open implements Store. Handles are cheap: the spool is not indexed
+// (or its files opened) until the first append or read needs it.
+func (s *Disk) Open(id string) (Job, error) {
+	if err := validID(id); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("store: closed")
+	}
+	if j, ok := s.open[id]; ok {
+		return j, nil
+	}
+	if _, err := os.Stat(s.manifestPath(id)); err != nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	j := &diskJob{
+		spoolPath:    s.spoolPath(id),
+		manifestPath: s.manifestPath(id),
+	}
+	s.open[id] = j
+	return j, nil
+}
+
+// indexSpool scans a spool file and returns the line-offset index
+// (offsets[i] is the start of line i; the last entry is the end of the
+// indexed bytes). Trailing bytes with no newline terminator — a crash
+// mid-append — are truncated off the file so later appends cannot fuse
+// with them.
+func indexSpool(path string) ([]int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			// Manifest without spool (e.g. a partially deleted job):
+			// treat as an empty spool; the writer recreates the file.
+			return []int64{0}, nil
+		}
+		return nil, fmt.Errorf("store: index spool: %w", err)
+	}
+	defer f.Close()
+	offsets := []int64{0}
+	var pos int64
+	br := bufio.NewReaderSize(f, 1<<16)
+	for {
+		chunk, err := br.ReadSlice('\n')
+		pos += int64(len(chunk))
+		switch {
+		case err == nil:
+			offsets = append(offsets, pos)
+		case err == io.EOF || err == bufio.ErrBufferFull:
+			// ErrBufferFull: mid-line, keep scanning the same line.
+			if err == io.EOF {
+				if torn := pos - offsets[len(offsets)-1]; torn > 0 {
+					if err := os.Truncate(path, offsets[len(offsets)-1]); err != nil {
+						return nil, fmt.Errorf("store: truncate torn line: %w", err)
+					}
+				}
+				return offsets, nil
+			}
+		default:
+			return nil, fmt.Errorf("store: index spool: %w", err)
+		}
+	}
+}
+
+// Jobs implements Store: every ID with a manifest in the directory.
+func (s *Disk) Jobs() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: list jobs: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		if name, ok := strings.CutSuffix(e.Name(), manifestSuffix); ok && !e.IsDir() {
+			ids = append(ids, name)
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// Remove implements Store.
+func (s *Disk) Remove(id string) error {
+	if err := validID(id); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	j, ok := s.open[id]
+	delete(s.open, id)
+	s.mu.Unlock()
+	if j != nil {
+		j.close(false)
+	}
+	if _, err := os.Stat(s.manifestPath(id)); err != nil && !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	// Manifest last: a crash between the two unlinks leaves a
+	// manifest-less spool, which Jobs() no longer lists.
+	if err := os.Remove(s.spoolPath(id)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: remove spool: %w", err)
+	}
+	if err := os.Remove(s.manifestPath(id)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: remove manifest: %w", err)
+	}
+	return nil
+}
+
+// Close implements Store: it closes every open spool handle and
+// releases the data-directory lock, after which another process may
+// take over the directory.
+func (s *Disk) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	jobs := s.open
+	s.open = map[string]*diskJob{}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.close(true)
+	}
+	s.lock.Close() // releases the advisory lock
+	return nil
+}
+
+// errSpoolClosed reports an operation on a job whose files were
+// released by Remove (eviction) or store Close.
+var errSpoolClosed = fmt.Errorf("store: spool closed")
+
+// diskJob is one on-disk spool: an append writer, a pread reader and
+// the in-memory line-offset index (8 bytes per line — the bounded
+// footprint that replaces the old unbounded [][]byte result buffer).
+// The index and file handles materialize lazily on first use, so
+// recovering a directory of finished jobs costs nothing per job until
+// somebody actually reads one.
+type diskJob struct {
+	spoolPath    string
+	manifestPath string
+
+	mu      sync.Mutex
+	w       *os.File
+	r       *os.File
+	indexed bool
+	// offsets[i] is the byte offset of line i's start; the final entry
+	// is the end of the spooled bytes, so line i spans
+	// [offsets[i], offsets[i+1]).
+	offsets []int64
+	// readers counts in-flight Read calls so close(false) — eviction —
+	// never yanks the read handle out from under an active pread; the
+	// last reader out closes it.
+	readers  int
+	closed   bool
+	manifest []byte // cache; nil until read
+}
+
+// ensure indexes the spool and opens its handles. Caller holds j.mu.
+func (j *diskJob) ensure() error {
+	if j.closed {
+		return errSpoolClosed
+	}
+	if j.indexed {
+		return nil
+	}
+	offsets, err := indexSpool(j.spoolPath)
+	if err != nil {
+		return err
+	}
+	w, err := os.OpenFile(j.spoolPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: reopen spool: %w", err)
+	}
+	r, err := os.Open(j.spoolPath)
+	if err != nil {
+		w.Close()
+		return fmt.Errorf("store: reopen spool: %w", err)
+	}
+	j.w, j.r, j.offsets, j.indexed = w, r, offsets, true
+	return nil
+}
+
+// close releases the job's files. Eviction (hard=false) lets an
+// in-flight reader finish its current batch — the last one out closes
+// the read handle; store shutdown (hard=true) closes everything now.
+func (j *diskJob) close(hard bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.closed = true
+	if j.w != nil {
+		j.w.Close()
+		j.w = nil
+	}
+	if j.r != nil && (hard || j.readers == 0) {
+		j.r.Close()
+		j.r = nil
+	}
+}
+
+func (j *diskJob) Append(line []byte) error {
+	if bytes.IndexByte(line, '\n') >= 0 {
+		return ErrBadLine
+	}
+	// One Write call for line+newline: a crash can tear the line (the
+	// reopen scan truncates it) but never interleave two lines.
+	buf := make([]byte, 0, len(line)+1)
+	buf = append(buf, line...)
+	buf = append(buf, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.ensure(); err != nil {
+		return err
+	}
+	if _, err := j.w.Write(buf); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	j.offsets = append(j.offsets, j.offsets[len(j.offsets)-1]+int64(len(buf)))
+	return nil
+}
+
+func (j *diskJob) Lines() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.ensure(); err != nil {
+		return 0
+	}
+	return len(j.offsets) - 1
+}
+
+// Size avoids triggering the index: an unindexed spool is stat'd, so
+// retention accounting over a freshly recovered directory stays
+// O(jobs).
+func (j *diskJob) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.indexed {
+		return j.offsets[len(j.offsets)-1]
+	}
+	fi, err := os.Stat(j.spoolPath)
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}
+
+func (j *diskJob) Read(from, to int, emit func([]byte) error) error {
+	j.mu.Lock()
+	if err := j.ensure(); err != nil {
+		j.mu.Unlock()
+		return err
+	}
+	lines := len(j.offsets) - 1
+	if from < 0 || to < from || to > lines {
+		j.mu.Unlock()
+		return fmt.Errorf("%w: [%d, %d) of %d", ErrBadRange, from, to, lines)
+	}
+	if from == to {
+		j.mu.Unlock()
+		return nil
+	}
+	start, end, r := j.offsets[from], j.offsets[to], j.r
+	j.readers++
+	j.mu.Unlock()
+	defer func() {
+		j.mu.Lock()
+		j.readers--
+		if j.closed && j.readers == 0 && j.r != nil {
+			j.r.Close()
+			j.r = nil
+		}
+		j.mu.Unlock()
+	}()
+	// Bytes below `end` are immutable, so the read happens outside the
+	// lock: pread (ReadAt via SectionReader) never touches the
+	// appender's file offset, and an unlinked-but-open spool (a job
+	// evicted during this batch) still reads fine.
+	br := bufio.NewReaderSize(io.NewSectionReader(r, start, end-start), 1<<16)
+	for i := from; i < to; i++ {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			return fmt.Errorf("store: read line %d: %w", i, err)
+		}
+		if err := emit(line[:len(line)-1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeManifestFile replaces a manifest via write-to-temp + rename, so
+// a crash mid-write can never leave a half manifest.
+func writeManifestFile(path string, m []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, m, 0o644); err != nil {
+		return fmt.Errorf("store: write manifest: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: write manifest: %w", err)
+	}
+	return nil
+}
+
+func (j *diskJob) WriteManifest(m []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		// An evicted or shut-down job must not resurrect its manifest
+		// (a post-takeover write would clobber the new owner's state).
+		return errSpoolClosed
+	}
+	if err := writeManifestFile(j.manifestPath, m); err != nil {
+		return err
+	}
+	j.manifest = append([]byte(nil), m...)
+	return nil
+}
+
+func (j *diskJob) Manifest() ([]byte, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.manifest == nil {
+		m, err := os.ReadFile(j.manifestPath)
+		if err != nil {
+			return nil, fmt.Errorf("store: read manifest: %w", err)
+		}
+		j.manifest = m
+	}
+	return append([]byte(nil), j.manifest...), nil
+}

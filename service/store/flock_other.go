@@ -1,0 +1,9 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// lockFile is a no-op where flock is unavailable; single-writer
+// discipline on the data directory is then the operator's job.
+func lockFile(*os.File) error { return nil }

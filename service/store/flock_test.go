@@ -1,0 +1,62 @@
+//go:build unix
+
+package store_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/service/store"
+)
+
+// TestDiskLockExcludesSecondStore: while one store owns a data
+// directory, a second NewDisk over it fails fast instead of letting
+// two writers truncate and append the same spools; Close releases the
+// lock for a successor. (The kernel also releases it on process
+// death, so crash recovery never waits on a stale lock.)
+func TestDiskLockExcludesSecondStore(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := store.NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.NewDisk(dir); err == nil || !strings.Contains(err.Error(), "locked") {
+		t.Fatalf("second NewDisk = %v, want lock error", err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := store.NewDisk(dir)
+	if err != nil {
+		t.Fatalf("NewDisk after Close: %v", err)
+	}
+	s2.Close()
+}
+
+// TestDiskClosedStoreRejectsWrites: after the store is closed (a
+// successor owns the directory), surviving job handles cannot append
+// or rewrite manifests — a zombie process must not clobber the new
+// owner's files.
+func TestDiskClosedStoreRejectsWrites(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.Create("job-000001", []byte("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]byte("pre-close")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]byte("post-close")); err == nil {
+		t.Fatal("append after store Close succeeded")
+	}
+	if err := j.WriteManifest([]byte("clobber")); err == nil {
+		t.Fatal("manifest write after store Close succeeded")
+	}
+}

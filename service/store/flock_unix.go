@@ -1,0 +1,21 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockFile takes a non-blocking exclusive advisory lock on f. The
+// kernel releases it automatically when the process dies — including
+// kill -9 — so crash recovery never waits on a stale lock, while a
+// still-live previous owner makes the new process fail fast instead
+// of corrupting shared spools.
+func lockFile(f *os.File) error {
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		return fmt.Errorf("store: data dir locked by another process: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Mem is the in-process Store: spools live in memory and die with the
+// process. It is the default store behind a Manager configured without
+// a data directory.
+type Mem struct {
+	mu   sync.Mutex
+	jobs map[string]*memJob
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{jobs: map[string]*memJob{}}
+}
+
+// Create implements Store.
+func (s *Mem) Create(id string, manifest []byte) (Job, error) {
+	if id == "" {
+		return nil, fmt.Errorf("%w: %q", ErrBadID, id)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.jobs[id]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrJobExists, id)
+	}
+	j := &memJob{manifest: append([]byte(nil), manifest...)}
+	s.jobs[id] = j
+	return j, nil
+}
+
+// Open implements Store.
+func (s *Mem) Open(id string) (Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return j, nil
+}
+
+// Jobs implements Store.
+func (s *Mem) Jobs() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// Remove implements Store.
+func (s *Mem) Remove(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.jobs[id]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	delete(s.jobs, id)
+	return nil
+}
+
+// Close implements Store.
+func (s *Mem) Close() error { return nil }
+
+// memJob is one in-memory spool.
+type memJob struct {
+	mu       sync.Mutex
+	lines    [][]byte
+	size     int64
+	manifest []byte
+}
+
+func (j *memJob) Append(line []byte) error {
+	if bytes.IndexByte(line, '\n') >= 0 {
+		return ErrBadLine
+	}
+	j.mu.Lock()
+	j.lines = append(j.lines, line)
+	j.size += int64(len(line)) + 1
+	j.mu.Unlock()
+	return nil
+}
+
+func (j *memJob) Lines() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.lines)
+}
+
+func (j *memJob) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size
+}
+
+func (j *memJob) Read(from, to int, emit func([]byte) error) error {
+	j.mu.Lock()
+	if from < 0 || to < from || to > len(j.lines) {
+		j.mu.Unlock()
+		return fmt.Errorf("%w: [%d, %d) of %d", ErrBadRange, from, to, len(j.lines))
+	}
+	// Spooled lines are immutable, so the batch can be emitted outside
+	// the lock without stalling the appender.
+	batch := j.lines[from:to]
+	j.mu.Unlock()
+	for _, line := range batch {
+		if err := emit(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (j *memJob) WriteManifest(m []byte) error {
+	j.mu.Lock()
+	j.manifest = append([]byte(nil), m...)
+	j.mu.Unlock()
+	return nil
+}
+
+func (j *memJob) Manifest() ([]byte, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]byte(nil), j.manifest...), nil
+}

@@ -1,0 +1,304 @@
+package store_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/service/store"
+)
+
+// conformance runs the Store contract against one implementation.
+func conformance(t *testing.T, open func(t *testing.T) store.Store) {
+	t.Run("CreateAppendRead", func(t *testing.T) {
+		s := open(t)
+		j, err := s.Create("job-000001", []byte(`{"state":"queued"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []string
+		var wantSize int64
+		for i := range 5 {
+			line := fmt.Sprintf(`{"device":%d,"payload":"%s"}`, i, string(rune('a'+i)))
+			if err := j.Append([]byte(line)); err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, line)
+			wantSize += int64(len(line)) + 1
+		}
+		if j.Lines() != 5 {
+			t.Fatalf("lines = %d, want 5", j.Lines())
+		}
+		if j.Size() != wantSize {
+			t.Fatalf("size = %d, want %d", j.Size(), wantSize)
+		}
+		var got []string
+		if err := j.Read(0, 5, func(line []byte) error {
+			got = append(got, string(line))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("line %d = %q, want %q", i, got[i], want[i])
+			}
+		}
+		// Offset reads emit exactly the requested window.
+		var window []string
+		if err := j.Read(2, 4, func(line []byte) error {
+			window = append(window, string(line))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(window) != 2 || window[0] != want[2] || window[1] != want[3] {
+			t.Fatalf("window = %v", window)
+		}
+		// Empty window is a no-op.
+		if err := j.Read(5, 5, func([]byte) error { t.Fatal("emit on empty window"); return nil }); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("ReadErrors", func(t *testing.T) {
+		s := open(t)
+		j, err := s.Create("job-000001", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Append([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range [][2]int{{-1, 0}, {0, 2}, {2, 1}} {
+			if err := j.Read(r[0], r[1], func([]byte) error { return nil }); !errors.Is(err, store.ErrBadRange) {
+				t.Fatalf("Read(%d, %d) = %v, want ErrBadRange", r[0], r[1], err)
+			}
+		}
+		if err := j.Append([]byte("torn\nline")); !errors.Is(err, store.ErrBadLine) {
+			t.Fatalf("newline append = %v, want ErrBadLine", err)
+		}
+		sentinel := errors.New("stop")
+		if err := j.Read(0, 1, func([]byte) error { return sentinel }); !errors.Is(err, sentinel) {
+			t.Fatalf("emit error = %v, want sentinel", err)
+		}
+	})
+
+	t.Run("Manifest", func(t *testing.T) {
+		s := open(t)
+		j, err := s.Create("job-000001", []byte("v1"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m, err := j.Manifest(); err != nil || string(m) != "v1" {
+			t.Fatalf("manifest = %q, %v", m, err)
+		}
+		if err := j.WriteManifest([]byte("v2")); err != nil {
+			t.Fatal(err)
+		}
+		if m, err := j.Manifest(); err != nil || string(m) != "v2" {
+			t.Fatalf("manifest after rewrite = %q, %v", m, err)
+		}
+	})
+
+	t.Run("StoreSurface", func(t *testing.T) {
+		s := open(t)
+		if _, err := s.Create("", nil); !errors.Is(err, store.ErrBadID) {
+			t.Fatalf("empty id = %v, want ErrBadID", err)
+		}
+		if _, err := s.Create("job-000002", nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Create("job-000001", nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Create("job-000001", nil); !errors.Is(err, store.ErrJobExists) {
+			t.Fatalf("duplicate create = %v, want ErrJobExists", err)
+		}
+		ids, err := s.Jobs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ids) != 2 || ids[0] != "job-000001" || ids[1] != "job-000002" {
+			t.Fatalf("ids = %v", ids)
+		}
+		if _, err := s.Open("job-000002"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Open("nope"); !errors.Is(err, store.ErrUnknownJob) {
+			t.Fatalf("open missing = %v, want ErrUnknownJob", err)
+		}
+		if err := s.Remove("job-000001"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Open("job-000001"); !errors.Is(err, store.ErrUnknownJob) {
+			t.Fatalf("open removed = %v, want ErrUnknownJob", err)
+		}
+		if err := s.Remove("job-000001"); !errors.Is(err, store.ErrUnknownJob) {
+			t.Fatalf("re-remove = %v, want ErrUnknownJob", err)
+		}
+		if ids, _ := s.Jobs(); len(ids) != 1 {
+			t.Fatalf("ids after remove = %v", ids)
+		}
+	})
+}
+
+func TestMemConformance(t *testing.T) {
+	conformance(t, func(t *testing.T) store.Store { return store.NewMem() })
+}
+
+func TestDiskConformance(t *testing.T) {
+	conformance(t, func(t *testing.T) store.Store {
+		s, err := store.NewDisk(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
+	})
+}
+
+// TestDiskReopenReplaysByteIdentically: a second store over the same
+// directory recovers the job and replays every line byte for byte.
+func TestDiskReopenReplaysByteIdentically(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := store.NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := s1.Create("job-000001", []byte(`{"state":"running"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for i := range 4 {
+		line := fmt.Sprintf(`{"device":%d}`, i)
+		if err := j1.Append([]byte(line)); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, line)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := store.NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	ids, err := s2.Jobs()
+	if err != nil || len(ids) != 1 || ids[0] != "job-000001" {
+		t.Fatalf("ids = %v, %v", ids, err)
+	}
+	j2, err := s2.Open("job-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Lines() != 4 {
+		t.Fatalf("recovered lines = %d, want 4", j2.Lines())
+	}
+	if m, err := j2.Manifest(); err != nil || string(m) != `{"state":"running"}` {
+		t.Fatalf("recovered manifest = %q, %v", m, err)
+	}
+	var got []string
+	if err := j2.Read(0, 4, func(line []byte) error {
+		got = append(got, string(line))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("line %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// Appends continue seamlessly after recovery.
+	if err := j2.Append([]byte("post-restart")); err != nil {
+		t.Fatal(err)
+	}
+	var tail string
+	if err := j2.Read(4, 5, func(line []byte) error { tail = string(line); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if tail != "post-restart" {
+		t.Fatalf("tail = %q", tail)
+	}
+}
+
+// TestDiskTornLineTruncated: a crash mid-append leaves a partial final
+// line; recovery indexes only whole lines and truncates the torn tail
+// so later appends cannot fuse with it.
+func TestDiskTornLineTruncated(t *testing.T) {
+	dir := t.TempDir()
+	spool := filepath.Join(dir, "job-000001.ndjson")
+	manifest := filepath.Join(dir, "job-000001.json")
+	if err := os.WriteFile(spool, []byte("whole-1\nwhole-2\ntorn-lin"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(manifest, []byte(`{"state":"running"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := store.NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	j, err := s.Open("job-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Lines() != 2 {
+		t.Fatalf("lines = %d, want 2 (torn tail dropped)", j.Lines())
+	}
+	if err := j.Append([]byte("whole-3")); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	if err := j.Read(0, 3, func(line []byte) error { got = append(got, string(line)); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != "whole-1" || got[1] != "whole-2" || got[2] != "whole-3" {
+		t.Fatalf("lines = %v", got)
+	}
+	data, err := os.ReadFile(spool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "whole-1\nwhole-2\nwhole-3\n" {
+		t.Fatalf("spool bytes = %q", data)
+	}
+}
+
+// TestDiskRemoveLeavesNoFiles: eviction unlinks both the spool and
+// the manifest, so a removed job leaves nothing behind in the data
+// directory.
+func TestDiskRemoveLeavesNoFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	j, err := s.Create("job-000001", []byte("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove("job-000001"); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != ".lock" { // the store's own directory lock stays
+			t.Fatalf("job file left after Remove: %v", e.Name())
+		}
+	}
+}

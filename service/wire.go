@@ -107,9 +107,19 @@ type JobStatus struct {
 	Plan   string `json:"plan"`
 	Scheme string `json:"scheme"`
 	// Devices is the requested fleet size; Completed counts device
-	// results buffered so far.
+	// results spooled so far.
 	Devices   int `json:"devices"`
 	Completed int `json:"completed"`
+	// Workers is the fleet-worker grant the scheduler lent this job
+	// when it started: the whole pool on an idle manager, a fair split
+	// under load (dynamic sharing — idle job slots lend their workers
+	// to running jobs).
+	Workers int `json:"workers,omitempty"`
+	// Recovered marks a job restored from the data directory by a
+	// process that did not create it. A recovered job that was queued
+	// or running at crash time reports failed, with the device results
+	// spooled before the crash still streamable.
+	Recovered bool `json:"recovered,omitempty"`
 	// Error is set for failed and cancelled jobs.
 	Error string `json:"error,omitempty"`
 	// Created/Started/Finished are the lifecycle timestamps.
@@ -129,6 +139,11 @@ type Health struct {
 	QueuedJobs  int `json:"queued_jobs"`
 	RunningJobs int `json:"running_jobs"`
 	Diagnosing  int `json:"diagnosing"`
+	// FleetWorkers is the configured device-worker pool; IdleWorkers
+	// is what is not currently lent to running jobs (0 while the pool
+	// is fully lent out or oversubscribed by the 1-worker floor).
+	FleetWorkers int `json:"fleet_workers"`
+	IdleWorkers  int `json:"idle_workers"`
 }
 
 // ErrorBody is the JSON error envelope every non-2xx response — and
