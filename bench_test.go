@@ -26,6 +26,7 @@ import (
 	"repro/internal/sram"
 	"repro/internal/timing"
 	"repro/memtest"
+	"repro/service"
 )
 
 var onceTables sync.Map
@@ -570,6 +571,83 @@ func BenchmarkRunLargeMemory(b *testing.B) {
 		res := runner.Run(m)
 		if !res.Detected() {
 			b.Fatal("SA0 escaped")
+		}
+	}
+}
+
+// BenchmarkFleetThroughput measures RunFleet end to end — fleet build,
+// proposed-scheme diagnosis, truth evaluation and ordered streaming —
+// in devices per second. One op is one device; run with -cpu 1,4 to
+// see the worker pool scale (each worker owns a reusable engine
+// runner, so throughput tracks cores, not allocator pressure).
+func BenchmarkFleetThroughput(b *testing.B) {
+	s, err := memtest.New(memtest.HeterogeneousExample(), memtest.WithSeed(7), memtest.WithDRF())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for _, err := range s.RunFleet(context.Background(), b.N) {
+		if err != nil {
+			b.Fatal(err)
+		}
+		n++
+	}
+	if n != b.N {
+		b.Fatalf("yielded %d of %d devices", n, b.N)
+	}
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "devices/sec")
+}
+
+// BenchmarkServiceStream measures memtestd's submit-to-drained wall
+// time through the manager: one op is one job of `streamDevices`
+// devices, spooled through the store (pooled encode buffer, batched
+// appends) and followed to completion by one reader.
+func BenchmarkServiceStream(b *testing.B) {
+	const streamDevices = 8
+	m, err := service.NewManager(service.Config{Jobs: 1, Queue: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	req := service.JobRequest{Plan: memtest.HeterogeneousExample(), Devices: streamDevices, Seed: 7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := m.Submit(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lines := 0
+		jobErr, err := m.Follow(context.Background(), st.ID, 0, func([]byte) error {
+			lines++
+			return nil
+		})
+		if err != nil || jobErr != "" {
+			b.Fatalf("follow: %v / %q", err, jobErr)
+		}
+		if lines != streamDevices {
+			b.Fatalf("streamed %d lines, want %d", lines, streamDevices)
+		}
+	}
+	b.ReportMetric(float64(streamDevices)*float64(b.N)/b.Elapsed().Seconds(), "devices/sec")
+}
+
+// BenchmarkProposedRunnerReuse is the steady-state form of E8: one
+// reusable runner diagnosing the paper's 512x100 geometry over and
+// over, as a fleet worker does. The allocs/op this reports are the
+// per-run fixed cost (report + located-set assembly); the per-element
+// loop itself is allocation-free, pinned exactly by
+// TestProposedRunnerElementLoopAllocFree in internal/bisd.
+func BenchmarkProposedRunnerReuse(b *testing.B) {
+	runner := bisd.NewProposedRunner()
+	test := march.MarchCW(100)
+	mems := []*sram.Memory{sram.New(512, 100)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.Run(mems, test, bisd.ProposedOptions{}); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

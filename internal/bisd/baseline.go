@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/bitvec"
 	"repro/internal/fault"
 	"repro/internal/serial"
 	"repro/internal/sram"
@@ -213,15 +214,20 @@ func identify(coll *collector, ch *serial.Chain, mem, pos int) bool {
 // drfPhase identifies data-retention faults with the conventional
 // write/pause/read discipline through the serial chain, both
 // polarities, repairing as it goes. Iterations beyond the Eq. (4)
-// charge are not billed (see RunBaseline doc).
+// charge are not billed (see RunBaseline doc). Observation and
+// expected pattern are packed vectors, so each pass's compare is a
+// word-parallel diff scan.
 func drfPhase(coll *collector, ch *serial.Chain, m *sram.Memory, mem int) {
+	obs := bitvec.New(ch.Len())
+	want := bitvec.New(ch.Len())
 	for _, v := range []bool{true, false} {
 		pat := func(int) bool { return v }
+		want.Fill(v)
 		for {
 			ch.WritePass(serial.Right, pat)
 			m.Hold(100)
-			obs := ch.ReadPass(serial.Left)
-			pos, found := serial.FirstMismatch(obs, pat, serial.Left)
+			ch.ReadPassInto(serial.Left, obs)
+			pos, found := serial.FirstMismatchPacked(obs, want, serial.Left)
 			if !found || !identify(coll, ch, mem, pos) {
 				break
 			}

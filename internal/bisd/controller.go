@@ -65,10 +65,13 @@ func (g *LocalAddressGenerator) Wrapped(logical int) bool { return logical >= g.
 
 // BackgroundGenerator is the Data Background Generator: it serializes
 // the background pattern of the widest memory, MSB first (Sec. 3.2), or
-// LSB first when configured to demonstrate the Fig. 4 hazard.
+// LSB first when configured to demonstrate the Fig. 4 hazard. The
+// pattern set is generated once at construction, so Pattern is a table
+// lookup and the per-element loop stays allocation-free.
 type BackgroundGenerator struct {
-	cMax  int
-	order serial.Order
+	cMax     int
+	order    serial.Order
+	patterns []bitvec.Vector
 }
 
 // NewBackgroundGenerator returns a generator for the widest IO width.
@@ -76,13 +79,14 @@ func NewBackgroundGenerator(cMax int, order serial.Order) *BackgroundGenerator {
 	if cMax <= 0 {
 		panic(fmt.Sprintf("bisd: invalid background width %d", cMax))
 	}
-	return &BackgroundGenerator{cMax: cMax, order: order}
+	return &BackgroundGenerator{cMax: cMax, order: order, patterns: bitvec.Backgrounds(cMax)}
 }
 
 // Pattern returns background bg (index into bitvec.Backgrounds) at the
-// widest width.
+// widest width. The returned vector is shared; callers must not modify
+// it.
 func (b *BackgroundGenerator) Pattern(bg int) bitvec.Vector {
-	return bitvec.Background(b.cMax, bg)
+	return b.patterns[bg]
 }
 
 // Deliver streams the pattern into every SPC; this is the once-per-
@@ -117,6 +121,17 @@ func NewComparatorArray(mems []*sram.Memory) *ComparatorArray {
 		}
 	}
 	return ca
+}
+
+// Reset zeroes every shadow word — the state of a fresh fleet — so a
+// reusable runner can diagnose the next device without reallocating
+// the array.
+func (ca *ComparatorArray) Reset() {
+	for _, mem := range ca.expected {
+		for _, w := range mem {
+			w.Fill(false)
+		}
+	}
 }
 
 // NoteWrite updates the shadow for a write of word to memory i at the

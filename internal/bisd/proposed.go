@@ -39,8 +39,97 @@ type ProposedOptions struct {
 // keeps the poll check a mask test.
 const cancelPollInterval = 1 << 14
 
-// RunProposed executes the proposed diagnosis scheme (Fig. 3) over a
-// fleet of e-SRAMs in parallel, cycle-accurately:
+// ProposedRunner is the reusable form of RunProposed: it owns the
+// controller blocks, the per-memory SPCs and every scratch buffer the
+// per-op loop needs, and re-fits them only when the fleet geometry (or
+// delivery order) changes. A fleet worker diagnosing thousands of
+// same-plan devices therefore allocates engine state once, not per
+// device — the proposed-path analogue of simulator.Runner. A Runner is
+// not safe for concurrent use; give each worker its own.
+type ProposedRunner struct {
+	// Cached sizing; state below is rebuilt when it stops matching.
+	geoms []geometry
+	nMax  int
+	cMax  int
+	order serial.Order
+
+	trigger  *AddressTrigger
+	bgGen    *BackgroundGenerator
+	comp     *ComparatorArray
+	coll     *collector
+	spcs     []*serial.SPC
+	addrGens []*LocalAddressGenerator
+	// Per-memory word buffers, refreshed once per element: the SPC
+	// output and the controller's intended delivery, each with its
+	// complement, plus a read scratch — the per-op loop below runs
+	// allocation-free on these.
+	spcWord     []bitvec.Vector
+	spcWordInv  []bitvec.Vector
+	intended    []bitvec.Vector
+	intendedInv []bitvec.Vector
+	readBuf     []bitvec.Vector
+	geomScratch []geometry
+}
+
+// NewProposedRunner returns an empty runner; the first Run sizes it.
+func NewProposedRunner() *ProposedRunner { return &ProposedRunner{} }
+
+// fit (re)builds the geometry-dependent state unless the cached state
+// already matches the fleet.
+func (r *ProposedRunner) fit(mems []*sram.Memory, order serial.Order) {
+	r.geomScratch = r.geomScratch[:0]
+	nMax, cMax := 0, 0
+	for _, m := range mems {
+		r.geomScratch = append(r.geomScratch, geometry{n: m.N(), c: m.C()})
+		nMax = max(nMax, m.N())
+		cMax = max(cMax, m.C())
+	}
+	if r.matches(r.geomScratch, order) {
+		r.comp.Reset()
+		r.coll.reset(r.geoms)
+		for _, s := range r.spcs {
+			s.Reset()
+		}
+		return
+	}
+	r.geoms = append([]geometry(nil), r.geomScratch...)
+	r.nMax, r.cMax, r.order = nMax, cMax, order
+	r.trigger = NewAddressTrigger(nMax)
+	r.bgGen = NewBackgroundGenerator(cMax, order)
+	r.comp = NewComparatorArray(mems)
+	r.coll = newCollector(r.geoms)
+	r.spcs = make([]*serial.SPC, len(mems))
+	r.addrGens = make([]*LocalAddressGenerator, len(mems))
+	r.spcWord = make([]bitvec.Vector, len(mems))
+	r.spcWordInv = make([]bitvec.Vector, len(mems))
+	r.intended = make([]bitvec.Vector, len(mems))
+	r.intendedInv = make([]bitvec.Vector, len(mems))
+	r.readBuf = make([]bitvec.Vector, len(mems))
+	for i, m := range mems {
+		r.spcs[i] = serial.NewSPC(m.C())
+		r.addrGens[i] = NewLocalAddressGenerator(m.N())
+		r.spcWord[i] = bitvec.New(m.C())
+		r.spcWordInv[i] = bitvec.New(m.C())
+		r.intended[i] = bitvec.New(m.C())
+		r.intendedInv[i] = bitvec.New(m.C())
+		r.readBuf[i] = bitvec.New(m.C())
+	}
+}
+
+func (r *ProposedRunner) matches(geoms []geometry, order serial.Order) bool {
+	if r.trigger == nil || r.order != order || len(r.geoms) != len(geoms) {
+		return false
+	}
+	for i, g := range geoms {
+		if r.geoms[i] != g {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes the proposed diagnosis scheme (Fig. 3) over a fleet of
+// e-SRAMs in parallel, cycle-accurately:
 //
 //   - before each March element that writes, the background pattern is
 //     serially delivered to every SPC (cMax cycles, widest memory);
@@ -53,7 +142,15 @@ const cancelPollInterval = 1 << 14
 // The cycle accounting reproduces the paper's Eq. (2) exactly; the test
 // to run is a parameter so the same engine measures March C-, March CW
 // and their NWRTM merges.
-func RunProposed(mems []*sram.Memory, test march.Test, opt ProposedOptions) (*Report, error) {
+//
+// The PSC capture-and-drain round trip is simulated word-wise: a full
+// drain of a freshly captured word reassembles, bit for bit, the word
+// that was captured (pinned by the serial package's differential
+// tests), so the comparator reads the captured word directly and the
+// per-read cost drops from O(c²) bit shifts to O(c/64) word ops. The
+// cycle charge (1 capture + cMax shift cycles per read) is analytic
+// and unchanged.
+func (r *ProposedRunner) Run(mems []*sram.Memory, test march.Test, opt ProposedOptions) (*Report, error) {
 	if len(mems) == 0 {
 		return nil, fmt.Errorf("bisd: empty fleet")
 	}
@@ -68,34 +165,12 @@ func RunProposed(mems []*sram.Memory, test march.Test, opt ProposedOptions) (*Re
 		return nil, err
 	}
 
-	nMax, cMax, geoms := fleetGeometry(mems)
-	trigger := NewAddressTrigger(nMax)
-	bgGen := NewBackgroundGenerator(cMax, opt.DeliveryOrder)
-	comp := NewComparatorArray(mems)
-	coll := newCollector(geoms)
-
-	spcs := make([]*serial.SPC, len(mems))
-	pscs := make([]*serial.PSC, len(mems))
-	addrGens := make([]*LocalAddressGenerator, len(mems))
-	// Per-memory word buffers, refreshed once per element: the SPC
-	// output and the controller's intended delivery, each with its
-	// complement, plus a read/drain scratch — the per-op loop below
-	// runs allocation-free on these.
-	spcWord := make([]bitvec.Vector, len(mems))
-	spcWordInv := make([]bitvec.Vector, len(mems))
-	intended := make([]bitvec.Vector, len(mems))
-	intendedInv := make([]bitvec.Vector, len(mems))
-	readBuf := make([]bitvec.Vector, len(mems))
-	for i, m := range mems {
-		spcs[i] = serial.NewSPC(m.C())
-		pscs[i] = serial.NewPSC(m.C())
-		addrGens[i] = NewLocalAddressGenerator(m.N())
-		spcWord[i] = bitvec.New(m.C())
-		spcWordInv[i] = bitvec.New(m.C())
-		intended[i] = bitvec.New(m.C())
-		intendedInv[i] = bitvec.New(m.C())
-		readBuf[i] = bitvec.New(m.C())
-	}
+	r.fit(mems, opt.DeliveryOrder)
+	trigger, bgGen, comp, coll := r.trigger, r.bgGen, r.comp, r.coll
+	spcs, addrGens := r.spcs, r.addrGens
+	spcWord, spcWordInv := r.spcWord, r.spcWordInv
+	intended, intendedInv, readBuf := r.intended, r.intendedInv, r.readBuf
+	cMax := r.cMax
 
 	rep := &Report{Scheme: "proposed (SPC/PSC)", ClockNs: opt.ClockNs}
 	nBgs := bitvec.NumBackgrounds(cMax)
@@ -114,10 +189,17 @@ func RunProposed(mems []*sram.Memory, test march.Test, opt ProposedOptions) (*Re
 			}
 			rep.RetentionNs += e.DelayMs * 1e6
 		}
-		opt.Trace.Emitf(rep.Cycles, trace.ElementStart, "ctrl", "elem %d bg %d: %s", elemIdx, bgIdx, e)
+		// The Enabled guards keep the disabled-trace path free of the
+		// variadic boxing Emitf's arguments would otherwise allocate
+		// once per element.
+		if opt.Trace.Enabled() {
+			opt.Trace.Emitf(rep.Cycles, trace.ElementStart, "ctrl", "elem %d bg %d: %s", elemIdx, bgIdx, e)
+		}
 		pattern := bgGen.Pattern(bgIdx)
 		if e.Writes() > 0 {
-			opt.Trace.Emitf(rep.Cycles, trace.Delivery, "bggen", "pattern %s", pattern)
+			if opt.Trace.Enabled() {
+				opt.Trace.Emitf(rep.Cycles, trace.Delivery, "bggen", "pattern %s", pattern)
+			}
 			rep.Cycles += int64(bgGen.Deliver(pattern, spcs))
 		}
 		// Refresh the per-memory word buffers: the SPC holds whatever
@@ -169,16 +251,18 @@ func RunProposed(mems []*sram.Memory, test march.Test, opt ProposedOptions) (*Re
 						comp.NoteWrite(i, phys, want)
 					}
 				case march.Read:
+					// 1 capture cycle + cMax shift-out cycles while the
+					// memory idles; the drained word is data-identical
+					// to the captured read word, so compare it directly.
 					rep.Cycles += 1 + int64(cMax)
 					for i, m := range mems {
 						phys := addrGens[i].Map(logical)
 						m.ReadInto(phys, readBuf[i])
-						pscs[i].Capture(readBuf[i])
-						pscs[i].DrainInto(readBuf[i])
-						got := readBuf[i]
-						for _, bit := range comp.Compare(i, phys, got) {
-							opt.Trace.Emitf(rep.Cycles, trace.Miscompare,
-								fmt.Sprintf("mem%d", i), "addr %d bit %d", phys, bit)
+						for _, bit := range comp.Compare(i, phys, readBuf[i]) {
+							if opt.Trace.Enabled() {
+								opt.Trace.Emitf(rep.Cycles, trace.Miscompare,
+									fmt.Sprintf("mem%d", i), "addr %d bit %d", phys, bit)
+							}
 							coll.record(FailureRecord{
 								Memory: i, LogicalAddr: logical, PhysicalAddr: phys,
 								Bit: bit, Element: elemIdx, Background: bgIdx, Op: opIdx,
@@ -216,6 +300,13 @@ func RunProposed(mems []*sram.Memory, test march.Test, opt ProposedOptions) (*Re
 
 	rep.Memories = coll.finish()
 	return rep, nil
+}
+
+// RunProposed executes the proposed scheme once with fresh engine
+// state; see ProposedRunner.Run. Callers diagnosing many same-geometry
+// fleets should hold a ProposedRunner instead.
+func RunProposed(mems []*sram.Memory, test march.Test, opt ProposedOptions) (*Report, error) {
+	return NewProposedRunner().Run(mems, test, opt)
 }
 
 // ctxErr is a non-blocking cancellation poll; a nil context never

@@ -113,15 +113,23 @@ type collector struct {
 }
 
 func newCollector(geoms []geometry) *collector {
-	c := &collector{
-		results: make([]MemoryResult, len(geoms)),
-		seen:    make([]map[fault.Cell]bool, len(geoms)),
-	}
-	for i, g := range geoms {
-		c.results[i] = MemoryResult{Index: i, Words: g.n, Width: g.c}
+	c := &collector{seen: make([]map[fault.Cell]bool, len(geoms))}
+	for i := range geoms {
 		c.seen[i] = make(map[fault.Cell]bool)
 	}
+	c.reset(geoms)
 	return c
+}
+
+// reset prepares the collector for another run over the same fleet
+// shape: the dedup maps are cleared in place, while the result structs
+// are fresh — finish hands them to the report, which outlives the run.
+func (c *collector) reset(geoms []geometry) {
+	c.results = make([]MemoryResult, len(geoms))
+	for i, g := range geoms {
+		c.results[i] = MemoryResult{Index: i, Words: g.n, Width: g.c}
+		clear(c.seen[i])
+	}
 }
 
 type geometry struct{ n, c int }

@@ -167,6 +167,147 @@ func (v Vector) ForEachDiff(o Vector, fn func(bit int)) {
 	}
 }
 
+// ForEachSet calls fn with the position of every set bit, in ascending
+// order, walking words with trailing-zero counts.
+func (v Vector) ForEachSet(fn func(bit int)) {
+	for i, w := range v.words {
+		for w != 0 {
+			fn(i*64 + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// NextSet returns the position of the first set bit at or after from,
+// or -1 when no bit at or above from is set — the closure-free
+// iteration form of ForEachSet for allocation-sensitive loops.
+func (v Vector) NextSet(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	if from >= v.width {
+		return -1
+	}
+	i := from / 64
+	w := v.words[i] & (^uint64(0) << uint(from%64))
+	for {
+		if w != 0 {
+			return i*64 + bits.TrailingZeros64(w)
+		}
+		i++
+		if i >= len(v.words) {
+			return -1
+		}
+		w = v.words[i]
+	}
+}
+
+// MergeFrom overwrites v's bits with o's wherever keep is 0, leaving
+// bits under the keep mask untouched: v = (v AND keep) OR (o AND NOT
+// keep), word-parallel and without allocating. It panics if the widths
+// differ.
+func (v Vector) MergeFrom(o, keep Vector) {
+	v.checkWidth(o)
+	v.checkWidth(keep)
+	for i := range v.words {
+		v.words[i] = v.words[i]&keep.words[i] | o.words[i]&^keep.words[i]
+	}
+}
+
+// FirstDiff returns the lowest bit position where v and o differ, or
+// -1 when they are equal. It panics if the widths differ.
+func (v Vector) FirstDiff(o Vector) int {
+	v.checkWidth(o)
+	for i, w := range v.words {
+		if d := w ^ o.words[i]; d != 0 {
+			return i*64 + bits.TrailingZeros64(d)
+		}
+	}
+	return -1
+}
+
+// LastDiff returns the highest bit position where v and o differ, or
+// -1 when they are equal. It panics if the widths differ.
+func (v Vector) LastDiff(o Vector) int {
+	v.checkWidth(o)
+	for i := len(v.words) - 1; i >= 0; i-- {
+		if d := v.words[i] ^ o.words[i]; d != 0 {
+			return i*64 + 63 - bits.LeadingZeros64(d)
+		}
+	}
+	return -1
+}
+
+// ShiftUp1 shifts every bit one position toward the MSB in place,
+// inserts `in` at bit 0 and returns the bit pushed out past the width —
+// one clock of a serial shift chain whose input end is the LSB, run
+// word-parallel.
+func (v Vector) ShiftUp1(in bool) (out bool) {
+	if v.width == 0 {
+		return in
+	}
+	out = v.Get(v.width - 1)
+	carry := uint64(0)
+	if in {
+		carry = 1
+	}
+	for i := range v.words {
+		w := v.words[i]
+		v.words[i] = w<<1 | carry
+		carry = w >> 63
+	}
+	v.trim()
+	return out
+}
+
+// ShiftDown1 shifts every bit one position toward the LSB in place,
+// inserts `in` at the top bit and returns the bit pushed out at bit 0 —
+// one clock of a scan chain drained LSB-first, run word-parallel.
+func (v Vector) ShiftDown1(in bool) (out bool) {
+	if v.width == 0 {
+		return in
+	}
+	out = v.words[0]&1 != 0
+	for i := 0; i < len(v.words)-1; i++ {
+		v.words[i] = v.words[i]>>1 | v.words[i+1]<<63
+	}
+	v.words[len(v.words)-1] >>= 1
+	if in {
+		v.Set(v.width-1, true)
+	}
+	return out
+}
+
+// CopyReversed overwrites v with o's bits in reverse order — v[i] =
+// o[o.Width()-1-i] — truncated to v's width, without allocating. It is
+// the word-parallel form of delivering a pattern LSB-first into a
+// narrower serial-to-parallel converter. It panics if o is narrower
+// than v.
+func (v Vector) CopyReversed(o Vector) {
+	if v.width > o.width {
+		panic(fmt.Sprintf("bitvec: cannot reverse width %d into %d", o.width, v.width))
+	}
+	wo := len(o.words)
+	pad := uint(wo*64-o.width) % 64
+	// The full bit-reversal of o.words has word k equal to
+	// Reverse64(o.words[wo-1-k]); the width-c reversal is that, shifted
+	// down by the top word's padding.
+	frw := func(k int) uint64 {
+		if k < 0 || k >= wo {
+			return 0
+		}
+		return bits.Reverse64(o.words[wo-1-k])
+	}
+	for k := range v.words {
+		w := frw(k) >> pad
+		if pad != 0 {
+			w |= frw(k+1) << (64 - pad)
+		}
+		v.words[k] = w
+	}
+	v.trim()
+}
+
 // Xor returns v XOR o. It panics if the widths differ.
 func (v Vector) Xor(o Vector) Vector {
 	v.checkWidth(o)

@@ -1,0 +1,149 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refShiftUp1 is the per-bit model ShiftUp1 must match.
+func refShiftUp1(v Vector, in bool) (Vector, bool) {
+	out := New(v.Width())
+	for i := 1; i < v.Width(); i++ {
+		out.Set(i, v.Get(i-1))
+	}
+	if v.Width() > 0 {
+		out.Set(0, in)
+		return out, v.Get(v.Width() - 1)
+	}
+	return out, in
+}
+
+// refShiftDown1 is the per-bit model ShiftDown1 must match.
+func refShiftDown1(v Vector, in bool) (Vector, bool) {
+	out := New(v.Width())
+	for i := 0; i < v.Width()-1; i++ {
+		out.Set(i, v.Get(i+1))
+	}
+	if v.Width() > 0 {
+		out.Set(v.Width()-1, in)
+		return out, v.Get(0)
+	}
+	return out, in
+}
+
+func randomVector(rng *rand.Rand, width int) Vector {
+	v := New(width)
+	for i := 0; i < width; i++ {
+		v.Set(i, rng.Intn(2) == 1)
+	}
+	return v
+}
+
+func TestShiftUp1MatchesPerBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for width := 1; width <= 130; width++ {
+		v := randomVector(rng, width)
+		for step := 0; step < 8; step++ {
+			in := rng.Intn(2) == 1
+			want, wantOut := refShiftUp1(v, in)
+			gotOut := v.ShiftUp1(in)
+			if gotOut != wantOut {
+				t.Fatalf("width %d: out = %v, want %v", width, gotOut, wantOut)
+			}
+			if !v.Equal(want) {
+				t.Fatalf("width %d: state %s, want %s", width, v, want)
+			}
+		}
+	}
+}
+
+func TestShiftDown1MatchesPerBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for width := 1; width <= 130; width++ {
+		v := randomVector(rng, width)
+		for step := 0; step < 8; step++ {
+			in := rng.Intn(2) == 1
+			want, wantOut := refShiftDown1(v, in)
+			gotOut := v.ShiftDown1(in)
+			if gotOut != wantOut {
+				t.Fatalf("width %d: out = %v, want %v", width, gotOut, wantOut)
+			}
+			if !v.Equal(want) {
+				t.Fatalf("width %d: state %s, want %s", width, v, want)
+			}
+		}
+	}
+}
+
+func TestShiftUp1ThenDown1RoundTrip(t *testing.T) {
+	v := MustParse("10110")
+	if top := v.ShiftUp1(true); !top {
+		t.Fatal("ShiftUp1 must push out the old MSB (1)")
+	}
+	if got := v.String(); got != "01101" {
+		t.Fatalf("after up = %s, want 01101", got)
+	}
+	if low := v.ShiftDown1(false); !low {
+		t.Fatal("ShiftDown1 must push out the old LSB (1)")
+	}
+	if got := v.String(); got != "00110" {
+		t.Fatalf("after down = %s, want 00110", got)
+	}
+}
+
+func TestCopyReversed(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for wide := 1; wide <= 130; wide++ {
+		o := randomVector(rng, wide)
+		for _, narrow := range []int{1, wide / 2, wide} {
+			if narrow < 1 {
+				continue
+			}
+			v := New(narrow)
+			v.CopyReversed(o)
+			for i := 0; i < narrow; i++ {
+				if v.Get(i) != o.Get(wide-1-i) {
+					t.Fatalf("wide %d narrow %d: bit %d = %v, want o[%d] = %v",
+						wide, narrow, i, v.Get(i), wide-1-i, o.Get(wide-1-i))
+				}
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyReversed accepted a narrower source")
+		}
+	}()
+	New(5).CopyReversed(New(4))
+}
+
+func TestFirstLastDiff(t *testing.T) {
+	a := New(130)
+	b := New(130)
+	if a.FirstDiff(b) != -1 || a.LastDiff(b) != -1 {
+		t.Fatal("equal vectors reported a diff")
+	}
+	b.Set(3, true)
+	b.Set(127, true)
+	if got := a.FirstDiff(b); got != 3 {
+		t.Fatalf("FirstDiff = %d, want 3", got)
+	}
+	if got := a.LastDiff(b); got != 127 {
+		t.Fatalf("LastDiff = %d, want 127", got)
+	}
+	b.Set(3, false)
+	b.Set(127, false)
+	b.Set(64, true)
+	if got, want := a.FirstDiff(b), 64; got != want {
+		t.Fatalf("FirstDiff = %d, want %d", got, want)
+	}
+	if got, want := a.LastDiff(b), 64; got != want {
+		t.Fatalf("LastDiff = %d, want %d", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FirstDiff accepted a width mismatch")
+		}
+	}()
+	a.FirstDiff(New(4))
+}

@@ -1,0 +1,143 @@
+package serial
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/sram"
+)
+
+// Differential test of the chain's word-parallel clean-row fast path
+// against the per-bit reference order (forced via perBitOnly) across
+// random fault populations: two identically faulted memories, the same
+// element sequence, and every observable — identified positions, raw
+// pass streams and the memory end state — must agree bit for bit.
+
+// buildPair injects the same randomly drawn faults into two fresh
+// memories and returns chains over them, the second forced per-bit.
+func buildPair(t *testing.T, n, c int, seed int64, classes []fault.Class, count int) (*Chain, *Chain) {
+	t.Helper()
+	fast := sram.New(n, c)
+	ref := sram.New(n, c)
+	gen := fault.NewGenerator(n, c, seed)
+	for i := 0; i < count; i++ {
+		f := gen.Random(classes[i%len(classes)])
+		// Duplicate victims are rejected consistently on both sides.
+		errA, errB := fast.Inject(f), ref.Inject(f)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("inject divergence: %v vs %v", errA, errB)
+		}
+	}
+	chFast := NewChain(fast)
+	chRef := NewChain(ref)
+	chRef.perBitOnly = true
+	return chFast, chRef
+}
+
+func comparePair(t *testing.T, label string, chFast, chRef *Chain) {
+	t.Helper()
+	memFast, memRef := chFast.mem, chRef.mem
+	for addr := 0; addr < memFast.N(); addr++ {
+		for bit := 0; bit < memFast.C(); bit++ {
+			if memFast.Peek(addr, bit) != memRef.Peek(addr, bit) {
+				t.Fatalf("%s: memory state diverges at %d.%d", label, addr, bit)
+			}
+		}
+	}
+}
+
+var diffClasses = []fault.Class{
+	fault.SA0, fault.SA1, fault.TFUp, fault.TFDown,
+	fault.CFid, fault.CFin, fault.CFst, fault.DRF,
+}
+
+func TestChainFastPathMatchesPerBit(t *testing.T) {
+	patterns := []func(int) bool{
+		func(int) bool { return true },
+		func(int) bool { return false },
+		func(k int) bool { return k%2 == 1 },
+		func(k int) bool { return k%3 == 0 },
+	}
+	for _, g := range []struct{ n, c, faults int }{
+		{4, 3, 0}, {8, 8, 3}, {16, 5, 6}, {7, 66, 9}, {32, 2, 10},
+	} {
+		for seed := int64(0); seed < 4; seed++ {
+			chFast, chRef := buildPair(t, g.n, g.c, seed*31+7, diffClasses, g.faults)
+			for pi, pat := range patterns {
+				lo1, hi1, fl1, fh1 := chFast.BiDirElement(pat)
+				lo2, hi2, fl2, fh2 := chRef.BiDirElement(pat)
+				if lo1 != lo2 || hi1 != hi2 || fl1 != fl2 || fh1 != fh2 {
+					t.Fatalf("%dx%d seed %d pat %d: bi-dir (%d,%d,%v,%v) vs reference (%d,%d,%v,%v)",
+						g.n, g.c, seed, pi, lo1, hi1, fl1, fh1, lo2, hi2, fl2, fh2)
+				}
+				comparePair(t, "bi-dir", chFast, chRef)
+			}
+		}
+	}
+}
+
+func TestChainFastPathMatchesPerBitWithRepairs(t *testing.T) {
+	chFast, chRef := buildPair(t, 12, 9, 42, diffClasses, 8)
+	pat := func(k int) bool { return k%2 == 0 }
+	for iter := 0; iter < 6; iter++ {
+		lo1, hi1, fl1, fh1 := chFast.BiDirElement(pat)
+		lo2, hi2, fl2, fh2 := chRef.BiDirElement(pat)
+		if lo1 != lo2 || hi1 != hi2 || fl1 != fl2 || fh1 != fh2 {
+			t.Fatalf("iter %d: (%d,%d,%v,%v) vs (%d,%d,%v,%v)", iter, lo1, hi1, fl1, fh1, lo2, hi2, fl2, fh2)
+		}
+		if !fl1 && !fh1 {
+			break
+		}
+		if fl1 {
+			chFast.Repair(lo1)
+			chRef.Repair(lo2)
+		}
+		if fh1 {
+			chFast.Repair(hi1)
+			chRef.Repair(hi2)
+		}
+		comparePair(t, "repair-loop", chFast, chRef)
+	}
+	if chFast.RepairCount() != chRef.RepairCount() {
+		t.Fatalf("repair counts diverge: %d vs %d", chFast.RepairCount(), chRef.RepairCount())
+	}
+}
+
+func TestChainSOFForcesPerBit(t *testing.T) {
+	m := sram.New(6, 4)
+	mustInject(t, m, fault.Fault{Class: fault.SOF, Victim: fault.Cell{Addr: 2, Bit: 1}})
+	ch := NewChain(m)
+	if !ch.perBitOnly {
+		t.Fatal("SOF memory did not disable the word fast path")
+	}
+	clean := NewChain(sram.New(6, 4))
+	if clean.perBitOnly {
+		t.Fatal("clean memory needlessly runs per-bit")
+	}
+}
+
+func TestChainRawPassStreamsMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	chFast, chRef := buildPair(t, 9, 7, 5, diffClasses, 5)
+	for _, dir := range []Direction{Right, Left} {
+		pat := func(k int) bool { return rng.Intn(2) == 0 || k%5 == 0 }
+		// Identical pattern closures: materialize once.
+		bits := make([]bool, chFast.Len())
+		for k := range bits {
+			bits[k] = pat(k)
+		}
+		fixed := func(k int) bool { return bits[k] }
+		chFast.WritePass(dir, fixed)
+		chRef.WritePass(dir, fixed)
+		comparePair(t, "write-pass", chFast, chRef)
+		obs1 := chFast.ReadPass(dir)
+		obs2 := chRef.ReadPass(dir)
+		for k := range obs1 {
+			if obs1[k] != obs2[k] {
+				t.Fatalf("dir %s: observed[%d] = %v, reference %v", dir, k, obs1[k], obs2[k])
+			}
+		}
+		comparePair(t, "read-pass", chFast, chRef)
+	}
+}

@@ -1,0 +1,76 @@
+package serial
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+)
+
+// The PSC protocol checks: the scan chain holds exactly one captured
+// word, so shifting past the width without a re-capture reads garbage,
+// and capturing over a half-drained chain silently discards response
+// bits. Both are programming errors the packed fast path must not
+// paper over.
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: no panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestPSCShiftPastWidthPanics(t *testing.T) {
+	p := NewPSC(3)
+	p.Capture(bitvec.MustParse("101"))
+	for i := 0; i < 3; i++ {
+		p.ShiftOut() // the captured word itself is fine
+	}
+	mustPanic(t, "4th shift", func() { p.ShiftOut() })
+}
+
+func TestPSCShiftPastWidthWithoutCapturePanics(t *testing.T) {
+	p := NewPSC(2)
+	p.ShiftOut() // the reset-state zeros may be drained...
+	p.ShiftOut()
+	mustPanic(t, "shift past width capture-less", func() { p.ShiftOut() })
+}
+
+func TestPSCRecaptureMidDrainPanics(t *testing.T) {
+	p := NewPSC(4)
+	p.Capture(bitvec.MustParse("1100"))
+	p.ShiftOut()
+	mustPanic(t, "capture mid-drain", func() { p.Capture(bitvec.MustParse("0011")) })
+}
+
+func TestPSCRecaptureAfterFullDrainAllowed(t *testing.T) {
+	p := NewPSC(4)
+	p.Capture(bitvec.MustParse("1100"))
+	for i := 0; i < 4; i++ {
+		p.ShiftOut()
+	}
+	p.Capture(bitvec.MustParse("0011")) // fully drained: legal
+	if got := p.Drain().String(); got != "0011" {
+		t.Fatalf("drained %s after legal re-capture", got)
+	}
+}
+
+func TestPSCRecaptureWithoutDrainAllowed(t *testing.T) {
+	// Overwriting an undrained capture with zero shifts is the normal
+	// "discard and re-read" move and must stay legal.
+	p := NewPSC(4)
+	p.Capture(bitvec.MustParse("1100"))
+	p.Capture(bitvec.MustParse("0110"))
+	if got := p.Drain().String(); got != "0110" {
+		t.Fatalf("drained %s after capture-over-capture", got)
+	}
+}
+
+func TestPSCDrainAfterPartialShiftPanics(t *testing.T) {
+	p := NewPSC(4)
+	p.Capture(bitvec.MustParse("1010"))
+	p.ShiftOut()
+	mustPanic(t, "drain mid-drain", func() { p.DrainInto(bitvec.New(4)) })
+}

@@ -1,0 +1,96 @@
+package serial
+
+import "repro/internal/bitvec"
+
+// Bit-accurate reference implementations of ShiftRegister, SPC and PSC,
+// retained verbatim from the original []bool-backed package. They exist
+// to pin the word-packed implementations' semantics: the differential
+// fuzz tests in fuzz_test.go drive both sides with identical operation
+// sequences and require identical observable state at every step. They
+// deliberately implement no protocol-misuse checks — only value
+// semantics — so the fuzz driver constrains itself to legal sequences
+// and the misuse panics are tested separately.
+
+// refShiftRegister is the reference DFF chain.
+type refShiftRegister struct {
+	bits []bool
+}
+
+func newRefShiftRegister(stages int) *refShiftRegister {
+	return &refShiftRegister{bits: make([]bool, stages)}
+}
+
+func (r *refShiftRegister) Shift(in bool) (out bool) {
+	out = r.bits[len(r.bits)-1]
+	copy(r.bits[1:], r.bits[:len(r.bits)-1])
+	r.bits[0] = in
+	return out
+}
+
+func (r *refShiftRegister) Bit(i int) bool { return r.bits[i] }
+
+// refSPC is the reference Serial-to-Parallel Converter.
+type refSPC struct {
+	reg []bool
+}
+
+func newRefSPC(width int) *refSPC {
+	return &refSPC{reg: make([]bool, width)}
+}
+
+func (s *refSPC) ShiftIn(b bool) {
+	for i := len(s.reg) - 1; i > 0; i-- {
+		s.reg[i] = s.reg[i-1]
+	}
+	s.reg[0] = b
+}
+
+func (s *refSPC) Word() bitvec.Vector {
+	v := bitvec.New(len(s.reg))
+	for i, b := range s.reg {
+		v.Set(i, b)
+	}
+	return v
+}
+
+func (s *refSPC) Deliver(dp bitvec.Vector, order Order) {
+	var stream []bool
+	if order == MSBFirst {
+		stream = dp.SerializeMSBFirst()
+	} else {
+		stream = dp.SerializeLSBFirst()
+	}
+	for _, b := range stream {
+		s.ShiftIn(b)
+	}
+}
+
+// refPSC is the reference Parallel-to-Serial Converter.
+type refPSC struct {
+	reg []bool
+}
+
+func newRefPSC(width int) *refPSC {
+	return &refPSC{reg: make([]bool, width)}
+}
+
+func (p *refPSC) Capture(word bitvec.Vector) {
+	for i := range p.reg {
+		p.reg[i] = word.Get(i)
+	}
+}
+
+func (p *refPSC) ShiftOut() bool {
+	out := p.reg[0]
+	copy(p.reg[:len(p.reg)-1], p.reg[1:])
+	p.reg[len(p.reg)-1] = false
+	return out
+}
+
+func (p *refPSC) Drain() bitvec.Vector {
+	v := bitvec.New(len(p.reg))
+	for i := 0; i < len(p.reg); i++ {
+		v.Set(i, p.ShiftOut())
+	}
+	return v
+}

@@ -61,6 +61,12 @@ type Memory struct {
 	// rowFaulty[row] reports whether the row holds any victim or
 	// aggressor cell; fault-free rows take the word-wise access paths.
 	rowFaulty []bool
+	// rowSpecial[row] masks the row's victim and aggressor cells. Rows
+	// that are faulty but identity-mapped still move word-wise: the
+	// stored word is copied wholesale and only the masked cells re-run
+	// per-bit fault semantics — under sparse defects that is one or two
+	// bits of a hundred.
+	rowSpecial []bitvec.Vector
 	// rowsOf[addr] lists the physical rows the logical address accesses
 	// (address decoder behaviour); a nil entry means the identity row.
 	// A flat slice, not a map: rows() runs on every read and write.
@@ -97,6 +103,7 @@ func New(n, c int) *Memory {
 		cellFault:   newCellFaultIndex(n * c),
 		aggFaults:   make([][]int32, n*c),
 		rowFaulty:   make([]bool, n),
+		rowSpecial:  bitvec.NewMatrix(c, n),
 		rowsOf:      make([][]int, n),
 		senseLatch:  bitvec.New(c),
 		drfTimer:    make([]float64, n*c),
@@ -131,11 +138,13 @@ func (m *Memory) ClearFaults() {
 			m.cellFault[vidx] = -1
 			m.drfTimer[vidx] = 0
 			m.rowFaulty[f.Victim.Addr] = false
+			m.rowSpecial[f.Victim.Addr].Set(f.Victim.Bit, false)
 			switch f.Class {
 			case fault.CFin, fault.CFid, fault.CFst:
 				aidx := m.idx(f.Aggressor.Addr, f.Aggressor.Bit)
 				m.aggFaults[aidx] = m.aggFaults[aidx][:0]
 				m.rowFaulty[f.Aggressor.Addr] = false
+				m.rowSpecial[f.Aggressor.Addr].Set(f.Aggressor.Bit, false)
 			}
 		}
 	}
@@ -237,6 +246,7 @@ func (m *Memory) Inject(f fault.Fault) error {
 		aidx := m.idx(f.Aggressor.Addr, f.Aggressor.Bit)
 		m.aggFaults[aidx] = append(m.aggFaults[aidx], fidx)
 		m.rowFaulty[f.Aggressor.Addr] = true
+		m.rowSpecial[f.Aggressor.Addr].Set(f.Aggressor.Bit, true)
 	default:
 		if dup {
 			return fmt.Errorf("sram: cell %v already faulty", f.Victim)
@@ -244,6 +254,7 @@ func (m *Memory) Inject(f fault.Fault) error {
 		m.cellFault[vidx] = fidx
 	}
 	m.rowFaulty[f.Victim.Addr] = true
+	m.rowSpecial[f.Victim.Addr].Set(f.Victim.Bit, true)
 	switch f.Class {
 	case fault.SA0:
 		m.data[f.Victim.Addr].Set(f.Victim.Bit, false)
@@ -309,11 +320,28 @@ func (m *Memory) write(addr int, w bitvec.Vector, nwrc bool) {
 	if w.Width() != m.c {
 		panic(fmt.Sprintf("sram: write width %d to %d-bit memory", w.Width(), m.c))
 	}
-	// Word-wise fast path: an identity-mapped, fault-free row with no
-	// column shorts stores the word verbatim, and none of its cells is
-	// an aggressor, so no coupling can fire.
-	if m.rowsOf[addr] == nil && !m.rowFaulty[addr] && len(m.cdfPairs) == 0 {
-		m.data[addr].CopyFrom(w)
+	if m.rowsOf[addr] == nil && len(m.cdfPairs) == 0 {
+		// Word-wise fast path: an identity-mapped, fault-free row with
+		// no column shorts stores the word verbatim, and none of its
+		// cells is an aggressor, so no coupling can fire.
+		if !m.rowFaulty[addr] {
+			m.data[addr].CopyFrom(w)
+			return
+		}
+		// Identity-mapped faulty row: only the masked victim/aggressor
+		// cells carry write semantics or drive couplings; every other
+		// cell stores its bit verbatim, so the row still moves as one
+		// word plus a per-bit fix-up of the (sparse) special cells.
+		mask := m.rowSpecial[addr]
+		trans := m.transBuf[:0]
+		for b := mask.NextSet(0); b >= 0; b = mask.NextSet(b + 1) {
+			if t, changed := m.writeBit(addr, b, w.Get(b), nwrc); changed {
+				trans = append(trans, t)
+			}
+		}
+		m.data[addr].MergeFrom(w, mask)
+		m.transBuf = trans[:0]
+		m.propagate(trans)
 		return
 	}
 	trans := m.transBuf[:0]
@@ -345,28 +373,51 @@ func (m *Memory) WriteWeak(addr int, w bitvec.Vector) {
 	if w.Width() != m.c {
 		panic(fmt.Sprintf("sram: weak write width %d to %d-bit memory", w.Width(), m.c))
 	}
-	// A weak write moves nothing on a fault-free identity-mapped row.
-	if m.rowsOf[addr] == nil && !m.rowFaulty[addr] {
+	// A weak write moves nothing on a fault-free identity-mapped row,
+	// and on a faulty identity-mapped row only the masked special cells
+	// can be data-retention victims.
+	if m.rowsOf[addr] == nil {
+		if !m.rowFaulty[addr] {
+			return
+		}
+		mask := m.rowSpecial[addr]
+		trans := m.transBuf[:0]
+		for bit := mask.NextSet(0); bit >= 0; bit = mask.NextSet(bit + 1) {
+			if t, moved := m.writeWeakBit(addr, bit, w.Get(bit)); moved {
+				trans = append(trans, t)
+			}
+		}
+		m.transBuf = trans[:0]
+		m.propagate(trans)
 		return
 	}
 	trans := m.transBuf[:0]
 	for _, row := range m.rows(addr) {
 		for bit := 0; bit < m.c; bit++ {
-			idx := m.idx(row, bit)
-			f := m.cellFaultAt(idx)
-			if f == nil || f.Class != fault.DRF {
-				continue
-			}
-			v := w.Get(bit)
-			if m.data[row].Get(bit) == f.Value && v != f.Value {
-				m.data[row].Set(bit, v)
-				m.drfTimer[idx] = 0
-				trans = append(trans, transition{idx: idx, up: v})
+			if t, moved := m.writeWeakBit(row, bit, w.Get(bit)); moved {
+				trans = append(trans, t)
 			}
 		}
 	}
 	m.transBuf = trans[:0]
 	m.propagate(trans)
+}
+
+// writeWeakBit applies one Weak Write Test Mode cycle to a single cell:
+// only a DRF cell holding its vulnerable value and weakly driven to the
+// opposite one moves.
+func (m *Memory) writeWeakBit(row, bit int, v bool) (transition, bool) {
+	idx := m.idx(row, bit)
+	f := m.cellFaultAt(idx)
+	if f == nil || f.Class != fault.DRF {
+		return transition{}, false
+	}
+	if m.data[row].Get(bit) == f.Value && v != f.Value {
+		m.data[row].Set(bit, v)
+		m.drfTimer[idx] = 0
+		return transition{idx: idx, up: v}, true
+	}
+	return transition{}, false
 }
 
 // WriteBit writes a single physical cell, honouring fault semantics and
@@ -479,13 +530,27 @@ func (m *Memory) ReadInto(addr int, out bitvec.Vector) {
 	if out.Width() != m.c {
 		panic(fmt.Sprintf("sram: read into width %d from %d-bit memory", out.Width(), m.c))
 	}
-	// Word-wise fast path: an identity-mapped, fault-free row with no
-	// column shorts senses the stored word verbatim. The sense latch
-	// still tracks every read so a stuck-open cell injected later (or
-	// reached through a fault path) repeats the true last-sensed value.
-	if m.rowsOf[addr] == nil && !m.rowFaulty[addr] && len(m.cdfPairs) == 0 {
+	if m.rowsOf[addr] == nil && len(m.cdfPairs) == 0 {
+		// Word-wise fast path: an identity-mapped, fault-free row with
+		// no column shorts senses the stored word verbatim. The sense
+		// latch still tracks every read so a stuck-open cell injected
+		// later (or reached through a fault path) repeats the true
+		// last-sensed value.
+		if !m.rowFaulty[addr] {
+			out.CopyFrom(m.data[addr])
+			m.senseLatch.CopyFrom(m.data[addr])
+			return
+		}
+		// Identity-mapped faulty row: the unmasked cells sense their
+		// stored value word-wise (columns are independent, so their
+		// latch updates merge word-wise too); only the masked special
+		// cells re-run per-bit read semantics.
+		mask := m.rowSpecial[addr]
 		out.CopyFrom(m.data[addr])
-		m.senseLatch.CopyFrom(m.data[addr])
+		m.senseLatch.MergeFrom(m.data[addr], mask)
+		for bit := mask.NextSet(0); bit >= 0; bit = mask.NextSet(bit + 1) {
+			out.Set(bit, m.readBit(addr, bit))
+		}
 		return
 	}
 	rows := m.rows(addr)
@@ -568,6 +633,24 @@ func (m *Memory) Hold(ms float64) {
 			m.drfTimer[idx] = 0
 		}
 	}
+}
+
+// RowFaulty reports whether the row holds any faulty or aggressor
+// cell. Rows that don't are pure storage: bit reads and writes on them
+// have no fault semantics, which is what lets the serial chain shift
+// them word-parallel.
+func (m *Memory) RowFaulty(row int) bool {
+	m.checkAddr(row)
+	return m.rowFaulty[row]
+}
+
+// RowData returns the row's raw stored word for in-place word-parallel
+// access, bypassing all fault semantics (the word-wide Peek/Poke).
+// Callers must confine it to rows where raw access is equivalent —
+// !RowFaulty(row) — as the serial chain's clean-row fast path does.
+func (m *Memory) RowData(row int) bitvec.Vector {
+	m.checkAddr(row)
+	return m.data[row]
 }
 
 // Peek returns the raw stored value of a cell, bypassing read fault

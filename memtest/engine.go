@@ -58,6 +58,27 @@ type Engine interface {
 	Run(ctx context.Context, f *Fleet, opt EngineOptions) (*Report, error)
 }
 
+// EngineRunner is reusable per-worker engine state: Run behaves exactly
+// like Engine.Run, but scratch buffers, controller blocks and other
+// geometry-sized state survive between calls. A runner is NOT safe for
+// concurrent use — it exists precisely so each fleet worker can own
+// one.
+type EngineRunner interface {
+	Run(ctx context.Context, f *Fleet, opt EngineOptions) (*Report, error)
+}
+
+// ReusableEngine is implemented by engines whose per-run state can be
+// hoisted into a reusable runner. RunFleet gives each of its workers
+// one runner, so diagnosing a million same-plan devices allocates
+// engine state per worker, not per device; engines that don't implement
+// it are simply called per device. The built-in "proposed" engine
+// implements it.
+type ReusableEngine interface {
+	Engine
+	// NewRunner returns a fresh, unshared runner.
+	NewRunner() EngineRunner
+}
+
 var (
 	engineMu sync.RWMutex
 	engines  = map[string]Engine{}

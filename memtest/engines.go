@@ -52,6 +52,41 @@ func (proposedEngine) Run(ctx context.Context, f *Fleet, opt EngineOptions) (*Re
 	})
 }
 
+// NewRunner implements ReusableEngine: the returned runner wraps a
+// bisd.ProposedRunner, so SPCs, comparator shadows, address sequences
+// and scratch words are sized once per worker and reused across every
+// same-plan device, and the default March test is instantiated once
+// instead of per device.
+func (proposedEngine) NewRunner() EngineRunner { return &proposedRunner{r: bisd.NewProposedRunner()} }
+
+type proposedRunner struct {
+	r *bisd.ProposedRunner
+
+	// Cached DefaultTest instantiation.
+	test      MarchTest
+	testCMax  int
+	testDRF   bool
+	testValid bool
+}
+
+func (pr *proposedRunner) Run(ctx context.Context, f *Fleet, opt EngineOptions) (*Report, error) {
+	test := opt.Test
+	if test == nil {
+		cMax := f.WidestWidth()
+		if !pr.testValid || pr.testCMax != cMax || pr.testDRF != opt.IncludeDRF {
+			pr.test = DefaultTest(cMax, opt.IncludeDRF)
+			pr.testCMax, pr.testDRF, pr.testValid = cMax, opt.IncludeDRF, true
+		}
+		test = &pr.test
+	}
+	return pr.r.Run(f.mems, *test, bisd.ProposedOptions{
+		ClockNs:       opt.ClockNs,
+		DeliveryOrder: opt.DeliveryOrder,
+		Trace:         opt.Trace,
+		Ctx:           ctx,
+	})
+}
+
 // baselineEngine is the bi-directional serial scheme of [7,8] with its
 // iterated M1 element and, optionally, delay-based DRF testing
 // (Fig. 1).

@@ -28,6 +28,10 @@ type Session struct {
 	delivery FleetDelivery
 
 	report *Report // last single-run report, for evaluate/Trace
+	// runner, when non-nil, executes the engine with reusable state;
+	// RunFleet gives each worker's private Session copy its own (see
+	// ReusableEngine).
+	runner EngineRunner
 }
 
 // Option configures a Session; see the With* constructors.
@@ -223,7 +227,11 @@ func (s *Session) runOnce(ctx context.Context, base int64, derive bool) (*Fleet,
 	if err != nil {
 		return nil, nil, err
 	}
-	rep, err := s.engine.Run(ctx, f, s.eopt)
+	run := s.engine.Run
+	if s.runner != nil {
+		run = s.runner.Run
+	}
+	rep, err := run(ctx, f, s.eopt)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -337,13 +345,20 @@ func (s *Session) RunFleet(ctx context.Context, devices int) iter.Seq2[DeviceRes
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		// Each worker owns a shallow Session copy so per-run state
-		// (report caching, trace) never races across devices.
+		// (report caching, trace) never races across devices, plus —
+		// when the engine supports it — a private reusable runner, so
+		// engine scratch state is built once per worker instead of per
+		// device.
+		reusable, _ := s.engine.(ReusableEngine)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				local := *s
 				local.eopt.Trace = nil // trace is single-run only
+				if reusable != nil {
+					local.runner = reusable.NewRunner()
+				}
 				for {
 					d := int(next.Add(1)) - 1
 					if d >= devices || ctx.Err() != nil {

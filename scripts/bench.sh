@@ -1,18 +1,23 @@
 #!/bin/sh
 # Capture the benchmark suite into a JSON perf snapshot.
 #
-# Usage: scripts/bench.sh [output.json] [benchtime]
+# Usage: scripts/bench.sh [output.json] [benchtime] [cpulist]
 #
 # The default 1x benchtime is the CI smoke setting (one iteration per
 # benchmark: stable cycle/coverage metrics, indicative ns/op). For real
 # perf numbers use e.g.: scripts/bench.sh BENCH_local.json 2s
+#
+# cpulist is passed to go test -cpu; "1,4" also exercises the RunFleet
+# worker-pool path in the same capture (per-proc entries pair across
+# snapshots through benchjson's GOMAXPROCS-suffix normalization).
 set -e
 out="${1:-BENCH_pr2.json}"
 benchtime="${2:-1x}"
+cpus="${3:-1}"
 # Two stages, not a pipeline: a pipeline would discard go test's exit
 # status and a panicking benchmark could pass CI with a partial snapshot.
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
-go test -run '^$' -bench . -benchmem -benchtime "$benchtime" ./... > "$tmp"
+go test -run '^$' -bench . -benchmem -benchtime "$benchtime" -cpu "$cpus" ./... > "$tmp"
 go run ./scripts/benchjson < "$tmp" > "$out"
 echo "wrote $out"

@@ -1,16 +1,24 @@
 // Command mdlinks checks that every relative link in the repo's
-// Markdown files resolves to an existing file or directory, so docs
-// cannot silently rot as files move. CI runs it over the repo root:
+// Markdown files resolves, so docs cannot silently rot as files move.
+// CI runs it over the repo root:
 //
 //	go run ./scripts/mdlinks .
 //
 // It walks the given roots for *.md files (skipping dot-directories
-// and testdata), extracts inline links and images ([text](target) /
-// ![alt](target)), ignores absolute URLs (a scheme followed by a
-// colon) and pure in-page anchors (#...), strips any #fragment and
-// ?query from the rest, and resolves the target against the file's
-// directory. Broken links are reported one per line and the exit
-// status is non-zero.
+// and testdata) and checks three link shapes:
+//
+//   - inline links and images ([text](target) / ![alt](target));
+//   - reference-style definitions ([label]: target) and their usages
+//     ([text][label], [label][]) — a usage with no matching definition
+//     is broken;
+//   - #fragment anchors, both in-page (#section) and cross-file
+//     (file.md#section), validated against the GitHub-rendered heading
+//     anchors of the target document.
+//
+// Absolute URLs (a scheme followed by a colon) are ignored, ?queries
+// are stripped, and targets resolve against the file's directory.
+// Broken links are reported one per line and the exit status is
+// non-zero.
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"strconv"
 	"strings"
 )
 
@@ -27,8 +36,30 @@ import (
 // — the repo's docs use plain [text](target) links.
 var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)[^)]*\)`)
 
+// refDefRe matches reference-style link definitions at the start of a
+// line: group 1 is the label, group 2 the target.
+var refDefRe = regexp.MustCompile(`(?m)^ {0,3}\[([^\]]+)\]:[ \t]+(\S+)`)
+
+// refUseRe matches reference-style usages [text][label] and the
+// collapsed form [label][]; group 2 is the label (empty = collapsed).
+var refUseRe = regexp.MustCompile(`\[([^\]]+)\]\[([^\]]*)\]`)
+
+// headingRe matches ATX headings; group 2 is the heading text.
+var headingRe = regexp.MustCompile(`(?m)^(#{1,6})[ \t]+(.+?)[ \t]*#*[ \t]*$`)
+
 // schemeRe recognises absolute URLs (http:, https:, mailto:, ...).
 var schemeRe = regexp.MustCompile(`^[a-zA-Z][a-zA-Z0-9+.-]*:`)
+
+// Link is one checkable reference extracted from a document: a
+// relative path (possibly empty for in-page anchors) and an optional
+// fragment.
+type Link struct {
+	// Target is the path part with fragment and query stripped; empty
+	// for pure in-page anchors.
+	Target string
+	// Fragment is the anchor without its '#', empty when absent.
+	Fragment string
+}
 
 func main() {
 	roots := os.Args[1:]
@@ -36,6 +67,7 @@ func main() {
 		roots = []string{"."}
 	}
 	broken := 0
+	anchors := newAnchorCache()
 	for _, root := range roots {
 		files, err := markdownFiles(root)
 		if err != nil {
@@ -43,7 +75,7 @@ func main() {
 			os.Exit(2)
 		}
 		for _, file := range files {
-			bad, err := checkFile(file)
+			bad, err := checkFile(file, anchors)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "mdlinks: %v\n", err)
 				os.Exit(2)
@@ -84,39 +116,206 @@ func markdownFiles(root string) ([]string, error) {
 	return files, err
 }
 
-// checkFile returns the unresolved relative link targets in one file.
-func checkFile(path string) ([]string, error) {
+// anchorCache memoizes each Markdown file's rendered heading anchors.
+type anchorCache struct {
+	byFile map[string]map[string]bool
+}
+
+func newAnchorCache() *anchorCache {
+	return &anchorCache{byFile: map[string]map[string]bool{}}
+}
+
+// anchorsOf returns the heading-anchor set of a Markdown file.
+func (c *anchorCache) anchorsOf(path string) (map[string]bool, error) {
+	clean := filepath.Clean(path)
+	if a, ok := c.byFile[clean]; ok {
+		return a, nil
+	}
+	data, err := os.ReadFile(clean)
+	if err != nil {
+		return nil, err
+	}
+	a := Anchors(string(data))
+	c.byFile[clean] = a
+	return a, nil
+}
+
+// checkFile returns the unresolved link targets in one file: missing
+// paths, undefined reference labels and fragments that match no
+// heading in their target document.
+func checkFile(path string, anchors *anchorCache) ([]string, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
+	doc := string(data)
 	var broken []string
-	for _, target := range Links(string(data)) {
-		dest := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
-		if _, err := os.Stat(dest); err != nil {
-			broken = append(broken, target)
+	for _, label := range UndefinedRefs(doc) {
+		broken = append(broken, fmt.Sprintf("[%s] (undefined reference label)", label))
+	}
+	for _, l := range Links(doc) {
+		target := path // in-page anchors validate against this file
+		if l.Target != "" {
+			target = filepath.Join(filepath.Dir(path), filepath.FromSlash(l.Target))
+			if _, err := os.Stat(target); err != nil {
+				broken = append(broken, l.String())
+				continue
+			}
+		}
+		if l.Fragment == "" || !strings.EqualFold(filepath.Ext(target), ".md") {
+			continue
+		}
+		a, err := anchors.anchorsOf(target)
+		if err != nil {
+			return nil, err
+		}
+		if !a[strings.ToLower(l.Fragment)] {
+			broken = append(broken, fmt.Sprintf("%s (no such heading)", l.String()))
 		}
 	}
 	return broken, nil
 }
 
-// Links extracts the relative link targets worth checking from one
-// Markdown document: inline links and images, minus absolute URLs and
-// in-page anchors, with #fragments and ?queries stripped.
-func Links(doc string) []string {
-	var out []string
-	for _, m := range linkRe.FindAllStringSubmatch(doc, -1) {
-		target := m[1]
-		if schemeRe.MatchString(target) || strings.HasPrefix(target, "#") {
+// String renders the link as it appeared, path plus fragment.
+func (l Link) String() string {
+	if l.Fragment == "" {
+		return l.Target
+	}
+	return l.Target + "#" + l.Fragment
+}
+
+// stripFences blanks the contents of fenced code blocks so code
+// snippets (`map[string][]byte`, `[label]: value` config lines) are
+// never mistaken for links or reference definitions — the same
+// exclusion Anchors applies to headings.
+func stripFences(doc string) string {
+	lines := strings.Split(doc, "\n")
+	inFence := false
+	for i, line := range lines {
+		trimmed := strings.TrimLeft(line, " \t")
+		if strings.HasPrefix(trimmed, "```") || strings.HasPrefix(trimmed, "~~~") {
+			inFence = !inFence
+			lines[i] = ""
 			continue
 		}
-		if i := strings.IndexAny(target, "#?"); i >= 0 {
+		if inFence {
+			lines[i] = ""
+			continue
+		}
+		// Inline code spans are rendered literally too.
+		lines[i] = inlineCodeRe.ReplaceAllString(line, "")
+	}
+	return strings.Join(lines, "\n")
+}
+
+// inlineCodeRe matches single-backtick inline code spans.
+var inlineCodeRe = regexp.MustCompile("`[^`]*`")
+
+// Links extracts the relative links worth checking from one Markdown
+// document: inline links and images plus reference-style definitions,
+// minus absolute URLs and fenced code blocks, with ?queries stripped
+// and #fragments kept for anchor validation. Pure in-page anchors
+// (#...) are returned with an empty Target.
+func Links(doc string) []Link {
+	doc = stripFences(doc)
+	var out []Link
+	add := func(target string) {
+		if schemeRe.MatchString(target) {
+			return
+		}
+		var frag string
+		if i := strings.IndexByte(target, '#'); i >= 0 {
+			target, frag = target[:i], target[i+1:]
+		}
+		if i := strings.IndexByte(target, '?'); i >= 0 {
 			target = target[:i]
 		}
-		if target == "" {
-			continue
+		if target == "" && frag == "" {
+			return
 		}
-		out = append(out, target)
+		out = append(out, Link{Target: target, Fragment: frag})
+	}
+	for _, m := range linkRe.FindAllStringSubmatch(doc, -1) {
+		add(m[1])
+	}
+	for _, m := range refDefRe.FindAllStringSubmatch(doc, -1) {
+		add(m[2])
 	}
 	return out
+}
+
+// UndefinedRefs returns the labels of reference-style usages
+// ([text][label], [label][]) that have no [label]: definition in the
+// document. Labels match case-insensitively, per CommonMark; fenced
+// code blocks are excluded on both sides.
+func UndefinedRefs(doc string) []string {
+	doc = stripFences(doc)
+	defined := map[string]bool{}
+	for _, m := range refDefRe.FindAllStringSubmatch(doc, -1) {
+		defined[strings.ToLower(m[1])] = true
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, m := range refUseRe.FindAllStringSubmatch(doc, -1) {
+		label := m[2]
+		if label == "" {
+			label = m[1] // collapsed [label][]
+		}
+		key := strings.ToLower(label)
+		if !defined[key] && !seen[key] {
+			seen[key] = true
+			out = append(out, label)
+		}
+	}
+	return out
+}
+
+// Anchors returns the set of GitHub-rendered heading anchors of a
+// Markdown document: every ATX heading slugged the way GitHub's
+// renderer does (lowercase; punctuation dropped; spaces to hyphens;
+// repeated headings suffixed -1, -2, ...). Fenced code blocks are
+// skipped so commented shell lines are not mistaken for headings.
+func Anchors(doc string) map[string]bool {
+	out := map[string]bool{}
+	counts := map[string]int{}
+	inFence := false
+	for _, line := range strings.Split(doc, "\n") {
+		trimmed := strings.TrimLeft(line, " \t")
+		if strings.HasPrefix(trimmed, "```") || strings.HasPrefix(trimmed, "~~~") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		m := headingRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		slug := slugify(m[2])
+		if n := counts[slug]; n > 0 {
+			out[slug+"-"+strconv.Itoa(n)] = true
+		} else {
+			out[slug] = true
+		}
+		counts[slug]++
+	}
+	return out
+}
+
+// slugify approximates GitHub's heading-anchor algorithm.
+func slugify(heading string) string {
+	// Strip inline code/emphasis markers before slugging; GitHub slugs
+	// the rendered text.
+	heading = strings.NewReplacer("`", "", "*", "").Replace(heading)
+	var sb strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_', r == '-':
+			sb.WriteRune(r)
+		case r == ' ':
+			sb.WriteByte('-')
+		}
+	}
+	return sb.String()
 }

@@ -16,20 +16,72 @@ Inline [one](a.md), an image ![shot](img/shot.png), and a
 
 Absolute links are ignored: [web](https://example.com/x.md),
 [mail](mailto:a@b.c), [scheme](ftp://host/f.md).
-In-page anchors are ignored: [above](#doc).
-Reference-style and bare text are out of scope.
 Two on one line: [x](d.md) and [y](e/f.md).
+
+[ref]: r.md
+[ref2]: r2.md#frag
 `
 	got := Links(doc)
-	want := []string{"a.md", "img/shot.png", "b.md", "c.md", "d.md", "e/f.md"}
+	want := []Link{
+		{Target: "a.md"}, {Target: "img/shot.png"},
+		{Target: "b.md", Fragment: "section"}, {Target: "c.md"},
+		{Target: "d.md"}, {Target: "e/f.md"},
+		{Target: "r.md"}, {Target: "r2.md", Fragment: "frag"},
+	}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("Links = %v, want %v", got, want)
 	}
 }
 
-func TestLinksEmptyAfterStrip(t *testing.T) {
-	if got := Links("[self](#only-anchor) [empty]()"); len(got) != 0 {
-		t.Fatalf("Links = %v, want none", got)
+func TestLinksInPageAnchor(t *testing.T) {
+	got := Links("[self](#only-anchor) [empty]()")
+	want := []Link{{Fragment: "only-anchor"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Links = %v, want %v", got, want)
+	}
+}
+
+func TestFencedCodeIgnored(t *testing.T) {
+	doc := "# Doc\n\n```go\nvar m map[string][]byte // [not][a-ref]\n// [fake](fenced.md)\n```\n\n```yaml\n[label]: not-a-file.md\n```\n\n[real](real.md)\n"
+	got := Links(doc)
+	want := []Link{{Target: "real.md"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Links over fenced doc = %v, want %v", got, want)
+	}
+	if refs := UndefinedRefs(doc); len(refs) != 0 {
+		t.Fatalf("UndefinedRefs over fenced doc = %v, want none", refs)
+	}
+	if refs := UndefinedRefs("prose with `map[string][]byte` inline"); len(refs) != 0 {
+		t.Fatalf("UndefinedRefs over inline code = %v, want none", refs)
+	}
+}
+
+func TestUndefinedRefs(t *testing.T) {
+	doc := `
+See [the guide][guide] and [collapsed][] and [missing one][nope].
+
+[guide]: docs/GUIDE.md
+[collapsed]: c.md
+`
+	got := UndefinedRefs(doc)
+	if !reflect.DeepEqual(got, []string{"nope"}) {
+		t.Fatalf("UndefinedRefs = %v, want [nope]", got)
+	}
+	if refs := UndefinedRefs("[case][GuIdE]\n\n[guide]: g.md"); len(refs) != 0 {
+		t.Fatalf("labels should match case-insensitively, got %v", refs)
+	}
+}
+
+func TestAnchors(t *testing.T) {
+	doc := "# My Doc\n\n## Flags & Options (v2)\n\n## Flags & Options (v2)\n\n### code `inline`\n\n```sh\n# not a heading\n```\n"
+	a := Anchors(doc)
+	for _, want := range []string{"my-doc", "flags--options-v2", "flags--options-v2-1", "code-inline"} {
+		if !a[want] {
+			t.Fatalf("anchor %q missing from %v", want, a)
+		}
+	}
+	if a["not-a-heading"] {
+		t.Fatal("fenced comment slugged as a heading")
 	}
 }
 
@@ -50,8 +102,8 @@ func TestCheckFileAndWalk(t *testing.T) {
 	mkdir("docs")
 	mkdir("testdata")
 	mkdir(".hidden")
-	write("README.md", "[ok](docs/GUIDE.md) [dir](docs) [missing](gone.md) [web](https://x.y/z.md)")
-	write("docs/GUIDE.md", "[up](../README.md) [frag](../README.md#x)")
+	write("README.md", "# Top\n\n[ok](docs/GUIDE.md) [dir](docs) [missing](gone.md) [web](https://x.y/z.md)\n\n[refdef]: docs/GUIDE.md#setup\n")
+	write("docs/GUIDE.md", "# Guide\n\n## Setup\n\n[up](../README.md) [frag](../README.md#top) [inpage](#setup)")
 	write("testdata/skipme.md", "[broken](nope.md)")
 	write(".hidden/skipme.md", "[broken](nope.md)")
 	write("notes.txt", "[not markdown](nope.md)")
@@ -64,18 +116,44 @@ func TestCheckFileAndWalk(t *testing.T) {
 		t.Fatalf("walked files = %v, want README.md and docs/GUIDE.md", files)
 	}
 
-	bad, err := checkFile(filepath.Join(dir, "README.md"))
+	anchors := newAnchorCache()
+	bad, err := checkFile(filepath.Join(dir, "README.md"), anchors)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(bad, []string{"gone.md"}) {
 		t.Fatalf("broken in README = %v, want [gone.md]", bad)
 	}
-	bad, err = checkFile(filepath.Join(dir, "docs", "GUIDE.md"))
+	bad, err = checkFile(filepath.Join(dir, "docs", "GUIDE.md"), anchors)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(bad) != 0 {
 		t.Fatalf("broken in GUIDE = %v, want none", bad)
+	}
+}
+
+func TestCheckFileBadFragmentsAndRefs(t *testing.T) {
+	dir := t.TempDir()
+	write := func(p, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, p), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("A.md", "# Alpha\n\n[bad frag](B.md#nope) [bad inpage](#missing) [use][undef]\n")
+	write("B.md", "# Beta\n\n## Real Section\n")
+
+	bad, err := checkFile(filepath.Join(dir, "A.md"), newAnchorCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"[undef] (undefined reference label)",
+		"B.md#nope (no such heading)",
+		"#missing (no such heading)",
+	}
+	if !reflect.DeepEqual(bad, want) {
+		t.Fatalf("broken = %v, want %v", bad, want)
 	}
 }

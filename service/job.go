@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -146,8 +147,12 @@ func (j *job) append(line []byte) error {
 }
 
 // finish moves the job to a terminal state, persists the final
-// manifest and wakes followers.
+// manifest and wakes followers. The spool is flushed first — the
+// result-boundary flush that makes a terminal manifest trustworthy —
+// and WriteManifest implementations flush again themselves, so either
+// layer alone upholds the ordering.
 func (j *job) finish(state State, err error, now time.Time) {
+	j.spool.Flush() //nolint:errcheck // a failing flush surfaces via the manifest write or the next Read
 	j.mu.Lock()
 	j.status.State = state
 	if err != nil {
@@ -451,15 +456,23 @@ func (m *Manager) run(j *job) {
 		if err != nil {
 			return err
 		}
+		// One encode buffer per run: every device result is marshalled
+		// into it and handed to the store, which copies (memory) or
+		// batches (disk) it — no fresh allocation and, with a disk
+		// store, no write syscall per result.
+		var encBuf bytes.Buffer
+		enc := json.NewEncoder(&encBuf)
 		for dr, err := range session.RunFleet(ctx, j.devices) {
 			if err != nil {
 				return err
 			}
-			line, err := json.Marshal(dr)
-			if err != nil {
+			encBuf.Reset()
+			if err := enc.Encode(dr); err != nil {
 				return err
 			}
-			if err := j.append(line); err != nil {
+			// Encode terminates with exactly one newline; the spool
+			// stores bare lines.
+			if err := j.append(bytes.TrimSuffix(encBuf.Bytes(), []byte("\n"))); err != nil {
 				return err
 			}
 		}

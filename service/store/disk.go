@@ -104,7 +104,7 @@ func (s *Disk) Create(id string, manifest []byte) (Job, error) {
 	j := &diskJob{
 		spoolPath:    s.spoolPath(id),
 		manifestPath: s.manifestPath(id),
-		w:            w, r: r,
+		w:            w, bw: bufio.NewWriterSize(w, spoolBufSize), r: r,
 		offsets:  []int64{0},
 		indexed:  true,
 		manifest: append([]byte(nil), manifest...),
@@ -245,18 +245,26 @@ func (s *Disk) Close() error {
 // released by Remove (eviction) or store Close.
 var errSpoolClosed = fmt.Errorf("store: spool closed")
 
-// diskJob is one on-disk spool: an append writer, a pread reader and
-// the in-memory line-offset index (8 bytes per line — the bounded
-// footprint that replaces the old unbounded [][]byte result buffer).
-// The index and file handles materialize lazily on first use, so
-// recovering a directory of finished jobs costs nothing per job until
-// somebody actually reads one.
+// spoolBufSize sizes each spool's append buffer: result lines batch in
+// memory and reach the file in one write syscall per buffer-full (or
+// per Flush/Read boundary) instead of one syscall per device result.
+const spoolBufSize = 1 << 16
+
+// diskJob is one on-disk spool: a buffered append writer, a pread
+// reader and the in-memory line-offset index (8 bytes per line — the
+// bounded footprint that replaces the old unbounded [][]byte result
+// buffer). The index and file handles materialize lazily on first use,
+// so recovering a directory of finished jobs costs nothing per job
+// until somebody actually reads one. The offset index counts appended
+// (possibly still-buffered) lines; Read flushes before its pread, so
+// readers never see a line the index promises but the file lacks.
 type diskJob struct {
 	spoolPath    string
 	manifestPath string
 
 	mu      sync.Mutex
 	w       *os.File
+	bw      *bufio.Writer
 	r       *os.File
 	indexed bool
 	// offsets[i] is the byte offset of line i's start; the final entry
@@ -292,8 +300,29 @@ func (j *diskJob) ensure() error {
 		w.Close()
 		return fmt.Errorf("store: reopen spool: %w", err)
 	}
-	j.w, j.r, j.offsets, j.indexed = w, r, offsets, true
+	j.w, j.bw, j.r, j.offsets, j.indexed = w, bufio.NewWriterSize(w, spoolBufSize), r, offsets, true
 	return nil
+}
+
+// flushLocked drains buffered appends to the file. Caller holds j.mu.
+func (j *diskJob) flushLocked() error {
+	if j.bw == nil || j.bw.Buffered() == 0 {
+		return nil
+	}
+	if err := j.bw.Flush(); err != nil {
+		return fmt.Errorf("store: flush spool: %w", err)
+	}
+	return nil
+}
+
+// Flush implements Job.
+func (j *diskJob) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errSpoolClosed
+	}
+	return j.flushLocked()
 }
 
 // close releases the job's files. Eviction (hard=false) lets an
@@ -304,8 +333,9 @@ func (j *diskJob) close(hard bool) {
 	defer j.mu.Unlock()
 	j.closed = true
 	if j.w != nil {
+		j.flushLocked() //nolint:errcheck // closing path: the file write below surfaces real I/O errors
 		j.w.Close()
-		j.w = nil
+		j.w, j.bw = nil, nil
 	}
 	if j.r != nil && (hard || j.readers == 0) {
 		j.r.Close()
@@ -317,20 +347,24 @@ func (j *diskJob) Append(line []byte) error {
 	if bytes.IndexByte(line, '\n') >= 0 {
 		return ErrBadLine
 	}
-	// One Write call for line+newline: a crash can tear the line (the
-	// reopen scan truncates it) but never interleave two lines.
-	buf := make([]byte, 0, len(line)+1)
-	buf = append(buf, line...)
-	buf = append(buf, '\n')
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if err := j.ensure(); err != nil {
 		return err
 	}
-	if _, err := j.w.Write(buf); err != nil {
+	// The line lands in the append buffer (copied, so the caller may
+	// reuse its encode buffer) and reaches the file when the buffer
+	// fills or a reader/Flush forces it. A crash can tear or drop the
+	// buffered tail — the reopen scan truncates to whole lines and
+	// recovery reports the retained prefix — but flushed lines are
+	// never interleaved or reordered.
+	if _, err := j.bw.Write(line); err != nil {
 		return fmt.Errorf("store: append: %w", err)
 	}
-	j.offsets = append(j.offsets, j.offsets[len(j.offsets)-1]+int64(len(buf)))
+	if err := j.bw.WriteByte('\n'); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	j.offsets = append(j.offsets, j.offsets[len(j.offsets)-1]+int64(len(line))+1)
 	return nil
 }
 
@@ -362,6 +396,11 @@ func (j *diskJob) Size() int64 {
 func (j *diskJob) Read(from, to int, emit func([]byte) error) error {
 	j.mu.Lock()
 	if err := j.ensure(); err != nil {
+		j.mu.Unlock()
+		return err
+	}
+	// Make every indexed line visible to the pread below.
+	if err := j.flushLocked(); err != nil {
 		j.mu.Unlock()
 		return err
 	}
@@ -423,6 +462,13 @@ func (j *diskJob) WriteManifest(m []byte) error {
 		// An evicted or shut-down job must not resurrect its manifest
 		// (a post-takeover write would clobber the new owner's state).
 		return errSpoolClosed
+	}
+	// Results-before-status: a manifest claiming N completed results
+	// must never hit the disk while some of those results are still
+	// buffered, or a crash right after would recover a terminal job
+	// with a short spool.
+	if err := j.flushLocked(); err != nil {
+		return err
 	}
 	if err := writeManifestFile(j.manifestPath, m); err != nil {
 		return err

@@ -1,0 +1,110 @@
+package store_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/service/store"
+)
+
+// TestDiskAppendsBatchUntilFlush pins the buffered-append behaviour:
+// small appends stay in the spool buffer (no write syscall per result)
+// until an explicit Flush — or a Read, which flushes implicitly —
+// pushes them to the file.
+func TestDiskAppendsBatchUntilFlush(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	j, err := s.Create("job-000001", []byte("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := j.Append([]byte(`{"device":1}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(dir, "job-000001.ndjson")
+	if fi, err := os.Stat(path); err != nil || fi.Size() != 0 {
+		t.Fatalf("file size before flush = %d (%v); appends did not batch", fi.Size(), err)
+	}
+	// The index already counts every appended line.
+	if j.Lines() != 10 {
+		t.Fatalf("lines = %d before flush", j.Lines())
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(data), "\n"); got != 10 {
+		t.Fatalf("flushed %d lines, want 10", got)
+	}
+}
+
+// TestDiskReadFlushesImplicitly: a follower reading up to the indexed
+// line count must see buffered appends without an explicit Flush.
+func TestDiskReadFlushesImplicitly(t *testing.T) {
+	s, err := store.NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	j, err := s.Create("job-000001", []byte("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append([]byte(`{"n":1}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	if err := j.Read(0, 3, func(line []byte) error {
+		if string(line) != `{"n":1}` {
+			t.Fatalf("line = %q", line)
+		}
+		n++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("read %d lines, want 3", n)
+	}
+}
+
+// TestDiskManifestWriteFlushesSpool: a terminal manifest must never
+// claim results the spool has not durably received.
+func TestDiskManifestWriteFlushesSpool(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	j, err := s.Create("job-000001", []byte(`{"state":"queued"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]byte(`{"device":0}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.WriteManifest([]byte(`{"state":"done","completed":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "job-000001.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "{\"device\":0}\n" {
+		t.Fatalf("spool after manifest write = %q; buffered line not flushed first", data)
+	}
+}

@@ -84,12 +84,17 @@ func (j *memJob) Append(line []byte) error {
 	if bytes.IndexByte(line, '\n') >= 0 {
 		return ErrBadLine
 	}
+	// The caller may reuse its encode buffer, so the line is copied.
+	stored := append([]byte(nil), line...)
 	j.mu.Lock()
-	j.lines = append(j.lines, line)
+	j.lines = append(j.lines, stored)
 	j.size += int64(len(line)) + 1
 	j.mu.Unlock()
 	return nil
 }
+
+// Flush implements Job; memory is always "stable".
+func (j *memJob) Flush() error { return nil }
 
 func (j *memJob) Lines() int {
 	j.mu.Lock()

@@ -49,11 +49,17 @@ var (
 // manifest blob.
 type Job interface {
 	// Append spools one result line (without trailing newline). The
-	// store retains the slice or its copy; the caller must not modify
-	// it afterwards. Lines are durable in order: after Append returns,
-	// a Read — from this process or a later one reopening the store —
-	// replays the line byte-identically.
+	// store copies the line before returning, so callers may reuse the
+	// buffer — the manager encodes every result into one pooled buffer.
+	// Appends may be buffered: a line is guaranteed on stable storage
+	// only after Flush (Read flushes implicitly, so in-process readers
+	// always see every appended line; a crash may lose a buffered
+	// tail, which recovery already treats as an interrupted suffix).
 	Append(line []byte) error
+	// Flush forces buffered appends to the backing medium — the
+	// explicit result-boundary hook the manager calls when a job
+	// reaches a terminal state.
+	Flush() error
 	// Lines reports how many whole lines the spool holds.
 	Lines() int
 	// Size reports the spooled byte count (lines plus their newline
@@ -65,6 +71,10 @@ type Job interface {
 	// slice is only valid during the call.
 	Read(from, to int, emit func(line []byte) error) error
 	// WriteManifest atomically replaces the job's manifest blob.
+	// Implementations with buffered appends must flush the spool
+	// first: a manifest describing N completed results may never
+	// reach stable storage ahead of those results, or a crash would
+	// recover a terminal job with a short spool.
 	WriteManifest(m []byte) error
 	// Manifest returns the current manifest blob.
 	Manifest() ([]byte, error)

@@ -103,6 +103,37 @@ func conformance(t *testing.T, open func(t *testing.T) store.Store) {
 		}
 	})
 
+	t.Run("AppendCopiesCallerBuffer", func(t *testing.T) {
+		// The manager reuses one encode buffer for every result line;
+		// the store must have copied the bytes before Append returns.
+		s := open(t)
+		j, err := s.Create("job-000001", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := []byte(`{"device":0}`)
+		if err := j.Append(buf); err != nil {
+			t.Fatal(err)
+		}
+		copy(buf, `{"device":9}`)
+		if err := j.Append(buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		var got []string
+		if err := j.Read(0, 2, func(line []byte) error {
+			got = append(got, string(line))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != `{"device":0}` || got[1] != `{"device":9}` {
+			t.Fatalf("reused-buffer lines corrupted: %v", got)
+		}
+	})
+
 	t.Run("StoreSurface", func(t *testing.T) {
 		s := open(t)
 		if _, err := s.Create("", nil); !errors.Is(err, store.ErrBadID) {
