@@ -7,13 +7,17 @@
 // Usage:
 //
 //	memtestd [-addr :8347] [-jobs 2] [-queue 16] [-workers 0] [-drain 15s]
-//	         [-data-dir DIR] [-retain-jobs N] [-retain-bytes N]
+//	         [-data-dir DIR] [-retain-jobs N] [-retain-bytes N] [-resume=true]
 //
 // Without -data-dir, jobs live in process memory and die with the
 // process. With it, every job's results spool to disk as they are
 // produced and the daemon recovers the directory on startup: finished
-// jobs re-stream byte-identically, jobs interrupted by the previous
-// crash report failed with their partial results still streamable.
+// jobs re-stream byte-identically, and jobs interrupted by the
+// previous crash resume — only the missing device suffix is re-run,
+// appended to the spooled prefix, so the final stream is byte-
+// identical to a crash-free run. -resume=false restores the legacy
+// behaviour (interrupted jobs report failed, their partial results
+// still streamable).
 //
 // SIGINT/SIGTERM triggers a graceful shutdown: new submissions are
 // refused, running jobs are cancelled (the engines abort within one
@@ -46,12 +50,14 @@ func main() {
 		dataDir     = flag.String("data-dir", "", "spool job manifests and results here; empty = in-memory (jobs die with the process)")
 		retainJobs  = flag.Int("retain-jobs", 0, "finished jobs kept before the oldest are evicted (0 = unlimited)")
 		retainBytes = flag.Int64("retain-bytes", 0, "total spooled result bytes kept before the oldest finished jobs are evicted (0 = unlimited)")
+		resume      = flag.Bool("resume", true, "complete crash-interrupted jobs on startup by re-running only their missing device suffix; false recovers them as failed with partial results")
 	)
 	flag.Parse()
 
 	cfg := service.Config{
 		Jobs: *jobs, Queue: *queue, FleetWorkers: *workers,
 		RetainJobs: *retainJobs, RetainBytes: *retainBytes,
+		NoResume: !*resume,
 	}
 	if *dataDir != "" {
 		st, err := store.NewDisk(*dataDir)
@@ -65,7 +71,8 @@ func main() {
 		log.Fatalf("memtestd: %v", err)
 	}
 	if *dataDir != "" {
-		log.Printf("memtestd: data dir %s: recovered %d jobs", *dataDir, len(m.Jobs()))
+		h := m.Health()
+		log.Printf("memtestd: data dir %s: recovered %d jobs, resuming %d", *dataDir, h.JobsRecovered, h.JobsResumed)
 	}
 	srv := &http.Server{
 		Addr:    *addr,

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"runtime"
 	"sync"
 	"testing"
 )
@@ -47,6 +48,112 @@ func TestRunFleetDeterministicAcrossWorkerCounts(t *testing.T) {
 				t.Fatalf("worker-count run %d differs at device %d:\n%s\nvs\n%s",
 					i, d, got[i][d], got[0][d])
 			}
+		}
+	}
+}
+
+// collectRange drains a RunFleetRange stream into JSON lines, checking
+// the device indices cover exactly [lo, hi) in order.
+func collectRange(t *testing.T, s *Session, lo, hi int) []string {
+	t.Helper()
+	var lines []string
+	for dr, err := range s.RunFleetRange(context.Background(), lo, hi) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dr.Device != lo+len(lines) {
+			t.Fatalf("device %d yielded at range position %d (lo=%d)", dr.Device, len(lines), lo)
+		}
+		data, err := json.Marshal(dr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, string(data))
+	}
+	if len(lines) != hi-lo {
+		t.Fatalf("range [%d, %d) yielded %d devices", lo, hi, len(lines))
+	}
+	return lines
+}
+
+// TestRunFleetRangeStitchesByteIdentical is the resume-primitive pin:
+// [0, k) + [k, n) stitched together must be byte-identical to a full
+// [0, n) run, at several split points and worker counts — the property
+// the service's crash resume and the roadmap's shard dispatch both
+// stand on.
+func TestRunFleetRangeStitchesByteIdentical(t *testing.T) {
+	const devices = 12
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		s, err := New(smallPlan(), WithSeed(7), WithWorkers(workers), WithDRF())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := collectFleet(t, s, devices)
+		for _, k := range []int{0, 1, 5, devices - 1, devices} {
+			got := append(collectRange(t, s, 0, k), collectRange(t, s, k, devices)...)
+			if len(got) != devices {
+				t.Fatalf("workers=%d k=%d: stitched %d devices", workers, k, len(got))
+			}
+			for d := range want {
+				if got[d] != want[d] {
+					t.Fatalf("workers=%d k=%d: stitched device %d differs:\n%s\nvs\n%s",
+						workers, k, d, got[d], want[d])
+				}
+			}
+		}
+	}
+}
+
+func TestRunFleetRangeEmptyAndInvalid(t *testing.T) {
+	s, err := New(smallPlan(), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, err := range s.RunFleetRange(context.Background(), 3, 3) {
+		t.Fatalf("empty range yielded (err=%v)", err)
+	}
+	for _, r := range [][2]int{{-1, 2}, {5, 4}} {
+		var streamErr error
+		for _, err := range s.RunFleetRange(context.Background(), r[0], r[1]) {
+			streamErr = err
+		}
+		if !errors.Is(streamErr, ErrBadDeviceRange) {
+			t.Fatalf("range %v err = %v, want ErrBadDeviceRange", r, streamErr)
+		}
+	}
+}
+
+func TestRunFleetRangeUnorderedSuffix(t *testing.T) {
+	const devices, lo = 10, 4
+	ordered, err := New(smallPlan(), WithSeed(9), WithWorkers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := collectFleet(t, ordered, devices)
+	unordered, err := New(smallPlan(), WithSeed(9), WithWorkers(3), WithFleetDelivery(Unordered))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int]string{}
+	for dr, err := range unordered.RunFleetRange(context.Background(), lo, devices) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dr.Device < lo || dr.Device >= devices {
+			t.Fatalf("device %d outside [%d, %d)", dr.Device, lo, devices)
+		}
+		if _, dup := got[dr.Device]; dup {
+			t.Fatalf("device %d yielded twice", dr.Device)
+		}
+		data, _ := json.Marshal(dr)
+		got[dr.Device] = string(data)
+	}
+	if len(got) != devices-lo {
+		t.Fatalf("unordered suffix yielded %d devices, want %d", len(got), devices-lo)
+	}
+	for d := lo; d < devices; d++ {
+		if got[d] != want[d] {
+			t.Fatalf("unordered suffix device %d differs from full ordered run", d)
 		}
 	}
 }

@@ -65,6 +65,8 @@ var (
 	ErrDuplicateMemoryName = errors.New("memtest: duplicate memory name")
 	// ErrBadDeviceCount reports a non-positive RunFleet device count.
 	ErrBadDeviceCount = errors.New("memtest: device count must be positive")
+	// ErrBadDeviceRange reports a RunFleetRange with lo < 0 or hi < lo.
+	ErrBadDeviceRange = errors.New("memtest: invalid device range")
 	// ErrBadFleetDelivery reports an unknown fleet-delivery mode.
 	ErrBadFleetDelivery = errors.New("memtest: invalid fleet delivery mode")
 )

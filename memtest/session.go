@@ -315,13 +315,36 @@ type DeviceResult struct {
 // the whole fleet: in device order by default, or as each worker
 // finishes under WithFleetDelivery(Unordered). On cancellation the
 // stream ends with ctx.Err() after at most the in-flight devices'
-// work.
+// work. RunFleet is the full range [0, devices) of RunFleetRange.
 func (s *Session) RunFleet(ctx context.Context, devices int) iter.Seq2[DeviceResult, error] {
 	return func(yield func(DeviceResult, error) bool) {
 		if devices <= 0 {
 			yield(DeviceResult{}, fmt.Errorf("%w: %d", ErrBadDeviceCount, devices))
 			return
 		}
+		s.RunFleetRange(ctx, 0, devices)(yield)
+	}
+}
+
+// RunFleetRange diagnoses the device suffix [lo, hi) of a fleet:
+// device indices, seeds and payloads are exactly those RunFleet would
+// produce for the same positions, so stitching [0, k) and [k, n)
+// streams reproduces a full [0, n) run byte for byte at any worker
+// count. This is the resume/sharding primitive: a run interrupted
+// after k devices — or one shard of a plan split across nodes — is
+// completed by re-running only the missing range. An empty range
+// (lo == hi) yields nothing and returns immediately; lo < 0 or
+// hi < lo fails with ErrBadDeviceRange.
+func (s *Session) RunFleetRange(ctx context.Context, lo, hi int) iter.Seq2[DeviceResult, error] {
+	return func(yield func(DeviceResult, error) bool) {
+		if lo < 0 || hi < lo {
+			yield(DeviceResult{}, fmt.Errorf("%w: [%d, %d)", ErrBadDeviceRange, lo, hi))
+			return
+		}
+		if lo == hi {
+			return
+		}
+		devices := hi - lo
 		// A private cancel releases the workers when the consumer stops
 		// iterating early, so no goroutine outlives the stream.
 		ctx, cancel := context.WithCancel(ctx)
@@ -343,6 +366,7 @@ func (s *Session) RunFleet(ctx context.Context, devices int) iter.Seq2[DeviceRes
 			slot
 		}, workers)
 		var next atomic.Int64
+		next.Store(int64(lo))
 		var wg sync.WaitGroup
 		// Each worker owns a shallow Session copy so per-run state
 		// (report caching, trace) never races across devices, plus —
@@ -361,7 +385,7 @@ func (s *Session) RunFleet(ctx context.Context, devices int) iter.Seq2[DeviceRes
 				}
 				for {
 					d := int(next.Add(1)) - 1
-					if d >= devices || ctx.Err() != nil {
+					if d >= hi || ctx.Err() != nil {
 						return
 					}
 					f, rep, err := local.runOnce(ctx, deviceSeed(s.seed, d), true)
@@ -409,8 +433,8 @@ func (s *Session) RunFleet(ctx context.Context, devices int) iter.Seq2[DeviceRes
 		// Reorder: yield strictly in device order so the stream is
 		// deterministic regardless of worker scheduling.
 		pending := make(map[int]slot)
-		nextYield := 0
-		for nextYield < devices {
+		nextYield := lo
+		for nextYield < hi {
 			if sl, ok := pending[nextYield]; ok {
 				delete(pending, nextYield)
 				if sl.err != nil {

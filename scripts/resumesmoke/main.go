@@ -1,0 +1,304 @@
+// Command resumesmoke is the CI kill-9 crash-resume smoke test: it
+// builds memtestd, runs it against a scratch data directory, submits a
+// fleet job, SIGKILLs the daemon mid-job (a real crash — no graceful
+// anything), restarts it on the same directory, and asserts that
+//
+//   - the job resumes and completes (status resumed, all devices),
+//   - the final result stream is byte-identical to the same seeded
+//     session run in-process (the crash left no gap, duplicate or
+//     reordering),
+//   - a reconnecting client that was following the stream when the
+//     process died rides through the restart and sees one seamless,
+//     gap-free device sequence,
+//   - /v1/healthz accounts for the resume.
+//
+// It exercises the same contract as the service package's resume tests
+// but with real processes, real SIGKILL and real files — the layer no
+// in-process test can fake. Run from the repository root:
+//
+//	go run ./scripts/resumesmoke
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/memtest"
+	"repro/service"
+	"repro/service/client"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatalf("resumesmoke: FAIL: %v", err)
+	}
+}
+
+// smokePlan is sized so one device takes long enough that 300 of them
+// on a single fleet worker give a wide, reliable kill window.
+func smokePlan() memtest.Plan {
+	return memtest.Plan{
+		Name:    "resumesmoke",
+		ClockNs: 10,
+		Memories: []memtest.MemorySpec{
+			{Name: "m0", Words: 1024, Width: 16, DefectRate: 0.01, Seed: 3},
+			{Name: "m1", Words: 512, Width: 8, DefectRate: 0.02, DRFCount: 2, Seed: 4},
+		},
+	}
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "resumesmoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	bin := filepath.Join(tmp, "memtestd")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/memtestd").CombinedOutput(); err != nil {
+		return fmt.Errorf("building memtestd: %v\n%s", err, out)
+	}
+	dataDir := filepath.Join(tmp, "data")
+
+	port, err := freePort()
+	if err != nil {
+		return err
+	}
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	base := "http://" + addr
+	start := func() (*exec.Cmd, error) {
+		cmd := exec.Command(bin, "-addr", addr, "-data-dir", dataDir)
+		cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+		if err := cmd.Start(); err != nil {
+			return nil, err
+		}
+		return cmd, waitHealthy(base)
+	}
+
+	req := service.JobRequest{
+		Plan: smokePlan(), Devices: 300, Seed: 97, DRF: true,
+		Delivery: "ordered",
+		Workers:  1, // serialize the fleet: the kill lands mid-job, not after it
+	}
+	log.Printf("resumesmoke: computing in-process reference stream")
+	want, err := referenceLines(req)
+	if err != nil {
+		return err
+	}
+
+	log.Printf("resumesmoke: starting memtestd on %s", addr)
+	gen1, err := start()
+	if err != nil {
+		return fmt.Errorf("generation 1: %w", err)
+	}
+	defer gen1.Process.Kill() //nolint:errcheck // reap on early exit; double-kill is harmless
+	ctx := context.Background()
+	c := client.New(base, nil)
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	log.Printf("resumesmoke: job %s submitted (%d devices)", st.ID, req.Devices)
+
+	// The self-healing follower: attached before the kill, it must ride
+	// through the restart on backoff alone.
+	type outcome struct {
+		devices []int
+		err     error
+	}
+	followed := make(chan outcome, 1)
+	go func() {
+		var o outcome
+		b := client.Backoff{Initial: 50 * time.Millisecond, Max: 500 * time.Millisecond, Attempts: 60}
+		for dr, err := range c.Results(ctx, st.ID, client.WithReconnect(b)) {
+			if err != nil {
+				o.err = err
+				break
+			}
+			o.devices = append(o.devices, dr.Device)
+		}
+		followed <- o
+	}()
+
+	// Kill window: wait for a durable prefix, but fail loudly if the
+	// job outruns us (the plan needs enlarging, not the assertions
+	// weakening).
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		cur, err := c.Job(ctx, st.ID)
+		if err != nil {
+			return fmt.Errorf("polling for kill window: %w", err)
+		}
+		if cur.State.Terminal() {
+			return fmt.Errorf("job reached %q before the kill; plan too small for a kill window", cur.State)
+		}
+		if cur.Completed >= 5 {
+			log.Printf("resumesmoke: %d/%d devices spooled — sending SIGKILL", cur.Completed, req.Devices)
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job never spooled 5 devices: %+v", cur)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := gen1.Process.Kill(); err != nil {
+		return fmt.Errorf("SIGKILL: %w", err)
+	}
+	gen1.Wait() //nolint:errcheck // killed: the error is the point
+
+	log.Printf("resumesmoke: restarting memtestd on the same data dir")
+	gen2, err := start()
+	if err != nil {
+		return fmt.Errorf("generation 2: %w", err)
+	}
+	defer func() {
+		gen2.Process.Signal(syscall.SIGTERM) //nolint:errcheck
+		gen2.Wait()                          //nolint:errcheck
+	}()
+
+	// The resumed job must complete every device.
+	deadline = time.Now().Add(120 * time.Second)
+	var done service.JobStatus
+	for {
+		done, err = c.Job(ctx, st.ID)
+		if err != nil {
+			return fmt.Errorf("polling resumed job: %w", err)
+		}
+		if done.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("resumed job never finished: %+v", done)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if done.State != service.StateDone || !done.Resumed || done.Completed != req.Devices {
+		return fmt.Errorf("resumed job = %+v, want done+resumed with %d completed", done, req.Devices)
+	}
+	log.Printf("resumesmoke: job done, resumed from device %d", done.ResumedFrom)
+
+	// Byte-identical across the crash: the acceptance criterion.
+	got, err := rawLines(base + "/v1/jobs/" + st.ID + "/results")
+	if err != nil {
+		return err
+	}
+	if len(got) != len(want) {
+		return fmt.Errorf("stream has %d lines, reference %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("line %d differs across the crash:\nserver   : %s\nreference: %s", i, got[i], want[i])
+		}
+	}
+	log.Printf("resumesmoke: stream byte-identical to the in-process reference (%d lines)", len(got))
+
+	// The follower rode through: every device exactly once, in order.
+	select {
+	case o := <-followed:
+		if o.err != nil {
+			return fmt.Errorf("reconnecting follower surfaced %v after %d devices", o.err, len(o.devices))
+		}
+		if len(o.devices) != req.Devices {
+			return fmt.Errorf("reconnecting follower got %d devices, want %d", len(o.devices), req.Devices)
+		}
+		for i, d := range o.devices {
+			if d != i {
+				return fmt.Errorf("reconnecting follower saw device %d at position %d (gap or duplicate)", d, i)
+			}
+		}
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("reconnecting follower never finished")
+	}
+	log.Printf("resumesmoke: reconnecting follower rode through the restart gap-free")
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		return err
+	}
+	if h.JobsRecovered < 1 || h.JobsResumed < 1 || h.ResumeDevicesRerun < 1 {
+		return fmt.Errorf("healthz counters = %+v, want the resume accounted for", h)
+	}
+	log.Printf("resumesmoke: OK (recovered %d, resumed %d, %d devices re-run)",
+		h.JobsRecovered, h.JobsResumed, h.ResumeDevicesRerun)
+	return nil
+}
+
+// referenceLines runs the request's session in-process and returns the
+// NDJSON lines a crash-free server would stream.
+func referenceLines(req service.JobRequest) ([]string, error) {
+	s, err := memtest.New(req.Plan,
+		memtest.WithSeed(req.Seed), memtest.WithDRF(),
+		memtest.WithFleetDelivery(memtest.Ordered))
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	for dr, err := range s.RunFleet(context.Background(), req.Devices) {
+		if err != nil {
+			return nil, err
+		}
+		data, err := json.Marshal(dr)
+		if err != nil {
+			return nil, err
+		}
+		lines = append(lines, string(data))
+	}
+	return lines, nil
+}
+
+func rawLines(url string) ([]string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 16<<20)
+	for sc.Scan() {
+		if len(sc.Bytes()) > 0 {
+			lines = append(lines, sc.Text())
+		}
+	}
+	return lines, sc.Err()
+}
+
+// freePort grabs an ephemeral port and releases it for memtestd.
+func freePort() (int, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port, nil
+}
+
+// waitHealthy polls /v1/healthz until the daemon answers.
+func waitHealthy(base string) error {
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("memtestd never became healthy on %s: %v", base, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -10,13 +10,16 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"iter"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/memtest"
 	"repro/service"
@@ -154,13 +157,60 @@ func (c *Client) Health(ctx context.Context) (service.Health, error) {
 	return h, err
 }
 
-// ResultsOption tunes one Results stream; see WithOffset and
-// WithCancelOnDisconnect.
+// Backoff shapes a reconnecting stream's retry schedule: delays double
+// from Initial up to Max with jitter (each sleep is drawn uniformly
+// from [d/2, d]), and the stream gives up after Attempts consecutive
+// failures. The failure counter resets whenever a connection makes
+// progress — yields at least one new line — so a long job survives any
+// number of separate interruptions, while a server that is truly down
+// is abandoned promptly. The zero value selects the defaults.
+type Backoff struct {
+	// Initial is the first retry delay (default 100ms).
+	Initial time.Duration
+	// Max caps the doubled delay (default 5s).
+	Max time.Duration
+	// Attempts is the consecutive-failure budget (default 8).
+	Attempts int
+}
+
+// withDefaults fills zero fields with the package defaults.
+func (b Backoff) withDefaults() Backoff {
+	if b.Initial <= 0 {
+		b.Initial = 100 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 5 * time.Second
+	}
+	if b.Max < b.Initial {
+		b.Max = b.Initial
+	}
+	if b.Attempts <= 0 {
+		b.Attempts = 8
+	}
+	return b
+}
+
+// delay returns the jittered sleep before retry number attempt (1-based).
+func (b Backoff) delay(attempt int) time.Duration {
+	d := b.Initial
+	for i := 1; i < attempt && d < b.Max; i++ {
+		d *= 2
+	}
+	d = min(d, b.Max)
+	// Uniform over [d/2, d]: jitter de-synchronizes a fleet of clients
+	// reconnecting to a restarted server without collapsing the floor.
+	return d/2 + rand.N(d/2+1)
+}
+
+// ResultsOption tunes one Results stream; see WithOffset,
+// WithCancelOnDisconnect and WithReconnect.
 type ResultsOption func(*resultsConfig)
 
 type resultsConfig struct {
 	offset             int
 	cancelOnDisconnect bool
+	reconnect          bool
+	backoff            Backoff
 }
 
 // WithOffset skips the first n spooled result lines — the pagination
@@ -174,88 +224,181 @@ func WithOffset(n int) ResultsOption {
 // WithCancelOnDisconnect makes the server cancel the job if this
 // reader goes away before the stream completes (including via an
 // early break, which closes the connection) — the tail-and-own mode
-// the one-client-per-job workflow uses.
+// the one-client-per-job workflow uses. Ignored when WithReconnect is
+// also set: a self-healing stream's whole point is that its
+// disconnects are not abandonment.
 func WithCancelOnDisconnect() ResultsOption {
 	return func(c *resultsConfig) { c.cancelOnDisconnect = true }
 }
+
+// WithReconnect makes the stream self-healing: when the connection
+// drops mid-stream (transport error, a line torn by a dying server, or
+// a 5xx from a server mid-restart), the client waits per the Backoff
+// schedule and reconnects with ?offset= set to the number of lines
+// already delivered, so the consumer sees one seamless, gap-free,
+// duplicate-free stream across any number of server restarts. Job-
+// level errors (*JobError) and client mistakes (4xx) are never
+// retried, and ctx cancellation always wins immediately.
+func WithReconnect(b Backoff) ResultsOption {
+	return func(c *resultsConfig) {
+		c.reconnect = true
+		c.backoff = b.withDefaults()
+	}
+}
+
+// errStopped signals that the consumer broke out of the yield loop —
+// not a failure, nothing more to deliver.
+var errStopped = errors.New("client: consumer stopped")
 
 // Results tails a job's NDJSON result stream, replaying spooled
 // devices and then following live ones until the job finishes. The
 // iterator mirrors Session.RunFleet: it yields one DeviceResult per
 // line, or a single terminal error — *JobError when the job failed or
-// was cancelled server-side, ctx.Err() when ctx ends first.
+// was cancelled server-side, ctx.Err() when ctx ends first. With
+// WithReconnect, connection failures are retried with backoff instead
+// of surfacing, resuming where the stream left off.
 func (c *Client) Results(ctx context.Context, id string, opts ...ResultsOption) iter.Seq2[memtest.DeviceResult, error] {
 	var rc resultsConfig
 	for _, o := range opts {
 		o(&rc)
 	}
 	return func(yield func(memtest.DeviceResult, error) bool) {
-		q := url.Values{}
-		if rc.cancelOnDisconnect {
-			q.Set("cancel_on_disconnect", "true")
-		}
-		if rc.offset > 0 {
-			q.Set("offset", strconv.Itoa(rc.offset))
-		}
-		path := c.base + "/v1/jobs/" + url.PathEscape(id) + "/results"
-		if len(q) > 0 {
-			path += "?" + q.Encode()
-		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, path, nil)
-		if err != nil {
-			yield(memtest.DeviceResult{}, err)
-			return
-		}
-		resp, err := c.hc.Do(req)
-		if err != nil {
-			yield(memtest.DeviceResult{}, err)
-			return
-		}
-		defer resp.Body.Close()
-		if resp.StatusCode >= 300 {
-			yield(memtest.DeviceResult{}, apiError(resp))
-			return
-		}
-		sc := bufio.NewScanner(resp.Body)
-		sc.Buffer(make([]byte, 64*1024), maxLine)
-		for sc.Scan() {
-			line := sc.Bytes()
-			if len(bytes.TrimSpace(line)) == 0 {
-				continue
+		next := rc.offset // next spool line to request
+		attempts := 0
+		for {
+			n, err := c.streamOnce(ctx, id, rc, next, yield)
+			next += n
+			if err == nil || errors.Is(err, errStopped) {
+				return // clean terminal end, or the consumer broke out
 			}
-			// A DeviceResult line never carries an "error" key; the
-			// terminal error envelope carries nothing else, so one
-			// decode discriminates both shapes.
-			var probe struct {
-				memtest.DeviceResult
-				Error string `json:"error"`
+			if n > 0 {
+				// Progress resets the failure budget: only consecutive
+				// fruitless attempts count against Backoff.Attempts.
+				attempts = 0
 			}
-			if err := json.Unmarshal(line, &probe); err != nil {
-				yield(memtest.DeviceResult{}, fmt.Errorf("memtestd: bad stream line: %w", err))
+			if !rc.reconnect || !retryable(ctx, err) {
+				yield(memtest.DeviceResult{}, err)
 				return
 			}
-			if probe.Error != "" {
-				yield(memtest.DeviceResult{}, &JobError{Message: probe.Error})
+			attempts++
+			if attempts >= rc.backoff.Attempts {
+				yield(memtest.DeviceResult{}, fmt.Errorf(
+					"memtestd: stream gave up after %d reconnect attempts: %w", attempts, err))
 				return
 			}
-			if !yield(probe.DeviceResult, nil) {
+			if !sleepCtx(ctx, rc.backoff.delay(attempts)) {
+				yield(memtest.DeviceResult{}, ctx.Err())
 				return
 			}
-		}
-		if err := sc.Err(); err != nil {
-			if ctx.Err() != nil {
-				err = ctx.Err()
-			}
-			yield(memtest.DeviceResult{}, err)
 		}
 	}
 }
 
-// Run is the submit-and-tail convenience: it submits the job with
-// cancel-on-disconnect semantics and streams its results, so breaking
-// out of the loop (or cancelling ctx) cancels the job server-side.
-// The accepted job's ID is reported through info when non-nil.
-func (c *Client) Run(ctx context.Context, req service.JobRequest, info *service.JobStatus) iter.Seq2[memtest.DeviceResult, error] {
+// streamOnce opens one results connection at spool offset `next` and
+// pumps it until it ends. It returns how many device lines it yielded
+// plus nil for a clean job-terminal end, errStopped when the consumer
+// broke out, or the connection's failure.
+func (c *Client) streamOnce(ctx context.Context, id string, rc resultsConfig, next int, yield func(memtest.DeviceResult, error) bool) (int, error) {
+	q := url.Values{}
+	if rc.cancelOnDisconnect && !rc.reconnect {
+		q.Set("cancel_on_disconnect", "true")
+	}
+	if next > 0 {
+		q.Set("offset", strconv.Itoa(next))
+	}
+	path := c.base + "/v1/jobs/" + url.PathEscape(id) + "/results"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return 0, apiError(resp)
+	}
+	yielded := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), maxLine)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		// A DeviceResult line never carries an "error" key; the
+		// terminal error envelope carries nothing else, so one
+		// decode discriminates both shapes.
+		var probe struct {
+			memtest.DeviceResult
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			// A torn line — a server killed mid-write sends half a
+			// result. Retryable: the offset re-requests the whole line.
+			return yielded, fmt.Errorf("memtestd: bad stream line: %w", err)
+		}
+		if probe.Error != "" {
+			return yielded, &JobError{Message: probe.Error}
+		}
+		if !yield(probe.DeviceResult, nil) {
+			return yielded, errStopped
+		}
+		yielded++
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			err = ctx.Err()
+		}
+		return yielded, err
+	}
+	return yielded, nil
+}
+
+// retryable classifies a stream failure for the reconnect loop: the
+// consumer's context ending, a server-reported job outcome (*JobError)
+// and client mistakes (4xx) are final; transport failures, torn lines
+// and 5xx (a server mid-restart) are worth another attempt.
+func retryable(ctx context.Context, err error) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	var jobErr *JobError
+	if errors.As(err, &jobErr) {
+		return false
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.StatusCode >= 500
+	}
+	return true
+}
+
+// sleepCtx sleeps d or until ctx ends; it reports whether the full
+// sleep elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// Run is the submit-and-tail convenience: it submits the job and
+// streams its results. Without options it requests cancel-on-
+// disconnect semantics, so breaking out of the loop (or cancelling
+// ctx) cancels the job server-side. Pass WithReconnect to flip the
+// workflow to fire-and-follow: the job survives disconnects and the
+// stream heals across server restarts. The accepted job's ID is
+// reported through info when non-nil.
+func (c *Client) Run(ctx context.Context, req service.JobRequest, info *service.JobStatus, opts ...ResultsOption) iter.Seq2[memtest.DeviceResult, error] {
 	return func(yield func(memtest.DeviceResult, error) bool) {
 		st, err := c.Submit(ctx, req)
 		if err != nil {
@@ -265,7 +408,14 @@ func (c *Client) Run(ctx context.Context, req service.JobRequest, info *service.
 		if info != nil {
 			*info = st
 		}
-		for dr, err := range c.Results(ctx, st.ID, WithCancelOnDisconnect()) {
+		var probe resultsConfig
+		for _, o := range opts {
+			o(&probe)
+		}
+		if !probe.reconnect {
+			opts = append(opts, WithCancelOnDisconnect())
+		}
+		for dr, err := range c.Results(ctx, st.ID, opts...) {
 			if !yield(dr, err) {
 				return
 			}

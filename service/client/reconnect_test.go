@@ -1,0 +1,307 @@
+package client
+
+// Unit tests for the self-healing stream: reconnect-with-offset over a
+// scripted handler that cuts connections mid-stream, tears lines, and
+// fails in retryable and non-retryable ways. The end-to-end path — a
+// reconnecting client riding through a real manager restart with crash
+// resume — lives in the service package's resume tests and the kill-9
+// smoke script.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fastBackoff keeps test retries in the low milliseconds.
+func fastBackoff(attempts int) Backoff {
+	return Backoff{Initial: time.Millisecond, Max: 2 * time.Millisecond, Attempts: attempts}
+}
+
+// scriptedStream serves a fixed line set from ?offset, with a per-
+// connection script deciding how many lines to send and how to end.
+type scriptedStream struct {
+	mu      sync.Mutex
+	lines   []string
+	conns   int
+	offsets []int
+	// script(conn) returns how many lines to serve this connection
+	// (capped by what remains) and whether to abort the connection
+	// afterwards instead of ending it cleanly.
+	script func(conn int) (serve int, abort bool)
+}
+
+func (s *scriptedStream) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	s.conns++
+	conn := s.conns
+	offset, _ := strconv.Atoi(r.URL.Query().Get("offset"))
+	s.offsets = append(s.offsets, offset)
+	serve, abort := s.script(conn)
+	rest := s.lines[min(offset, len(s.lines)):]
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	for i, line := range rest {
+		if i >= serve {
+			break
+		}
+		fmt.Fprintln(w, line)
+	}
+	if abort {
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic(http.ErrAbortHandler) // cut the TCP stream mid-flight
+	}
+}
+
+func deviceLines(n int) []string {
+	lines := make([]string, n)
+	for i := range lines {
+		lines[i] = fmt.Sprintf(`{"device":%d,"seed":%d,"result":null}`, i, i+1)
+	}
+	return lines
+}
+
+// TestReconnectResumesAtOffset: two mid-stream connection cuts, each
+// after 2 delivered lines; the client reconnects with the right offset
+// every time and the consumer sees one seamless 6-device stream.
+func TestReconnectResumesAtOffset(t *testing.T) {
+	s := &scriptedStream{
+		lines: deviceLines(6),
+		script: func(conn int) (int, bool) {
+			if conn <= 2 {
+				return 2, true // serve 2 lines, then cut
+			}
+			return 99, false // serve the rest cleanly
+		},
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	var devices []int
+	for dr, err := range New(ts.URL, nil).Results(context.Background(), "job-000001", WithReconnect(fastBackoff(5))) {
+		if err != nil {
+			t.Fatalf("healed stream surfaced %v", err)
+		}
+		devices = append(devices, dr.Device)
+	}
+	if len(devices) != 6 {
+		t.Fatalf("devices = %v, want all 6 exactly once", devices)
+	}
+	for i, d := range devices {
+		if d != i {
+			t.Fatalf("devices = %v, want gap-free ascending order", devices)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conns != 3 || s.offsets[0] != 0 || s.offsets[1] != 2 || s.offsets[2] != 4 {
+		t.Fatalf("conns=%d offsets=%v, want 3 connections at offsets [0 2 4]", s.conns, s.offsets)
+	}
+}
+
+// TestReconnectTornLineRetried: a server dying mid-write sends half a
+// JSON line; the client treats it as a connection failure and re-
+// requests that line by offset, never yielding garbage.
+func TestReconnectTornLineRetried(t *testing.T) {
+	lines := deviceLines(3)
+	var conns int
+	var mu sync.Mutex
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		conns++
+		first := conns == 1
+		mu.Unlock()
+		offset, _ := strconv.Atoi(r.URL.Query().Get("offset"))
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if first {
+			fmt.Fprintln(w, lines[0])
+			fmt.Fprint(w, lines[1][:7]) // torn: no newline, half a record
+			return                      // clean close — the tear is all the client gets
+		}
+		for _, line := range lines[offset:] {
+			fmt.Fprintln(w, line)
+		}
+	}))
+	defer ts.Close()
+
+	var devices []int
+	for dr, err := range New(ts.URL, nil).Results(context.Background(), "job-000001", WithReconnect(fastBackoff(5))) {
+		if err != nil {
+			t.Fatalf("stream surfaced %v", err)
+		}
+		devices = append(devices, dr.Device)
+	}
+	if len(devices) != 3 || devices[0] != 0 || devices[1] != 1 || devices[2] != 2 {
+		t.Fatalf("devices = %v, want [0 1 2] with the torn line re-fetched whole", devices)
+	}
+	if conns != 2 {
+		t.Fatalf("conns = %d, want 2", conns)
+	}
+}
+
+// TestReconnectGivesUpAfterAttempts: a server that is down stays down;
+// the budget bounds the retries and the final error says so.
+func TestReconnectGivesUpAfterAttempts(t *testing.T) {
+	var conns int
+	var mu sync.Mutex
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		conns++
+		mu.Unlock()
+		http.Error(w, `{"error":"restarting"}`, http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	var last error
+	for _, err := range New(ts.URL, nil).Results(context.Background(), "job-000001", WithReconnect(fastBackoff(3))) {
+		last = err
+	}
+	if last == nil || !strings.Contains(last.Error(), "gave up after 3 reconnect attempts") {
+		t.Fatalf("err = %v, want the give-up error naming 3 attempts", last)
+	}
+	var apiErr *APIError
+	if !errors.As(last, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want the last 503 wrapped inside", last)
+	}
+	if conns != 3 {
+		t.Fatalf("conns = %d, want exactly the 3 budgeted attempts", conns)
+	}
+}
+
+// TestReconnectDoesNotRetryJobError: a server-reported job failure is
+// an answer, not an outage.
+func TestReconnectDoesNotRetryJobError(t *testing.T) {
+	var conns int
+	var mu sync.Mutex
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		conns++
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintln(w, deviceLines(1)[0])
+		fmt.Fprintln(w, `{"error":"engine exploded"}`)
+	}))
+	defer ts.Close()
+
+	devices := 0
+	var last error
+	for _, err := range New(ts.URL, nil).Results(context.Background(), "job-000001", WithReconnect(fastBackoff(5))) {
+		if err != nil {
+			last = err
+			break
+		}
+		devices++
+	}
+	var jobErr *JobError
+	if devices != 1 || !errors.As(last, &jobErr) || jobErr.Message != "engine exploded" {
+		t.Fatalf("devices=%d err=%v, want 1 device then the job error", devices, last)
+	}
+	if conns != 1 {
+		t.Fatalf("conns = %d, want no retry of a job-level error", conns)
+	}
+}
+
+// TestReconnectDoesNotRetryClientMistakes: 4xx means the request is
+// wrong (or the job evicted); retrying would spin uselessly.
+func TestReconnectDoesNotRetryClientMistakes(t *testing.T) {
+	var conns int
+	var mu sync.Mutex
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		conns++
+		mu.Unlock()
+		http.Error(w, `{"error":"unknown job"}`, http.StatusNotFound)
+	}))
+	defer ts.Close()
+
+	var last error
+	for _, err := range New(ts.URL, nil).Results(context.Background(), "job-000001", WithReconnect(fastBackoff(5))) {
+		last = err
+	}
+	var apiErr *APIError
+	if !errors.As(last, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
+		t.Fatalf("err = %v, want the 404 surfaced directly", last)
+	}
+	if conns != 1 {
+		t.Fatalf("conns = %d, want no retry of a 4xx", conns)
+	}
+}
+
+// TestReconnectCancelledContextWinsImmediately: ctx ending mid-backoff
+// surfaces ctx.Err() without burning the remaining attempts.
+func TestReconnectCancelledContextWinsImmediately(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"restarting"}`, http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	b := Backoff{Initial: time.Hour, Max: time.Hour, Attempts: 5}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	var last error
+	for _, err := range New(ts.URL, nil).Results(ctx, "job-000001", WithReconnect(b)) {
+		last = err
+	}
+	if !errors.Is(last, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", last)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancellation waited out the backoff timer")
+	}
+}
+
+// TestReconnectSkipsCancelOnDisconnect: a reconnecting stream must
+// never ask the server to cancel the job when the reader drops — the
+// two options are contradictory, and reconnect wins.
+func TestReconnectSkipsCancelOnDisconnect(t *testing.T) {
+	var sawCancelParam bool
+	var mu sync.Mutex
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		if r.URL.Query().Get("cancel_on_disconnect") != "" {
+			sawCancelParam = true
+		}
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintln(w, deviceLines(1)[0])
+	}))
+	defer ts.Close()
+	for _, err := range New(ts.URL, nil).Results(context.Background(), "job-000001",
+		WithCancelOnDisconnect(), WithReconnect(fastBackoff(2))) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sawCancelParam {
+		t.Fatal("reconnecting stream sent cancel_on_disconnect")
+	}
+}
+
+// TestBackoffDelayBounds: delays double from Initial, cap at Max, and
+// jitter stays within [d/2, d].
+func TestBackoffDelayBounds(t *testing.T) {
+	b := Backoff{Initial: 100 * time.Millisecond, Max: 400 * time.Millisecond, Attempts: 8}.withDefaults()
+	wantCeil := []time.Duration{100, 200, 400, 400, 400} // ms, per attempt
+	for i, ceil := range wantCeil {
+		ceil *= time.Millisecond
+		for range 32 {
+			d := b.delay(i + 1)
+			if d < ceil/2 || d > ceil {
+				t.Fatalf("attempt %d delay %v outside [%v, %v]", i+1, d, ceil/2, ceil)
+			}
+		}
+	}
+}

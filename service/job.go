@@ -29,6 +29,13 @@ var (
 	// ErrStorage: the job store failed (HTTP 500) — e.g. the data
 	// directory became unwritable mid-job.
 	ErrStorage = errors.New("service: job storage")
+	// ErrJobTimeout: the job ran past its requested timeout_sec
+	// deadline. It appears (wrapped, with the configured timeout) as
+	// the distinct error string of an expired job, whose spooled
+	// prefix stays streamable.
+	ErrJobTimeout = errors.New("service: job deadline exceeded")
+	// ErrBadTimeout: a job submission with a negative timeout_sec.
+	ErrBadTimeout = errors.New("service: timeout_sec must be non-negative")
 )
 
 // Config sizes a Manager.
@@ -61,6 +68,14 @@ type Config struct {
 	// Running jobs count toward the total but are never evicted. Zero
 	// keeps all.
 	RetainBytes int64
+	// NoResume disables crash resume. By default a recovered job whose
+	// manifest says queued or running re-enqueues as resuming: the
+	// scheduler counts the spooled complete lines and re-runs only the
+	// missing device suffix, so the final stream is byte-identical to
+	// a crash-free run. With NoResume (the daemon's -resume=false),
+	// such jobs recover as failed with their partial results retained
+	// — the pre-resume behaviour.
+	NoResume bool
 }
 
 func (c Config) withDefaults() Config {
@@ -81,10 +96,15 @@ func (c Config) withDefaults() Config {
 // while a scheduler worker appends to it.
 type job struct {
 	id        string
-	req       JobRequest // zero for recovered jobs, which never run
+	req       JobRequest // zero for recovered jobs whose manifest predates resume
 	devices   int
 	recovered bool
-	spool     store.Job
+	// resumeFrom, for a job re-enqueued as resuming, is the device
+	// index the run restarts at: the spooled whole-line count after
+	// any torn tail was truncated. Immutable once the job is enqueued.
+	resume     bool
+	resumeFrom int
+	spool      store.Job
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -99,11 +119,31 @@ func (j *job) snapshot() JobStatus {
 	return j.status
 }
 
+// manifest is the durable form of a job: its wire status plus the
+// original request, which a restarted manager needs to rebuild the
+// session and resume a crash-interrupted run's missing device suffix.
+// The request rides in the manifest, not in API responses — job
+// listings stay lean.
+type manifest struct {
+	JobStatus
+	Request *JobRequest `json:"request,omitempty"`
+}
+
+// manifestBytes renders the job's durable manifest. Call with j.mu
+// held (j.req is immutable once the job is enqueued).
+func (j *job) manifestBytes() ([]byte, error) {
+	m := manifest{JobStatus: j.status}
+	if j.req.Devices > 0 {
+		m.Request = &j.req
+	}
+	return json.Marshal(m)
+}
+
 // persist writes the job's current status into its spool manifest, so
 // a restarted manager recovers the job where it stood. Call with j.mu
 // held.
 func (j *job) persist() error {
-	m, err := json.Marshal(j.status)
+	m, err := j.manifestBytes()
 	if err != nil {
 		return err
 	}
@@ -256,15 +296,23 @@ type Manager struct {
 	// negative (bounded oversubscription); releases restore it.
 	avail  int
 	closed bool
+	// Recovery activity since this process started, exposed via
+	// Health: jobs restored from the store, jobs re-enqueued to
+	// resume, and the devices those resumes re-ran.
+	jobsRecovered      int
+	jobsResumed        int
+	resumeDevicesRerun int64
 }
 
 // NewManager starts cfg.Jobs scheduler workers over cfg.Store (an
 // in-memory store when nil) and returns the ready manager. With a
 // durable store it first recovers the stored jobs: finished jobs
 // replay their spooled results byte-identically, and jobs that were
-// queued or running when the previous process died are marked failed
-// — their spooled prefix stays streamable. Call Close to stop the
-// manager and release the store.
+// queued or running when the previous process died re-enqueue as
+// resuming — only their missing device suffix is re-run, so the final
+// stream is byte-identical to a crash-free run (with cfg.NoResume
+// they are marked failed instead, their spooled prefix still
+// streamable). Call Close to stop the manager and release the store.
 func NewManager(cfg Config) (*Manager, error) {
 	cfg = cfg.withDefaults()
 	st := cfg.Store
@@ -298,7 +346,13 @@ func NewManager(cfg Config) (*Manager, error) {
 // recover rebuilds the job table from the store. Store IDs sort in
 // creation order (zero-padded sequence numbers), and the sequence
 // counter resumes past the highest recovered ID so new jobs never
-// collide with stored ones.
+// collide with stored ones. A job whose manifest says queued, running
+// or resuming — the previous process died with it unfinished — is
+// re-enqueued as resuming when its manifest carries a usable request
+// (and resume is enabled): the spooled whole-line count (torn tail
+// truncated) becomes the resume point and a scheduler worker re-runs
+// only the missing device suffix. Otherwise it recovers as failed
+// with the spooled prefix still streamable.
 func (m *Manager) recover() error {
 	ids, err := m.store.Jobs()
 	if err != nil {
@@ -309,30 +363,44 @@ func (m *Manager) recover() error {
 		if err != nil {
 			return fmt.Errorf("%w: %v", ErrStorage, err)
 		}
-		manifest, err := spool.Manifest()
+		raw, err := spool.Manifest()
 		if err != nil {
 			return fmt.Errorf("%w: %v", ErrStorage, err)
 		}
-		var st JobStatus
-		if err := json.Unmarshal(manifest, &st); err != nil {
+		var mf manifest
+		if err := json.Unmarshal(raw, &mf); err != nil {
 			return fmt.Errorf("%w: manifest for %s: %v", ErrStorage, id, err)
 		}
+		st := mf.JobStatus
 		st.ID = id // the file name is authoritative
 		st.Recovered = true
 		j := &job{id: id, devices: st.Devices, recovered: true, spool: spool}
 		j.cond = sync.NewCond(&j.mu)
+		m.jobsRecovered++
 		interrupted := !st.State.Terminal()
 		if interrupted {
-			// The previous process died with this job queued or
-			// running. It cannot be resumed (its in-flight devices are
-			// gone), but everything already spooled still streams.
-			// Counting the spooled lines here also truncates a torn
-			// final append.
-			st.Completed = spool.Lines()
-			st.State = StateFailed
-			st.Error = fmt.Sprintf("interrupted by server restart; %d/%d device results retained", st.Completed, st.Devices)
-			t := m.now()
-			st.Finished = &t
+			// The previous process died with this job unfinished.
+			// Everything already spooled still streams; counting the
+			// spooled lines here also truncates a torn final append.
+			st.Completed = min(spool.Lines(), st.Devices)
+			if resumable := !m.cfg.NoResume && mf.Request != nil && m.validRequest(*mf.Request); resumable {
+				// Re-enqueue: the per-device seeds derive from (job
+				// seed, device index), so the missing suffix [K, N) is
+				// exactly reproducible — the resumed stream is byte-
+				// identical to a crash-free run.
+				j.req = *mf.Request
+				j.resume, j.resumeFrom = true, st.Completed
+				st.State = StateResuming
+				st.Resumed, st.ResumedFrom = true, st.Completed
+				st.Error = ""
+				st.Started, st.Finished = nil, nil
+				m.jobsResumed++
+			} else {
+				st.State = StateFailed
+				st.Error = fmt.Sprintf("interrupted by server restart; %d/%d device results retained", st.Completed, st.Devices)
+				t := m.now()
+				st.Finished = &t
+			}
 		}
 		// Terminal jobs keep the manifest's Completed (persisted after
 		// the last append) and stay unindexed until somebody reads
@@ -352,8 +420,26 @@ func (m *Manager) recover() error {
 		}
 		m.jobs[id] = j
 		m.order = append(m.order, id)
+		if j.resume {
+			// Straight onto the backlog (recovery runs before the
+			// scheduler workers start, and resumed jobs may exceed the
+			// submission queue cap — they already held a slot once).
+			m.backlog = append(m.backlog, j)
+		}
 	}
 	return nil
+}
+
+// validRequest reports whether a recovered manifest's request still
+// builds a session — the engine may have been registered by a binary
+// that no longer runs. An unresumable request degrades to the
+// failed-with-partials recovery, never an error.
+func (m *Manager) validRequest(req JobRequest) bool {
+	if req.Devices <= 0 {
+		return false
+	}
+	_, err := req.session(1)
+	return err == nil
 }
 
 func (m *Manager) worker() {
@@ -411,8 +497,9 @@ func (m *Manager) claimWorkers(j *job) int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	share := m.avail / (1 + len(m.backlog))
-	if share > j.devices {
-		share = j.devices
+	// A resume only has the missing suffix left to fan out.
+	if remaining := j.devices - j.resumeFrom; share > remaining {
+		share = remaining
 	}
 	if j.req.Workers > 0 && j.req.Workers < share {
 		share = j.req.Workers
@@ -429,12 +516,18 @@ func (m *Manager) releaseWorkers(n int) {
 }
 
 // run executes one job: it claims a fleet-worker grant, streams
-// Session.RunFleet under a per-job context, and spools each device's
-// result as its worker finishes.
+// Session.RunFleetRange under a per-job context (the full range for a
+// fresh job, the missing suffix for a resume), and spools each
+// device's result as its worker finishes. A positive timeout_sec caps
+// the run with a deadline; expiry fails the job with a distinct
+// error, its spooled prefix still streamable.
 func (m *Manager) run(j *job) {
 	granted := m.claimWorkers(j)
 	defer m.releaseWorkers(granted)
 	ctx, cancel := context.WithCancel(m.baseCtx)
+	if j.req.TimeoutSec > 0 {
+		ctx, cancel = context.WithTimeout(m.baseCtx, time.Duration(j.req.TimeoutSec*float64(time.Second)))
+	}
 	defer cancel()
 	if !j.start(cancel, granted, m.now()) {
 		// Cancelled while queued; Cancel already finished it.
@@ -456,13 +549,23 @@ func (m *Manager) run(j *job) {
 		if err != nil {
 			return err
 		}
+		// A fresh job runs the full range; a resume re-runs only the
+		// missing suffix, appending to the spooled prefix — the final
+		// stream is byte-identical to a crash-free run.
+		lo := 0
+		if j.resume {
+			lo = j.resumeFrom
+			m.mu.Lock()
+			m.resumeDevicesRerun += int64(j.devices - lo)
+			m.mu.Unlock()
+		}
 		// One encode buffer per run: every device result is marshalled
 		// into it and handed to the store, which copies (memory) or
 		// batches (disk) it — no fresh allocation and, with a disk
 		// store, no write syscall per result.
 		var encBuf bytes.Buffer
 		enc := json.NewEncoder(&encBuf)
-		for dr, err := range session.RunFleet(ctx, j.devices) {
+		for dr, err := range session.RunFleetRange(ctx, lo, j.devices) {
 			if err != nil {
 				return err
 			}
@@ -481,6 +584,10 @@ func (m *Manager) run(j *job) {
 	switch {
 	case err == nil:
 		j.finish(StateDone, nil, m.now())
+	case errors.Is(err, context.DeadlineExceeded):
+		// The distinct deadline error: ErrJobTimeout plus the
+		// configured timeout, never conflated with a cancellation.
+		j.finish(StateFailed, fmt.Errorf("%w (timeout_sec=%g)", ErrJobTimeout, j.req.TimeoutSec), m.now())
 	case errors.Is(err, context.Canceled):
 		j.finish(StateCancelled, err, m.now())
 	default:
@@ -495,6 +602,9 @@ func (m *Manager) run(j *job) {
 func (m *Manager) Submit(req JobRequest) (JobStatus, error) {
 	if req.Devices <= 0 {
 		return JobStatus{}, fmt.Errorf("%w (got %d)", ErrBadDevices, req.Devices)
+	}
+	if req.TimeoutSec < 0 {
+		return JobStatus{}, fmt.Errorf("%w (got %g)", ErrBadTimeout, req.TimeoutSec)
 	}
 	// Build (and discard) a session to validate the plan and options
 	// up front; the real session is built at run time with the worker
@@ -523,14 +633,14 @@ func (m *Manager) Submit(req JobRequest) (JobStatus, error) {
 		Plan: req.Plan.Name, Scheme: probe.Engine().Name(),
 		Devices: req.Devices, Created: m.now(),
 	}
-	manifest, err := json.Marshal(j.status)
+	mf, err := j.manifestBytes()
 	if err != nil {
 		return JobStatus{}, err
 	}
 	// On failure the sequence number is burned, not rolled back: the
 	// store cleans up its own partial files, and never reusing an ID
 	// means a leftover foreign file cannot wedge every future Submit.
-	spool, err := m.store.Create(j.id, manifest)
+	spool, err := m.store.Create(j.id, mf)
 	if err != nil {
 		return JobStatus{}, fmt.Errorf("%w: %v", ErrStorage, err)
 	}
@@ -596,7 +706,7 @@ func (m *Manager) Cancel(id string) (JobStatus, error) {
 	j.mu.Lock()
 	j.cancelled = true
 	switch j.status.State {
-	case StateQueued:
+	case StateQueued, StateResuming:
 		j.status.State = StateCancelled
 		j.status.Error = context.Canceled.Error()
 		t := m.now()
@@ -637,7 +747,9 @@ func (m *Manager) Follow(ctx context.Context, id string, offset int, emit func([
 
 // enforceRetention evicts the oldest finished jobs until the retention
 // caps hold: at most RetainJobs finished jobs, at most RetainBytes of
-// spooled results in total. Queued and running jobs are never evicted
+// spooled results in total. Queued, resuming and running jobs are
+// never evicted — only terminal states qualify, so a job mid-resume
+// can never lose the spooled prefix its missing suffix will append to
 // (their bytes still count toward the total). Evicted jobs vanish from
 // the job table and the store; followers already streaming one keep
 // their handle.
@@ -696,9 +808,12 @@ func (m *Manager) Health() Health {
 	return Health{
 		Jobs: m.cfg.Jobs, Queue: m.cfg.Queue,
 		QueuedJobs: len(m.backlog), RunningJobs: m.running,
-		Diagnosing:   len(m.diagSem),
-		FleetWorkers: m.cfg.FleetWorkers,
-		IdleWorkers:  max(m.avail, 0),
+		Diagnosing:         len(m.diagSem),
+		FleetWorkers:       m.cfg.FleetWorkers,
+		IdleWorkers:        max(m.avail, 0),
+		JobsRecovered:      m.jobsRecovered,
+		JobsResumed:        m.jobsResumed,
+		ResumeDevicesRerun: m.resumeDevicesRerun,
 	}
 }
 

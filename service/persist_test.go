@@ -39,15 +39,18 @@ func diskServer(t *testing.T, dir string, cfg service.Config) (*client.Client, *
 	return client.New(ts.URL, ts.Client()), m, ts
 }
 
-// TestRestartRecovery is the acceptance-criterion test: a manager is
-// killed mid-job (no Close — its store never learns), the data
-// directory is reopened by a fresh manager, and
+// TestRestartRecovery pins the legacy (-resume=false) recovery
+// contract: a manager is killed mid-job (no Close — its store never
+// learns), the data directory is reopened by a fresh manager with
+// resume disabled, and
 //
 //   - the job that had finished re-streams its results byte-identical
 //     to an in-process run,
 //   - the job that was running at crash time reports failed with its
 //     partial spool still streamable,
 //   - new submissions get fresh IDs past the recovered ones.
+//
+// The default resume path is covered by resume_test.go.
 func TestRestartRecovery(t *testing.T) {
 	dir := t.TempDir()
 	stA, err := store.NewDisk(dir)
@@ -113,8 +116,10 @@ func TestRestartRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// "Restart": a second store + manager over the same directory.
-	c2, m2, ts2 := diskServer(t, dir, service.Config{Jobs: 2, Queue: 8})
+	// "Restart": a second store + manager over the same directory, with
+	// crash resume switched off (the -resume=false operator escape
+	// hatch) so the interrupted job must degrade to failed-with-partials.
+	c2, m2, ts2 := diskServer(t, dir, service.Config{Jobs: 2, Queue: 8, NoResume: true})
 	defer func() { ts2.Close(); m2.Close() }()
 
 	// The finished job recovered: done, and its replay is byte-

@@ -1,0 +1,159 @@
+package faultstore
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/service/store"
+)
+
+// newJob wraps a fresh Mem store and creates one job in it.
+func newJob(t *testing.T) (*Store, store.Job) {
+	t.Helper()
+	fs := Wrap(store.NewMem())
+	t.Cleanup(func() { fs.Close() })
+	j, err := fs.Create("job", []byte(`{}`))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	return fs, j
+}
+
+func appendN(t *testing.T, j store.Job, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := j.Append([]byte(fmt.Sprintf("line-%d", j.Lines()))); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+}
+
+func TestPassThroughWhenUnarmed(t *testing.T) {
+	fs, j := newJob(t)
+	appendN(t, j, 3)
+	if err := j.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if err := j.WriteManifest([]byte(`{"ok":true}`)); err != nil {
+		t.Fatalf("WriteManifest: %v", err)
+	}
+	var got []string
+	if err := j.Read(0, 3, func(line []byte) error {
+		got = append(got, string(line))
+		return nil
+	}); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(got) != 3 || got[0] != "line-0" || got[2] != "line-2" {
+		t.Fatalf("Read lines = %v", got)
+	}
+	if j2, err := fs.Open("job"); err != nil || j2.Lines() != 3 {
+		t.Fatalf("Open: job=%v err=%v", j2, err)
+	}
+}
+
+func TestFailAppendFiresOnceAtN(t *testing.T) {
+	_, j := newJob(t)
+	boom := errors.New("disk full")
+	j.Append([]byte("a"))
+	fsStore := j.(*job).s
+	fsStore.FailAppend(2, boom) // 2nd append *from now* = 3rd overall
+	if err := j.Append([]byte("b")); err != nil {
+		t.Fatalf("append b: %v", err)
+	}
+	if err := j.Append([]byte("c")); !errors.Is(err, boom) {
+		t.Fatalf("armed append err = %v, want %v", err, boom)
+	}
+	// The failed line never reached the inner store; later appends do.
+	if err := j.Append([]byte("d")); err != nil {
+		t.Fatalf("append after fault: %v", err)
+	}
+	if got := j.Lines(); got != 3 {
+		t.Fatalf("Lines = %d, want 3 (a, b, d)", got)
+	}
+}
+
+func TestFailAppendDefaultsToErrInjected(t *testing.T) {
+	fs, j := newJob(t)
+	fs.FailAppend(1, nil)
+	if err := j.Append([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+}
+
+func TestCrashAfterAppendsIsPersistent(t *testing.T) {
+	fs, j := newJob(t)
+	fs.CrashAfterAppends(2)
+	appendN(t, j, 2)
+	for i := 0; i < 3; i++ {
+		if err := j.Append([]byte("lost")); !errors.Is(err, ErrInjected) {
+			t.Fatalf("post-crash append %d err = %v, want ErrInjected", i, err)
+		}
+	}
+	if err := j.Flush(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-crash Flush err = %v, want ErrInjected", err)
+	}
+	if err := j.WriteManifest([]byte(`{"state":"done"}`)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-crash WriteManifest err = %v, want ErrInjected", err)
+	}
+	// The durable prefix and the stale manifest survive — what the next
+	// process recovers.
+	if got := j.Lines(); got != 2 {
+		t.Fatalf("Lines = %d, want 2", got)
+	}
+	if m, err := j.Manifest(); err != nil || string(m) != `{}` {
+		t.Fatalf("Manifest = %q, %v; want stale {}", m, err)
+	}
+}
+
+func TestFailManifestFiresOnce(t *testing.T) {
+	fs, j := newJob(t)
+	fs.FailManifest(2, nil)
+	if err := j.WriteManifest([]byte(`1`)); err != nil {
+		t.Fatalf("manifest 1: %v", err)
+	}
+	if err := j.WriteManifest([]byte(`2`)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("manifest 2 err = %v, want ErrInjected", err)
+	}
+	if err := j.WriteManifest([]byte(`3`)); err != nil {
+		t.Fatalf("manifest 3: %v", err)
+	}
+	if m, _ := j.Manifest(); string(m) != `3` {
+		t.Fatalf("Manifest = %q, want 3", m)
+	}
+}
+
+func TestFailReadEmitsPrefixThenErrors(t *testing.T) {
+	fs, j := newJob(t)
+	appendN(t, j, 5)
+	fs.FailRead(2, 3, nil) // 2nd read: 3 lines then ErrInjected
+	ok := 0
+	if err := j.Read(0, 5, func([]byte) error { ok++; return nil }); err != nil || ok != 5 {
+		t.Fatalf("read 1: n=%d err=%v", ok, err)
+	}
+	var got []string
+	err := j.Read(0, 5, func(line []byte) error {
+		got = append(got, string(line))
+		return nil
+	})
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed read err = %v, want ErrInjected", err)
+	}
+	if len(got) != 3 || got[0] != "line-0" || got[2] != "line-2" {
+		t.Fatalf("armed read emitted %v, want first 3 lines", got)
+	}
+	// Fault consumed; reads recover.
+	if err := j.Read(0, 5, func([]byte) error { return nil }); err != nil {
+		t.Fatalf("read 3: %v", err)
+	}
+}
+
+func TestFailReadFiresOnShortRange(t *testing.T) {
+	fs, j := newJob(t)
+	appendN(t, j, 2)
+	fs.FailRead(1, 10, nil) // wants 10 lines, only 2 exist
+	if err := j.Read(0, 2, func([]byte) error { return nil }); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected even when range < after", err)
+	}
+}

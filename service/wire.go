@@ -35,6 +35,12 @@ type JobRequest struct {
 	// as its worker finishes) or "ordered" (deterministic device
 	// order, head-of-line buffered).
 	Delivery string `json:"delivery,omitempty"`
+	// TimeoutSec, when positive, is the job's run deadline in seconds:
+	// a job still streaming devices when it expires fails with a
+	// distinct deadline error, its spooled prefix still streamable.
+	// The deadline restarts on a crash resume (it bounds one run, not
+	// the job's wall-clock lifetime).
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
 	// Repair, when set, allocates spare repair per memory and reports
 	// fleet yield.
 	Repair *memtest.Budget `json:"repair,omitempty"`
@@ -80,6 +86,12 @@ type State string
 const (
 	// StateQueued: accepted, waiting for a scheduler worker.
 	StateQueued State = "queued"
+	// StateResuming: recovered from a crash-interrupted run and
+	// re-enqueued; a scheduler worker will re-run only the missing
+	// device suffix, appending to the spooled prefix. Like queued, it
+	// is non-terminal — followers keep waiting, retention never evicts
+	// it.
+	StateResuming State = "resuming"
 	// StateRunning: a worker is streaming devices.
 	StateRunning State = "running"
 	// StateDone: every device's result is buffered.
@@ -117,9 +129,17 @@ type JobStatus struct {
 	Workers int `json:"workers,omitempty"`
 	// Recovered marks a job restored from the data directory by a
 	// process that did not create it. A recovered job that was queued
-	// or running at crash time reports failed, with the device results
-	// spooled before the crash still streamable.
+	// or running at crash time resumes (Resumed below); with resume
+	// disabled it reports failed, with the device results spooled
+	// before the crash still streamable.
 	Recovered bool `json:"recovered,omitempty"`
+	// Resumed marks a job whose crash-interrupted run was completed by
+	// re-running only the missing device suffix; ResumedFrom is the
+	// device index the latest resume started at (the spooled-line
+	// count after truncating any torn tail). The final result stream
+	// is byte-identical to a crash-free run.
+	Resumed     bool `json:"resumed,omitempty"`
+	ResumedFrom int  `json:"resumed_from,omitempty"`
 	// Error is set for failed and cancelled jobs.
 	Error string `json:"error,omitempty"`
 	// Created/Started/Finished are the lifecycle timestamps.
@@ -144,6 +164,15 @@ type Health struct {
 	// is fully lent out or oversubscribed by the 1-worker floor).
 	FleetWorkers int `json:"fleet_workers"`
 	IdleWorkers  int `json:"idle_workers"`
+	// Recovery activity since this process started: JobsRecovered
+	// counts every job restored from the data directory, JobsResumed
+	// the subset re-enqueued to complete a crash-interrupted run, and
+	// ResumeDevicesRerun the devices those resumes had to re-run (the
+	// missing suffixes, summed) — together the operator's view of what
+	// a restart actually cost.
+	JobsRecovered      int   `json:"jobs_recovered"`
+	JobsResumed        int   `json:"jobs_resumed"`
+	ResumeDevicesRerun int64 `json:"resume_devices_rerun"`
 }
 
 // ErrorBody is the JSON error envelope every non-2xx response — and
