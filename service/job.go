@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/memtest"
 	"repro/service/store"
 )
 
@@ -68,13 +69,16 @@ type Config struct {
 	// Running jobs count toward the total but are never evicted. Zero
 	// keeps all.
 	RetainBytes int64
-	// NoResume disables crash resume. By default a recovered job whose
-	// manifest says queued or running re-enqueues as resuming: the
-	// scheduler counts the spooled complete lines and re-runs only the
-	// missing device suffix, so the final stream is byte-identical to
-	// a crash-free run. With NoResume (the daemon's -resume=false),
-	// such jobs recover as failed with their partial results retained
-	// — the pre-resume behaviour.
+	// NoResume disables crash resume. By default a recovered
+	// ordered-delivery job whose manifest says queued or running
+	// re-enqueues as resuming: the scheduler counts the spooled
+	// complete lines and re-runs only the missing device suffix, so
+	// the final stream is byte-identical to a crash-free run.
+	// (Unordered jobs always recover as failed — their spool holds
+	// whichever devices finished first, not a resumable prefix.) With
+	// NoResume (the daemon's -resume=false), every interrupted job
+	// recovers as failed with its partial results retained — the
+	// pre-resume behaviour.
 	NoResume bool
 }
 
@@ -307,12 +311,13 @@ type Manager struct {
 // NewManager starts cfg.Jobs scheduler workers over cfg.Store (an
 // in-memory store when nil) and returns the ready manager. With a
 // durable store it first recovers the stored jobs: finished jobs
-// replay their spooled results byte-identically, and jobs that were
-// queued or running when the previous process died re-enqueue as
-// resuming — only their missing device suffix is re-run, so the final
-// stream is byte-identical to a crash-free run (with cfg.NoResume
-// they are marked failed instead, their spooled prefix still
-// streamable). Call Close to stop the manager and release the store.
+// replay their spooled results byte-identically, and ordered-delivery
+// jobs that were queued or running when the previous process died
+// re-enqueue as resuming — only their missing device suffix is re-run,
+// so the final stream is byte-identical to a crash-free run (unordered
+// jobs, or with cfg.NoResume any job, are marked failed instead, their
+// spooled prefix still streamable). Call Close to stop the manager and
+// release the store.
 func NewManager(cfg Config) (*Manager, error) {
 	cfg = cfg.withDefaults()
 	st := cfg.Store
@@ -348,11 +353,12 @@ func NewManager(cfg Config) (*Manager, error) {
 // counter resumes past the highest recovered ID so new jobs never
 // collide with stored ones. A job whose manifest says queued, running
 // or resuming — the previous process died with it unfinished — is
-// re-enqueued as resuming when its manifest carries a usable request
-// (and resume is enabled): the spooled whole-line count (torn tail
-// truncated) becomes the resume point and a scheduler worker re-runs
-// only the missing device suffix. Otherwise it recovers as failed
-// with the spooled prefix still streamable.
+// re-enqueued as resuming when its manifest carries a resumable
+// request (ordered delivery, still-buildable session) and resume is
+// enabled: the spooled whole-line count (torn tail truncated) becomes
+// the resume point and a scheduler worker re-runs only the missing
+// device suffix. Otherwise it recovers as failed with the spooled
+// prefix still streamable.
 func (m *Manager) recover() error {
 	ids, err := m.store.Jobs()
 	if err != nil {
@@ -382,8 +388,22 @@ func (m *Manager) recover() error {
 			// The previous process died with this job unfinished.
 			// Everything already spooled still streams; counting the
 			// spooled lines here also truncates a torn final append.
-			st.Completed = min(spool.Lines(), st.Devices)
-			if resumable := !m.cfg.NoResume && mf.Request != nil && m.validRequest(*mf.Request); resumable {
+			lines, linesErr := spool.Lines()
+			if linesErr == nil {
+				st.Completed = min(lines, st.Devices)
+			}
+			switch {
+			case linesErr != nil:
+				// The spooled count is unknown (the index failed), so
+				// neither resuming nor reporting a retained count is
+				// safe — a resume from an assumed 0 would duplicate
+				// whatever prefix is actually intact. Completed keeps
+				// the manifest's last persisted value.
+				st.State = StateFailed
+				st.Error = fmt.Sprintf("interrupted by server restart; result spool unreadable: %v", linesErr)
+				t := m.now()
+				st.Finished = &t
+			case !m.cfg.NoResume && mf.Request != nil && m.resumable(*mf.Request):
 				// Re-enqueue: the per-device seeds derive from (job
 				// seed, device index), so the missing suffix [K, N) is
 				// exactly reproducible — the resumed stream is byte-
@@ -395,7 +415,7 @@ func (m *Manager) recover() error {
 				st.Error = ""
 				st.Started, st.Finished = nil, nil
 				m.jobsResumed++
-			} else {
+			default:
 				st.State = StateFailed
 				st.Error = fmt.Sprintf("interrupted by server restart; %d/%d device results retained", st.Completed, st.Devices)
 				t := m.now()
@@ -430,12 +450,20 @@ func (m *Manager) recover() error {
 	return nil
 }
 
-// validRequest reports whether a recovered manifest's request still
-// builds a session — the engine may have been registered by a binary
-// that no longer runs. An unresumable request degrades to the
-// failed-with-partials recovery, never an error.
-func (m *Manager) validRequest(req JobRequest) bool {
+// resumable reports whether a recovered manifest's request supports
+// crash resume. The delivery must be ordered: only then is the spooled
+// prefix exactly devices [0, K), the contiguous range RunFleetRange
+// extends — an unordered job's spool holds whichever K devices
+// finished first, so resuming it would duplicate some devices and drop
+// others. The request must also still build a session — the engine may
+// have been registered by a binary that no longer runs. An unresumable
+// request degrades to the failed-with-partials recovery, never an
+// error.
+func (m *Manager) resumable(req JobRequest) bool {
 	if req.Devices <= 0 {
+		return false
+	}
+	if d, err := memtest.ParseFleetDelivery(req.Delivery); err != nil || d != memtest.Ordered {
 		return false
 	}
 	_, err := req.session(1)
@@ -524,9 +552,12 @@ func (m *Manager) releaseWorkers(n int) {
 func (m *Manager) run(j *job) {
 	granted := m.claimWorkers(j)
 	defer m.releaseWorkers(granted)
-	ctx, cancel := context.WithCancel(m.baseCtx)
+	var ctx context.Context
+	var cancel context.CancelFunc
 	if j.req.TimeoutSec > 0 {
 		ctx, cancel = context.WithTimeout(m.baseCtx, time.Duration(j.req.TimeoutSec*float64(time.Second)))
+	} else {
+		ctx, cancel = context.WithCancel(m.baseCtx)
 	}
 	defer cancel()
 	if !j.start(cancel, granted, m.now()) {

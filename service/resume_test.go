@@ -530,6 +530,92 @@ func TestReconnectRidesThroughServerRestart(t *testing.T) {
 	}
 }
 
+// TestUnorderedJobNeverResumes: resume assumes the spooled prefix is
+// devices [0, K), which only ordered delivery guarantees — an
+// unordered job's spool holds whichever K devices finished first. An
+// interrupted unordered job must therefore recover as failed with its
+// partials retained, never re-enqueue as resuming.
+func TestUnorderedJobNeverResumes(t *testing.T) {
+	inner := store.NewMem()
+	ctx := context.Background()
+	// Default delivery — the service's unordered mode.
+	req := service.JobRequest{Plan: testPlan(), Devices: 5, Seed: 77}
+
+	c1, fs1, _ := faultServer(t, inner, service.Config{Jobs: 1, Queue: 4})
+	fs1.CrashAfterAppends(2)
+	st, err := c1.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c1, st.ID, service.StateFailed)
+
+	c2, m2, _ := memServer(t, inner, service.Config{Jobs: 1, Queue: 4})
+	defer m2.Close()
+	failed := waitState(t, c2, st.ID, service.StateFailed)
+	if failed.Resumed || !failed.Recovered {
+		t.Fatalf("unordered interrupted job = %+v, want recovered but NOT resumed", failed)
+	}
+	if failed.Completed != 2 || !strings.Contains(failed.Error, "2/5 device results retained") {
+		t.Fatalf("unordered recovery = %+v, want failed-with-partials (2/5 retained)", failed)
+	}
+	h, err := c2.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.JobsRecovered != 1 || h.JobsResumed != 0 || h.ResumeDevicesRerun != 0 {
+		t.Fatalf("counters = recovered %d, resumed %d, rerun %d; want 1, 0, 0",
+			h.JobsRecovered, h.JobsResumed, h.ResumeDevicesRerun)
+	}
+}
+
+// TestSpoolIndexFaultDegradesToFailed: when the recovering manager
+// cannot count the spooled lines (a transient index/IO failure), the
+// job must degrade to failed — resuming with an assumed count of 0
+// would re-run every device and append a duplicate stream after the
+// intact prefix.
+func TestSpoolIndexFaultDegradesToFailed(t *testing.T) {
+	inner := store.NewMem()
+	ctx := context.Background()
+	// Ordered and otherwise perfectly resumable: only the Lines fault
+	// below stands between this job and a resume.
+	req := service.JobRequest{Plan: testPlan(), Devices: 5, Seed: 88, Delivery: "ordered"}
+
+	c1, fs1, _ := faultServer(t, inner, service.Config{Jobs: 1, Queue: 4})
+	fs1.CrashAfterAppends(2)
+	st, err := c1.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c1, st.ID, service.StateFailed)
+
+	// Generation 2's store fails the recovery-time Lines call; the
+	// fault must be armed before the manager (and its recover) exists.
+	fs2 := faultstore.Wrap(inner)
+	fs2.FailLines(1, errors.New("index io"))
+	m2, err := service.NewManager(service.Config{Jobs: 1, Queue: 4, Store: fs2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(service.NewServer(m2))
+	defer func() { ts2.Close(); m2.Close() }()
+	c2 := client.New(ts2.URL, ts2.Client())
+
+	failed := waitState(t, c2, st.ID, service.StateFailed)
+	if failed.Resumed {
+		t.Fatalf("job with unreadable spool = %+v, want failed, not resumed", failed)
+	}
+	if !strings.Contains(failed.Error, "result spool unreadable") || !strings.Contains(failed.Error, "index io") {
+		t.Fatalf("error = %q, want the spool-unreadable cause", failed.Error)
+	}
+	h, err := c2.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.JobsRecovered != 1 || h.JobsResumed != 0 {
+		t.Fatalf("counters = recovered %d, resumed %d; want 1, 0", h.JobsRecovered, h.JobsResumed)
+	}
+}
+
 // TestJobTimeout: a positive timeout_sec caps the run; expiry fails
 // the job with the distinct deadline error while the spooled prefix
 // stays streamable.

@@ -368,13 +368,13 @@ func (j *diskJob) Append(line []byte) error {
 	return nil
 }
 
-func (j *diskJob) Lines() int {
+func (j *diskJob) Lines() (int, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if err := j.ensure(); err != nil {
-		return 0
+		return 0, err
 	}
-	return len(j.offsets) - 1
+	return len(j.offsets) - 1, nil
 }
 
 // Size avoids triggering the index: an unindexed spool is stat'd, so

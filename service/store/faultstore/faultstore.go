@@ -1,9 +1,10 @@
 // Package faultstore decorates a store.Store with deterministic,
 // scriptable failures, so every service degradation path — an append
 // failing mid-job, a torn/buffered tail lost to a crash, a manifest
-// write as the crash point, a read error mid-replay, a second crash
-// landing mid-resume — is exercised by ordinary `go test -race`
-// instead of only by process-level kill-9 smoke tests.
+// write as the crash point, a read error mid-replay, a spool index
+// failing at recovery time, a second crash landing mid-resume — is
+// exercised by ordinary `go test -race` instead of only by
+// process-level kill-9 smoke tests.
 //
 // Wrap any Store and arm faults before (or between) operations:
 //
@@ -43,10 +44,12 @@ type Store struct {
 	appends   int // calls so far, across all jobs
 	manifests int
 	reads     int
+	lines     int
 	// armed one-shot faults, keyed by 1-based call number.
 	failAppend   map[int]error
 	failManifest map[int]error
 	failRead     map[int]readFault
+	failLines    map[int]error
 	// crashAfter, once >= 0, simulates process death with exactly that
 	// many durable appends: later appends are dropped (the torn or
 	// still-buffered tail a real crash loses) and every later append,
@@ -64,6 +67,7 @@ func Wrap(inner store.Store) *Store {
 		failAppend:   map[int]error{},
 		failManifest: map[int]error{},
 		failRead:     map[int]readFault{},
+		failLines:    map[int]error{},
 		crashAfter:   -1,
 	}
 }
@@ -92,6 +96,15 @@ func (s *Store) FailRead(n, after int, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.failRead[s.reads+n] = readFault{after: after, err: orInjected(err)}
+}
+
+// FailLines arms the nth future Lines call to fail with err
+// (ErrInjected when nil) — the transient index/IO failure a recovering
+// manager must treat as "spooled count unknown", never as zero.
+func (s *Store) FailLines(n int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failLines[s.lines+n] = orInjected(err)
 }
 
 // CrashAfterAppends simulates the process dying once n more appends
@@ -216,7 +229,18 @@ func (j *job) Read(from, to int, emit func(line []byte) error) error {
 	return f.err
 }
 
-func (j *job) Lines() int                { return j.inner.Lines() }
+func (j *job) Lines() (int, error) {
+	j.s.mu.Lock()
+	j.s.lines++
+	if err, ok := j.s.failLines[j.s.lines]; ok {
+		delete(j.s.failLines, j.s.lines)
+		j.s.mu.Unlock()
+		return 0, err
+	}
+	j.s.mu.Unlock()
+	return j.inner.Lines()
+}
+
 func (j *job) Size() int64               { return j.inner.Size() }
 func (j *job) Manifest() ([]byte, error) { return j.inner.Manifest() }
 

@@ -20,10 +20,20 @@ func newJob(t *testing.T) (*Store, store.Job) {
 	return fs, j
 }
 
+// mustLines asserts a spool's line count is readable and returns it.
+func mustLines(t *testing.T, j store.Job) int {
+	t.Helper()
+	n, err := j.Lines()
+	if err != nil {
+		t.Fatalf("Lines: %v", err)
+	}
+	return n
+}
+
 func appendN(t *testing.T, j store.Job, n int) {
 	t.Helper()
 	for i := 0; i < n; i++ {
-		if err := j.Append([]byte(fmt.Sprintf("line-%d", j.Lines()))); err != nil {
+		if err := j.Append([]byte(fmt.Sprintf("line-%d", mustLines(t, j)))); err != nil {
 			t.Fatalf("Append %d: %v", i, err)
 		}
 	}
@@ -48,7 +58,7 @@ func TestPassThroughWhenUnarmed(t *testing.T) {
 	if len(got) != 3 || got[0] != "line-0" || got[2] != "line-2" {
 		t.Fatalf("Read lines = %v", got)
 	}
-	if j2, err := fs.Open("job"); err != nil || j2.Lines() != 3 {
+	if j2, err := fs.Open("job"); err != nil || mustLines(t, j2) != 3 {
 		t.Fatalf("Open: job=%v err=%v", j2, err)
 	}
 }
@@ -69,7 +79,7 @@ func TestFailAppendFiresOnceAtN(t *testing.T) {
 	if err := j.Append([]byte("d")); err != nil {
 		t.Fatalf("append after fault: %v", err)
 	}
-	if got := j.Lines(); got != 3 {
+	if got := mustLines(t, j); got != 3 {
 		t.Fatalf("Lines = %d, want 3 (a, b, d)", got)
 	}
 }
@@ -99,7 +109,7 @@ func TestCrashAfterAppendsIsPersistent(t *testing.T) {
 	}
 	// The durable prefix and the stale manifest survive — what the next
 	// process recovers.
-	if got := j.Lines(); got != 2 {
+	if got := mustLines(t, j); got != 2 {
 		t.Fatalf("Lines = %d, want 2", got)
 	}
 	if m, err := j.Manifest(); err != nil || string(m) != `{}` {
@@ -121,6 +131,31 @@ func TestFailManifestFiresOnce(t *testing.T) {
 	}
 	if m, _ := j.Manifest(); string(m) != `3` {
 		t.Fatalf("Manifest = %q, want 3", m)
+	}
+}
+
+func TestFailLinesFiresOnce(t *testing.T) {
+	fs, j := newJob(t)
+	appendN(t, j, 3)
+	boom := errors.New("index io")
+	fs.FailLines(2, boom) // 2nd Lines call from now
+	if got := mustLines(t, j); got != 3 {
+		t.Fatalf("Lines = %d, want 3 before the armed call", got)
+	}
+	if _, err := j.Lines(); !errors.Is(err, boom) {
+		t.Fatalf("armed Lines err = %v, want %v", err, boom)
+	}
+	// Fault consumed; the count recovers untouched.
+	if got := mustLines(t, j); got != 3 {
+		t.Fatalf("Lines = %d, want 3 after the fault", got)
+	}
+}
+
+func TestFailLinesDefaultsToErrInjected(t *testing.T) {
+	fs, j := newJob(t)
+	fs.FailLines(1, nil)
+	if _, err := j.Lines(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
 	}
 }
 

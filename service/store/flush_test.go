@@ -34,8 +34,8 @@ func TestDiskAppendsBatchUntilFlush(t *testing.T) {
 		t.Fatalf("file size before flush = %d (%v); appends did not batch", fi.Size(), err)
 	}
 	// The index already counts every appended line.
-	if j.Lines() != 10 {
-		t.Fatalf("lines = %d before flush", j.Lines())
+	if n := mustLines(t, j); n != 10 {
+		t.Fatalf("lines = %d before flush", n)
 	}
 	if err := j.Flush(); err != nil {
 		t.Fatal(err)

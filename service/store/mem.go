@@ -96,10 +96,10 @@ func (j *memJob) Append(line []byte) error {
 // Flush implements Job; memory is always "stable".
 func (j *memJob) Flush() error { return nil }
 
-func (j *memJob) Lines() int {
+func (j *memJob) Lines() (int, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return len(j.lines)
+	return len(j.lines), nil
 }
 
 func (j *memJob) Size() int64 {

@@ -60,8 +60,11 @@ type Job interface {
 	// explicit result-boundary hook the manager calls when a job
 	// reaches a terminal state.
 	Flush() error
-	// Lines reports how many whole lines the spool holds.
-	Lines() int
+	// Lines reports how many whole lines the spool holds. It fails
+	// when the spool cannot be indexed (e.g. an I/O error reading the
+	// backing file) — callers deciding how much of a job survived a
+	// crash must treat that as "unknown", never as zero.
+	Lines() (int, error)
 	// Size reports the spooled byte count (lines plus their newline
 	// terminators).
 	Size() int64

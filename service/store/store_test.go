@@ -10,6 +10,16 @@ import (
 	"repro/service/store"
 )
 
+// mustLines asserts a spool's line count is readable and returns it.
+func mustLines(t *testing.T, j store.Job) int {
+	t.Helper()
+	n, err := j.Lines()
+	if err != nil {
+		t.Fatalf("Lines: %v", err)
+	}
+	return n
+}
+
 // conformance runs the Store contract against one implementation.
 func conformance(t *testing.T, open func(t *testing.T) store.Store) {
 	t.Run("CreateAppendRead", func(t *testing.T) {
@@ -28,8 +38,8 @@ func conformance(t *testing.T, open func(t *testing.T) store.Store) {
 			want = append(want, line)
 			wantSize += int64(len(line)) + 1
 		}
-		if j.Lines() != 5 {
-			t.Fatalf("lines = %d, want 5", j.Lines())
+		if n := mustLines(t, j); n != 5 {
+			t.Fatalf("lines = %d, want 5", n)
 		}
 		if j.Size() != wantSize {
 			t.Fatalf("size = %d, want %d", j.Size(), wantSize)
@@ -228,8 +238,8 @@ func TestDiskReopenReplaysByteIdentically(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if j2.Lines() != 4 {
-		t.Fatalf("recovered lines = %d, want 4", j2.Lines())
+	if n := mustLines(t, j2); n != 4 {
+		t.Fatalf("recovered lines = %d, want 4", n)
 	}
 	if m, err := j2.Manifest(); err != nil || string(m) != `{"state":"running"}` {
 		t.Fatalf("recovered manifest = %q, %v", m, err)
@@ -281,8 +291,8 @@ func TestDiskTornLineTruncated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if j.Lines() != 2 {
-		t.Fatalf("lines = %d, want 2 (torn tail dropped)", j.Lines())
+	if n := mustLines(t, j); n != 2 {
+		t.Fatalf("lines = %d, want 2 (torn tail dropped)", n)
 	}
 	if err := j.Append([]byte("whole-3")); err != nil {
 		t.Fatal(err)

@@ -128,10 +128,12 @@ type JobStatus struct {
 	// to running jobs).
 	Workers int `json:"workers,omitempty"`
 	// Recovered marks a job restored from the data directory by a
-	// process that did not create it. A recovered job that was queued
-	// or running at crash time resumes (Resumed below); with resume
-	// disabled it reports failed, with the device results spooled
-	// before the crash still streamable.
+	// process that did not create it. A recovered ordered-delivery job
+	// that was queued or running at crash time resumes (Resumed
+	// below); an unordered one — whose spool is not a resumable device
+	// prefix — or any interrupted job with resume disabled reports
+	// failed, with the device results spooled before the crash still
+	// streamable.
 	Recovered bool `json:"recovered,omitempty"`
 	// Resumed marks a job whose crash-interrupted run was completed by
 	// re-running only the missing device suffix; ResumedFrom is the
