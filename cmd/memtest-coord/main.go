@@ -1,0 +1,138 @@
+// Command memtest-coord shards fleet diagnosis jobs across a pool of
+// memtestd worker nodes while speaking the exact wire API of a single
+// memtestd: the same clients, submissions and NDJSON result streams
+// work unchanged, and the merged stream is byte-identical to the same
+// job run on one node. See the repro/service/coord package
+// documentation for the mechanism and docs/OPERATIONS.md for the full
+// flag and failure-mode reference.
+//
+// Usage:
+//
+//	memtest-coord -worker http://host1:8347 -worker http://host2:8347
+//	              [-addr :8357] [-jobs 2] [-queue 16] [-min-shard 64]
+//	              [-redispatch 3] [-drain 15s] [-data-dir DIR]
+//	              [-retain-jobs N] [-retain-bytes N] [-resume=true]
+//
+// Each job's device range splits into contiguous per-worker shards
+// dispatched as first_device range jobs; worker crashes heal via
+// stream reconnect and worker-side crash resume, a worker dead past
+// the reconnect budget has its shard re-dispatched elsewhere, and with
+// -data-dir the coordinator's own restart recovers the shard table and
+// re-merges only the missing suffix. Workers must run with crash
+// resume enabled (their default); reachable workers that report
+// resume disabled or unordered delivery are refused at startup.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/service"
+	"repro/service/client"
+	"repro/service/coord"
+	"repro/service/store"
+)
+
+// workerList collects repeated -worker flags, with comma-separated
+// values accepted too.
+type workerList []string
+
+func (w *workerList) String() string { return strings.Join(*w, ",") }
+
+func (w *workerList) Set(v string) error {
+	for _, u := range strings.Split(v, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			*w = append(*w, u)
+		}
+	}
+	return nil
+}
+
+func main() {
+	var workers workerList
+	flag.Var(&workers, "worker", "memtestd worker base URL (repeat, or comma-separate)")
+	var (
+		addr        = flag.String("addr", ":8357", "listen address")
+		jobs        = flag.Int("jobs", 2, "maximum concurrently merging jobs")
+		queue       = flag.Int("queue", 16, "queued-job backlog before submissions get HTTP 429")
+		minShard    = flag.Int("min-shard", 64, "minimum devices per shard (tiny jobs are not over-sharded)")
+		redispatch  = flag.Int("redispatch", 3, "per-shard budget of re-dispatches to a new worker after a stream fails")
+		boInitial   = flag.Duration("backoff-initial", 0, "first shard-stream reconnect delay (0 = client default, 100ms)")
+		boMax       = flag.Duration("backoff-max", 0, "shard-stream reconnect delay cap (0 = client default, 5s)")
+		boAttempts  = flag.Int("backoff-attempts", 0, "consecutive shard-stream reconnect failures before the shard is re-dispatched (0 = client default, 8)")
+		drain       = flag.Duration("drain", 15*time.Second, "graceful shutdown drain timeout")
+		dataDir     = flag.String("data-dir", "", "spool merged manifests and results here; empty = in-memory (jobs die with the process)")
+		retainJobs  = flag.Int("retain-jobs", 0, "finished jobs kept before the oldest are evicted (0 = unlimited)")
+		retainBytes = flag.Int64("retain-bytes", 0, "total merged result bytes kept before the oldest finished jobs are evicted (0 = unlimited)")
+		resume      = flag.Bool("resume", true, "resume crash-interrupted merges on startup by re-attaching to worker jobs; false recovers them as failed with partial results")
+	)
+	flag.Parse()
+	if len(workers) == 0 {
+		log.Fatalf("memtest-coord: at least one -worker is required")
+	}
+
+	cfg := coord.Config{
+		Workers: workers,
+		Jobs:    *jobs, Queue: *queue,
+		MinShard: *minShard, Redispatches: *redispatch,
+		Backoff:    client.Backoff{Initial: *boInitial, Max: *boMax, Attempts: *boAttempts},
+		RetainJobs: *retainJobs, RetainBytes: *retainBytes,
+		NoResume: !*resume,
+	}
+	if *dataDir != "" {
+		st, err := store.NewDisk(*dataDir)
+		if err != nil {
+			log.Fatalf("memtest-coord: %v", err)
+		}
+		cfg.Store = st
+	}
+	c, err := coord.New(cfg)
+	if err != nil {
+		log.Fatalf("memtest-coord: %v", err)
+	}
+	if *dataDir != "" {
+		h := c.Health()
+		log.Printf("memtest-coord: data dir %s: recovered %d jobs, resuming %d", *dataDir, h.JobsRecovered, h.JobsResumed)
+	}
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: service.NewServer(c),
+		// Bound header reads so stalled clients cannot pin connections
+		// forever; no blanket WriteTimeout — result streams are
+		// long-lived by design.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("memtest-coord listening on %s (workers=%d jobs=%d queue=%d)", *addr, len(workers), *jobs, *queue)
+
+	select {
+	case err := <-errCh:
+		c.Close()
+		log.Fatalf("memtest-coord: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("memtest-coord: signal received, draining (timeout %s)", *drain)
+	// Cancel merges first so open result streams terminate and the
+	// listener can actually drain, then close the listener.
+	c.Close()
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("memtest-coord: drain: %v", err)
+	}
+	log.Printf("memtest-coord: stopped")
+}

@@ -81,32 +81,102 @@ func (s SoC) Build() ([]*sram.Memory, [][]fault.Fault, error) {
 	for i, mc := range s.Memories {
 		m := sram.New(mc.Words, mc.Width)
 		gen := fault.NewGenerator(mc.Words, mc.Width, mc.Seed)
-		var injected []fault.Fault
-		for _, f := range gen.FleetTyped(mc.DefectRate, fault.PaperDefectTypes()) {
-			if err := m.Inject(f); err != nil {
-				return nil, nil, fmt.Errorf("config: memory %q: %v", mc.Name, err)
-			}
-			injected = append(injected, f)
+		injected, err := injectDefects(m, gen, mc)
+		if err != nil {
+			return nil, nil, err
 		}
-		// DRFs are drawn until the requested count is placed; draws
-		// whose victim collides with an earlier fault are redrawn
-		// (deterministically, from the same seeded stream).
-		for placed, attempts := 0, 0; placed < mc.DRFCount; attempts++ {
-			if attempts > 100*mc.DRFCount+100 {
-				return nil, nil, fmt.Errorf("config: memory %q cannot place %d DRFs", mc.Name, mc.DRFCount)
-			}
-			f := gen.Random(fault.DRF)
-			if err := m.Inject(f); err != nil {
-				continue
-			}
-			injected = append(injected, f)
-			placed++
-		}
-		fault.Sort(injected)
 		mems[i] = m
 		truth[i] = injected
 	}
 	return mems, truth, nil
+}
+
+// injectDefects draws mc's defect population from gen (which must be
+// positioned at the start of its seeded stream) and injects it into m
+// (which must be fault-free), returning the sorted ground truth.
+func injectDefects(m *sram.Memory, gen *fault.Generator, mc Memory) ([]fault.Fault, error) {
+	var injected []fault.Fault
+	for _, f := range gen.FleetTyped(mc.DefectRate, fault.PaperDefectTypes()) {
+		if err := m.Inject(f); err != nil {
+			return nil, fmt.Errorf("config: memory %q: %v", mc.Name, err)
+		}
+		injected = append(injected, f)
+	}
+	// DRFs are drawn until the requested count is placed; draws
+	// whose victim collides with an earlier fault are redrawn
+	// (deterministically, from the same seeded stream).
+	for placed, attempts := 0, 0; placed < mc.DRFCount; attempts++ {
+		if attempts > 100*mc.DRFCount+100 {
+			return nil, fmt.Errorf("config: memory %q cannot place %d DRFs", mc.Name, mc.DRFCount)
+		}
+		f := gen.Random(fault.DRF)
+		if err := m.Inject(f); err != nil {
+			continue
+		}
+		injected = append(injected, f)
+		placed++
+	}
+	fault.Sort(injected)
+	return injected, nil
+}
+
+// Builder rebuilds one SoC's fleet over and over, recycling the
+// memories and fault generators across builds — the allocation profile
+// fleet workers need when diagnosing millions of per-device instances
+// of the same plan. Each Build resets every memory (O(fault count)),
+// reseeds its generator and re-draws the defect population, so the
+// resulting fleet is identical to what SoC.Build would construct with
+// the same per-memory seeds. Not safe for concurrent use; give each
+// worker its own Builder.
+type Builder struct {
+	soc  SoC
+	mems []*sram.Memory
+	gens []*fault.Generator
+}
+
+// NewBuilder validates the SoC and allocates its recyclable memories
+// and generators once.
+func NewBuilder(s SoC) (*Builder, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	b := &Builder{
+		soc:  s,
+		mems: make([]*sram.Memory, len(s.Memories)),
+		gens: make([]*fault.Generator, len(s.Memories)),
+	}
+	for i, mc := range s.Memories {
+		b.mems[i] = sram.New(mc.Words, mc.Width)
+		b.gens[i] = fault.NewGenerator(mc.Words, mc.Width, mc.Seed)
+	}
+	return b, nil
+}
+
+// Build injects a fresh defect draw into the recycled memories. A
+// non-nil seeds overrides the per-memory seeds (len(seeds) must equal
+// the memory count) — the per-device derived seeding fleet runs use.
+// The returned memories are owned by the Builder and valid only until
+// the next Build; the ground-truth fault lists are freshly allocated
+// and may be retained.
+func (b *Builder) Build(seeds []int64) ([]*sram.Memory, [][]fault.Fault, error) {
+	if seeds != nil && len(seeds) != len(b.soc.Memories) {
+		return nil, nil, fmt.Errorf("config: %d seeds for %d memories", len(seeds), len(b.soc.Memories))
+	}
+	truth := make([][]fault.Fault, len(b.soc.Memories))
+	for i, mc := range b.soc.Memories {
+		seed := mc.Seed
+		if seeds != nil {
+			seed = seeds[i]
+		}
+		b.mems[i].Reset()
+		b.gens[i].Reseed(seed)
+		injected, err := injectDefects(b.mems[i], b.gens[i], mc)
+		if err != nil {
+			return nil, nil, err
+		}
+		truth[i] = injected
+	}
+	return b.mems, truth, nil
 }
 
 // Marshal renders the configuration as indented JSON.

@@ -398,3 +398,60 @@ func TestRunFleetRejectsBadDeviceCount(t *testing.T) {
 		t.Fatalf("err = %v, want ErrBadDeviceCount", streamErr)
 	}
 }
+
+// TestFleetBuilderMatchesFreshBuilds pins the memory-pooling path:
+// every device a pooled RunFleet stream yields must be byte-identical
+// to a fresh Session built with that device's derived seed — Reset +
+// reseeded re-inject reproduces the fresh defect draw exactly.
+func TestFleetBuilderMatchesFreshBuilds(t *testing.T) {
+	const devices, seed = 8, int64(11)
+	s, err := New(smallPlan(), WithSeed(seed), WithWorkers(3), WithDRF())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectFleet(t, s, devices)
+	for d := range devices {
+		ref, err := New(smallPlan(), WithSeed(deviceSeed(seed, d)), WithDRF())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ref.RunAll(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := json.Marshal(DeviceResult{Device: d, Seed: deviceSeed(seed, d), Result: res})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[d] != string(want) {
+			t.Fatalf("pooled device %d differs from fresh build:\n%s\nvs\n%s", d, got[d], want)
+		}
+	}
+}
+
+// TestFleetBuilderRecyclesAllocations pins the point of the pooling:
+// building a device's fleet on recycled memories must allocate a small
+// fraction of what a fresh build does.
+func TestFleetBuilderRecyclesAllocations(t *testing.T) {
+	plan := smallPlan()
+	fb, err := plan.newFleetBuilder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fb.build(3, true); err != nil {
+		t.Fatal(err) // warm the recycled fault tables
+	}
+	pooled := testing.AllocsPerRun(50, func() {
+		if _, err := fb.build(3, true); err != nil {
+			t.Fatal(err)
+		}
+	})
+	fresh := testing.AllocsPerRun(50, func() {
+		if _, err := plan.build(3, true); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if pooled > fresh/3 {
+		t.Fatalf("pooled build allocates %.0f, fresh %.0f — pooling is not paying", pooled, fresh)
+	}
+}

@@ -192,6 +192,46 @@ func (f *Fleet) Geometry(i int) (words, width int) { return f.mems[i].N(), f.mem
 // shared controller is sized for.
 func (f *Fleet) WidestWidth() int { return f.plan.WidestWidth() }
 
+// fleetBuilder builds the plan's fleet repeatedly on recycled storage:
+// the behavioural memories and fault generators are allocated once and
+// every build resets, reseeds and re-injects them, so a fleet worker
+// diagnosing millions of devices stops paying ~an allocation per row
+// per device. Builds are identical to Plan.build with the same seeds
+// (pinned by differential fleet tests). Not safe for concurrent use;
+// each fleet worker owns one.
+type fleetBuilder struct {
+	plan  Plan
+	b     *config.Builder
+	seeds []int64 // per-memory derived-seed scratch, reused across builds
+}
+
+// newFleetBuilder allocates the plan's recyclable fleet storage.
+func (p Plan) newFleetBuilder() (*fleetBuilder, error) {
+	cb, err := config.NewBuilder(p.soc())
+	if err != nil {
+		return nil, err
+	}
+	return &fleetBuilder{plan: p, b: cb, seeds: make([]int64, len(p.Memories))}, nil
+}
+
+// build mirrors Plan.build on the recycled storage. The returned
+// Fleet's memories are valid until the next build; its ground truth is
+// freshly allocated (evaluated results may retain it).
+func (fb *fleetBuilder) build(base int64, derive bool) (*Fleet, error) {
+	var seeds []int64
+	if derive {
+		for i, m := range fb.plan.Memories {
+			fb.seeds[i] = mixSeed(base, m.Seed, i)
+		}
+		seeds = fb.seeds
+	}
+	mems, truth, err := fb.b.Build(seeds)
+	if err != nil {
+		return nil, err
+	}
+	return &Fleet{plan: fb.plan, mems: mems, truth: truth}, nil
+}
+
 // mixSeed derives a per-(base, seed, index) seed with a splitmix64-
 // style finalizer, so fleet devices draw independent defect populations
 // deterministically, independent of worker scheduling.

@@ -32,6 +32,10 @@ type Session struct {
 	// RunFleet gives each worker's private Session copy its own (see
 	// ReusableEngine).
 	runner EngineRunner
+	// builder, when non-nil, builds each device's fleet on recycled
+	// memories instead of allocating fresh ones; RunFleetRange gives
+	// each worker's private Session copy its own.
+	builder *fleetBuilder
 }
 
 // Option configures a Session; see the With* constructors.
@@ -223,7 +227,13 @@ func (s *Session) Trace() []TraceEvent { return s.eopt.Trace.Events() }
 
 // runOnce builds one device's fleet and runs the engine on it.
 func (s *Session) runOnce(ctx context.Context, base int64, derive bool) (*Fleet, *Report, error) {
-	f, err := s.plan.build(base, derive)
+	var f *Fleet
+	var err error
+	if s.builder != nil {
+		f, err = s.builder.build(base, derive)
+	} else {
+		f, err = s.plan.build(base, derive)
+	}
 	if err != nil {
 		return nil, nil, err
 	}
@@ -372,7 +382,9 @@ func (s *Session) RunFleetRange(ctx context.Context, lo, hi int) iter.Seq2[Devic
 		// (report caching, trace) never races across devices, plus —
 		// when the engine supports it — a private reusable runner, so
 		// engine scratch state is built once per worker instead of per
-		// device.
+		// device, and a private fleet builder, so each device's
+		// memories recycle the worker's allocation instead of
+		// rebuilding ~an allocation per row per device.
 		reusable, _ := s.engine.(ReusableEngine)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
@@ -383,6 +395,10 @@ func (s *Session) RunFleetRange(ctx context.Context, lo, hi int) iter.Seq2[Devic
 				if reusable != nil {
 					local.runner = reusable.NewRunner()
 				}
+				// The plan was validated at New, so builder creation
+				// cannot realistically fail; a nil builder just falls
+				// back to per-device fresh builds.
+				local.builder, _ = s.plan.newFleetBuilder()
 				for {
 					d := int(next.Add(1)) - 1
 					if d >= hi || ctx.Err() != nil {

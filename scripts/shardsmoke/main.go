@@ -1,0 +1,362 @@
+// Command shardsmoke is the CI multi-node smoke test: it builds the
+// real memtestd and memtest-coord binaries, starts a coordinator over
+// two worker processes, submits a 300-device fleet job, SIGKILLs the
+// worker serving the first shard while its results are still merging
+// (a real crash — no graceful anything), and asserts that
+//
+//   - the coordinator re-dispatches the shard's missing remainder to
+//     the surviving worker and the job completes every device,
+//   - the merged result stream is byte-identical to the same seeded
+//     session run in-process (the worker death left no gap, duplicate
+//     or reordering),
+//   - a client that was following the merged stream when the worker
+//     died sees one seamless device sequence on a single connection —
+//     the re-dispatch is invisible to readers,
+//   - the shard table and /v1/healthz account for the failover.
+//
+// It exercises the same contract as the service/coord package tests
+// but with real processes, real sockets and a real SIGKILL — the
+// layer no in-process test can fake. Run from the repository root:
+//
+//	go run ./scripts/shardsmoke
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/memtest"
+	"repro/service"
+	"repro/service/client"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatalf("shardsmoke: FAIL: %v", err)
+	}
+}
+
+// smokePlan is sized so one device takes long enough that a 150-device
+// shard on a single fleet worker gives a wide, reliable kill window.
+func smokePlan() memtest.Plan {
+	return memtest.Plan{
+		Name:    "shardsmoke",
+		ClockNs: 10,
+		Memories: []memtest.MemorySpec{
+			{Name: "m0", Words: 1024, Width: 16, DefectRate: 0.01, Seed: 3},
+			{Name: "m1", Words: 512, Width: 8, DefectRate: 0.02, DRFCount: 2, Seed: 4},
+		},
+	}
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "shardsmoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	memtestd := filepath.Join(tmp, "memtestd")
+	if out, err := exec.Command("go", "build", "-o", memtestd, "./cmd/memtestd").CombinedOutput(); err != nil {
+		return fmt.Errorf("building memtestd: %v\n%s", err, out)
+	}
+	coordBin := filepath.Join(tmp, "memtest-coord")
+	if out, err := exec.Command("go", "build", "-o", coordBin, "./cmd/memtest-coord").CombinedOutput(); err != nil {
+		return fmt.Errorf("building memtest-coord: %v\n%s", err, out)
+	}
+
+	// Two workers plus the coordinator, each a real process on its own
+	// port. Workers run in-memory: a killed worker loses everything,
+	// which is exactly the failure the re-dispatch must absorb.
+	workers := make([]*exec.Cmd, 2)
+	workerURLs := make([]string, 2)
+	for i := range workers {
+		port, err := freePort()
+		if err != nil {
+			return err
+		}
+		addr := fmt.Sprintf("127.0.0.1:%d", port)
+		workerURLs[i] = "http://" + addr
+		cmd := exec.Command(memtestd, "-addr", addr)
+		cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("starting worker %d: %w", i, err)
+		}
+		workers[i] = cmd
+		defer cmd.Process.Kill() //nolint:errcheck // reap on early exit; double-kill is harmless
+	}
+	for i, u := range workerURLs {
+		if err := waitHealthy(u); err != nil {
+			return fmt.Errorf("worker %d: %w", i, err)
+		}
+	}
+
+	port, err := freePort()
+	if err != nil {
+		return err
+	}
+	coordAddr := fmt.Sprintf("127.0.0.1:%d", port)
+	base := "http://" + coordAddr
+	coordCmd := exec.Command(coordBin,
+		"-addr", coordAddr,
+		"-worker", workerURLs[0], "-worker", workerURLs[1],
+		"-min-shard", "50",
+		"-data-dir", filepath.Join(tmp, "coord-data"),
+		"-backoff-initial", "50ms", "-backoff-max", "400ms", "-backoff-attempts", "3",
+	)
+	coordCmd.Stdout, coordCmd.Stderr = os.Stderr, os.Stderr
+	if err := coordCmd.Start(); err != nil {
+		return fmt.Errorf("starting memtest-coord: %w", err)
+	}
+	defer func() {
+		coordCmd.Process.Signal(syscall.SIGTERM) //nolint:errcheck
+		coordCmd.Wait()                          //nolint:errcheck
+	}()
+	if err := waitHealthy(base); err != nil {
+		return fmt.Errorf("coordinator: %w", err)
+	}
+
+	req := service.JobRequest{
+		Plan: smokePlan(), Devices: 300, Seed: 97, DRF: true,
+		Delivery: "ordered",
+		Workers:  1, // serialize each shard: the kill lands mid-shard, not after it
+	}
+	log.Printf("shardsmoke: computing in-process reference stream")
+	want, err := referenceLines(req)
+	if err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+	c := client.New(base, nil)
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	if len(st.Shards) != 2 {
+		return fmt.Errorf("planned %d shards, want 2: %+v", len(st.Shards), st.Shards)
+	}
+	log.Printf("shardsmoke: job %s submitted (%d devices, shards %+v)", st.ID, req.Devices, st.Shards)
+
+	// A plain single-connection follower attached before the kill: the
+	// coordinator stays up, so the worker failover must be invisible —
+	// no reconnect, no gap, no duplicate.
+	type outcome struct {
+		lines []string
+		err   error
+	}
+	followed := make(chan outcome, 1)
+	go func() {
+		lines, err := rawLines(base + "/v1/jobs/" + st.ID + "/results")
+		followed <- outcome{lines, err}
+	}()
+
+	// Kill window: wait for a merged prefix, then kill the worker
+	// serving the first shard while that shard is still incomplete.
+	var victim string
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		cur, err := c.Job(ctx, st.ID)
+		if err != nil {
+			return fmt.Errorf("polling for kill window: %w", err)
+		}
+		if cur.State.Terminal() {
+			return fmt.Errorf("job reached %q before the kill; plan too small for a kill window", cur.State)
+		}
+		sh0 := service.ShardStatus{}
+		if len(cur.Shards) > 0 {
+			sh0 = cur.Shards[0]
+		}
+		if cur.Completed >= 5 {
+			if sh0.Merged >= sh0.Hi-sh0.Lo {
+				return fmt.Errorf("first shard finished before the kill; plan too small for a kill window")
+			}
+			victim = sh0.Worker
+			log.Printf("shardsmoke: %d/%d devices merged — SIGKILLing %s (shard [%d,%d))",
+				cur.Completed, req.Devices, victim, sh0.Lo, sh0.Hi)
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job never merged 5 devices: %+v", cur)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	killed := false
+	for i, u := range workerURLs {
+		if u == victim {
+			if err := workers[i].Process.Kill(); err != nil {
+				return fmt.Errorf("SIGKILL worker %d: %w", i, err)
+			}
+			workers[i].Wait() //nolint:errcheck // killed: the error is the point
+			killed = true
+		}
+	}
+	if !killed {
+		return fmt.Errorf("shard 0 worker %q not among %v", victim, workerURLs)
+	}
+
+	// The job must still complete every device, on the survivor.
+	deadline = time.Now().Add(120 * time.Second)
+	var done service.JobStatus
+	for {
+		done, err = c.Job(ctx, st.ID)
+		if err != nil {
+			return fmt.Errorf("polling after the kill: %w", err)
+		}
+		if done.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job never finished after the kill: %+v", done)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if done.State != service.StateDone || done.Completed != req.Devices {
+		return fmt.Errorf("job = %+v, want done with %d completed", done, req.Devices)
+	}
+	moved := 0
+	for _, sh := range done.Shards {
+		if sh.Worker == victim {
+			return fmt.Errorf("shard [%d,%d) still assigned to the killed worker", sh.Lo, sh.Hi)
+		}
+		moved += sh.Redispatches
+	}
+	if moved == 0 {
+		return fmt.Errorf("no shard was re-dispatched off the killed worker: %+v", done.Shards)
+	}
+	log.Printf("shardsmoke: job done after %d re-dispatch(es)", moved)
+
+	// Byte-identical across the worker death: the acceptance criterion.
+	got, err := rawLines(base + "/v1/jobs/" + st.ID + "/results")
+	if err != nil {
+		return err
+	}
+	if err := compare(got, want); err != nil {
+		return err
+	}
+	log.Printf("shardsmoke: merged stream byte-identical to the in-process reference (%d lines)", len(got))
+
+	// The attached follower saw the same stream on one connection.
+	select {
+	case o := <-followed:
+		if o.err != nil {
+			return fmt.Errorf("attached follower surfaced %v after %d lines", o.err, len(o.lines))
+		}
+		if err := compare(o.lines, want); err != nil {
+			return fmt.Errorf("attached follower: %w", err)
+		}
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("attached follower never finished")
+	}
+	log.Printf("shardsmoke: attached follower rode through the failover gap-free")
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		return err
+	}
+	dead, alive := 0, 0
+	for _, w := range h.Workers {
+		if w.Healthy {
+			alive++
+		} else {
+			dead++
+		}
+	}
+	if dead != 1 || alive != 1 {
+		return fmt.Errorf("healthz workers = %+v, want one dead and one alive", h.Workers)
+	}
+	log.Printf("shardsmoke: OK (healthz reports the dead worker)")
+	return nil
+}
+
+func compare(got, want []string) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("stream has %d lines, reference %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("line %d differs across the failover:\nserver   : %s\nreference: %s", i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// referenceLines runs the request's session in-process and returns the
+// NDJSON lines a single crash-free node would stream.
+func referenceLines(req service.JobRequest) ([]string, error) {
+	s, err := memtest.New(req.Plan,
+		memtest.WithSeed(req.Seed), memtest.WithDRF(),
+		memtest.WithFleetDelivery(memtest.Ordered))
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	for dr, err := range s.RunFleet(context.Background(), req.Devices) {
+		if err != nil {
+			return nil, err
+		}
+		data, err := json.Marshal(dr)
+		if err != nil {
+			return nil, err
+		}
+		lines = append(lines, string(data))
+	}
+	return lines, nil
+}
+
+func rawLines(url string) ([]string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 16<<20)
+	for sc.Scan() {
+		if len(sc.Bytes()) > 0 {
+			lines = append(lines, sc.Text())
+		}
+	}
+	return lines, sc.Err()
+}
+
+// freePort grabs an ephemeral port and releases it for the daemon.
+func freePort() (int, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port, nil
+}
+
+// waitHealthy polls /v1/healthz until the daemon answers.
+func waitHealthy(base string) error {
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%s never became healthy: %v", base, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

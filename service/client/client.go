@@ -66,6 +66,9 @@ func New(base string, hc *http.Client) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
 }
 
+// Base returns the server base URL this client talks to.
+func (c *Client) Base() string { return c.base }
+
 // do issues one JSON round-trip; out may be nil.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
 	var body io.Reader
@@ -263,42 +266,102 @@ func (c *Client) Results(ctx context.Context, id string, opts ...ResultsOption) 
 		o(&rc)
 	}
 	return func(yield func(memtest.DeviceResult, error) bool) {
-		next := rc.offset // next spool line to request
-		attempts := 0
-		for {
-			n, err := c.streamOnce(ctx, id, rc, next, yield)
-			next += n
-			if err == nil || errors.Is(err, errStopped) {
-				return // clean terminal end, or the consumer broke out
+		sink := func(line []byte) (bool, error) {
+			// A DeviceResult line never carries an "error" key; the
+			// terminal error envelope carries nothing else, so one
+			// decode discriminates both shapes.
+			var probe struct {
+				memtest.DeviceResult
+				Error string `json:"error"`
 			}
-			if n > 0 {
-				// Progress resets the failure budget: only consecutive
-				// fruitless attempts count against Backoff.Attempts.
-				attempts = 0
+			if err := json.Unmarshal(line, &probe); err != nil {
+				// A torn line — a server killed mid-write sends half a
+				// result. Retryable: the offset re-requests the whole line.
+				return false, fmt.Errorf("memtestd: bad stream line: %w", err)
 			}
-			if !rc.reconnect || !retryable(ctx, err) {
-				yield(memtest.DeviceResult{}, err)
-				return
+			if probe.Error != "" {
+				return false, &JobError{Message: probe.Error}
 			}
-			attempts++
-			if attempts >= rc.backoff.Attempts {
-				yield(memtest.DeviceResult{}, fmt.Errorf(
-					"memtestd: stream gave up after %d reconnect attempts: %w", attempts, err))
-				return
+			return yield(probe.DeviceResult, nil), nil
+		}
+		c.follow(ctx, id, rc, sink, func(err error) { yield(memtest.DeviceResult{}, err) })
+	}
+}
+
+// RawResults tails a job's NDJSON stream with the same contract as
+// Results — replay, live follow, optional self-healing reconnect —
+// but yields each device line's raw bytes instead of decoding it: the
+// passthrough memtest-coord uses to merge worker streams
+// byte-identically without a decode/re-encode round trip. Every line
+// is still validated before it is yielded (a torn line triggers
+// reconnect, a terminal {"error":...} envelope surfaces as *JobError,
+// never as a line). The yielded slice is reused by the scanner — copy
+// it before retaining it past the yield.
+func (c *Client) RawResults(ctx context.Context, id string, opts ...ResultsOption) iter.Seq2[[]byte, error] {
+	var rc resultsConfig
+	for _, o := range opts {
+		o(&rc)
+	}
+	return func(yield func([]byte, error) bool) {
+		sink := func(line []byte) (bool, error) {
+			var probe struct {
+				Error string `json:"error"`
 			}
-			if !sleepCtx(ctx, rc.backoff.delay(attempts)) {
-				yield(memtest.DeviceResult{}, ctx.Err())
-				return
+			if err := json.Unmarshal(line, &probe); err != nil {
+				return false, fmt.Errorf("memtestd: bad stream line: %w", err)
 			}
+			if probe.Error != "" {
+				return false, &JobError{Message: probe.Error}
+			}
+			return yield(line, nil), nil
+		}
+		c.follow(ctx, id, rc, sink, func(err error) { yield(nil, err) })
+	}
+}
+
+// follow drives the reconnect loop Results and RawResults share: it
+// opens results connections starting at rc.offset, pumps each line
+// through sink, and — with reconnect enabled — retries retryable
+// failures per the backoff schedule, re-requesting at the delivered
+// line count. fail delivers the terminal error when the stream cannot
+// continue.
+func (c *Client) follow(ctx context.Context, id string, rc resultsConfig, sink func(line []byte) (bool, error), fail func(error)) {
+	next := rc.offset // next spool line to request
+	attempts := 0
+	for {
+		n, err := c.streamOnce(ctx, id, rc, next, sink)
+		next += n
+		if err == nil || errors.Is(err, errStopped) {
+			return // clean terminal end, or the consumer broke out
+		}
+		if n > 0 {
+			// Progress resets the failure budget: only consecutive
+			// fruitless attempts count against Backoff.Attempts.
+			attempts = 0
+		}
+		if !rc.reconnect || !retryable(ctx, err) {
+			fail(err)
+			return
+		}
+		attempts++
+		if attempts >= rc.backoff.Attempts {
+			fail(fmt.Errorf(
+				"memtestd: stream gave up after %d reconnect attempts: %w", attempts, err))
+			return
+		}
+		if !sleepCtx(ctx, rc.backoff.delay(attempts)) {
+			fail(ctx.Err())
+			return
 		}
 	}
 }
 
 // streamOnce opens one results connection at spool offset `next` and
-// pumps it until it ends. It returns how many device lines it yielded
-// plus nil for a clean job-terminal end, errStopped when the consumer
-// broke out, or the connection's failure.
-func (c *Client) streamOnce(ctx context.Context, id string, rc resultsConfig, next int, yield func(memtest.DeviceResult, error) bool) (int, error) {
+// pumps it until it ends, handing each non-blank line to sink (which
+// reports whether to continue, or the line's failure). It returns how
+// many lines sink accepted plus nil for a clean job-terminal end,
+// errStopped when the consumer broke out, or the connection's failure.
+func (c *Client) streamOnce(ctx context.Context, id string, rc resultsConfig, next int, sink func([]byte) (bool, error)) (int, error) {
 	q := url.Values{}
 	if rc.cancelOnDisconnect && !rc.reconnect {
 		q.Set("cancel_on_disconnect", "true")
@@ -330,22 +393,11 @@ func (c *Client) streamOnce(ctx context.Context, id string, rc resultsConfig, ne
 		if len(bytes.TrimSpace(line)) == 0 {
 			continue
 		}
-		// A DeviceResult line never carries an "error" key; the
-		// terminal error envelope carries nothing else, so one
-		// decode discriminates both shapes.
-		var probe struct {
-			memtest.DeviceResult
-			Error string `json:"error"`
+		cont, err := sink(line)
+		if err != nil {
+			return yielded, err
 		}
-		if err := json.Unmarshal(line, &probe); err != nil {
-			// A torn line — a server killed mid-write sends half a
-			// result. Retryable: the offset re-requests the whole line.
-			return yielded, fmt.Errorf("memtestd: bad stream line: %w", err)
-		}
-		if probe.Error != "" {
-			return yielded, &JobError{Message: probe.Error}
-		}
-		if !yield(probe.DeviceResult, nil) {
+		if !cont {
 			return yielded, errStopped
 		}
 		yielded++

@@ -1,0 +1,586 @@
+// Package coord shards fleet diagnosis jobs across a pool of memtestd
+// worker nodes. The coordinator speaks the exact wire API of a single
+// memtestd (it implements service.Backend, so service.NewServer serves
+// it unchanged): clients submit one job, and the coordinator splits
+// its device range into contiguous shards, dispatches each shard as an
+// ordered first_device range job on a worker, and merges the worker
+// streams back into one spool in device order. Per-device seeds derive
+// from absolute device indices, so the merged stream is byte-identical
+// to the same job run on one node.
+//
+// Failure handling layers on the single-node machinery instead of
+// reinventing it: worker streams are self-healing client reconnects
+// (a worker restart mid-shard resumes via the worker's own crash
+// resume and heals invisibly), a worker dead past the reconnect budget
+// has its shard's missing remainder re-dispatched to a healthy worker
+// at first_device = shard lo + merged, and the coordinator persists
+// its own manifest and merged spool through service/store, so a
+// coordinator restart recovers the shard table and re-attaches to the
+// worker jobs, re-merging only the missing suffix.
+package coord
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/memtest"
+	"repro/service"
+	"repro/service/client"
+	"repro/service/store"
+)
+
+// Config sizes a Coordinator.
+type Config struct {
+	// Workers is the memtestd fleet to shard over, as base URLs
+	// (required). Workers must have crash resume enabled with ordered
+	// delivery; New refuses any reachable worker that does not.
+	Workers []string
+	// HTTP overrides the http.Client used for every worker call; nil
+	// selects http.DefaultClient.
+	HTTP *http.Client
+	// Jobs is the concurrent-merge worker count (default 2); Queue the
+	// bounded backlog beyond them (default 16).
+	Jobs  int
+	Queue int
+	// MinShard floors the devices per shard (default 64): a job is
+	// split into min(workers, devices/MinShard) shards, at least one,
+	// so tiny jobs do not pay dispatch overhead per handful of devices.
+	MinShard int
+	// Redispatches is the per-shard budget of moves to a new worker
+	// after a stream failed past the reconnect schedule (default 3).
+	Redispatches int
+	// Backoff shapes each shard stream's reconnect schedule; the zero
+	// value selects the client defaults.
+	Backoff client.Backoff
+	// ProbeTimeout bounds one worker health probe (default 2s).
+	ProbeTimeout time.Duration
+	// Store persists the coordinator's own manifests and merged spools.
+	// Nil selects in-memory (jobs die with the process); a disk store
+	// makes coordinated jobs survive coordinator restarts.
+	Store store.Store
+	// RetainJobs / RetainBytes cap retained finished jobs, exactly as
+	// on the single-node manager. Zero keeps all.
+	RetainJobs  int
+	RetainBytes int64
+	// NoResume disables coordinator restart resume: interrupted jobs
+	// recover as failed with their merged prefix streamable.
+	NoResume bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Jobs <= 0 {
+		c.Jobs = 2
+	}
+	if c.Queue <= 0 {
+		c.Queue = 16
+	}
+	if c.MinShard <= 0 {
+		c.MinShard = 64
+	}
+	if c.Redispatches <= 0 {
+		c.Redispatches = 3
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// Coordinator owns the coordinated-job table, the backlog, the worker
+// registry and the merge workers. It implements service.Backend.
+type Coordinator struct {
+	cfg   Config
+	reg   *registry
+	store store.Store
+	now   func() time.Time
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu      sync.Mutex
+	backlog []*job
+	qcond   *sync.Cond
+	jobs    map[string]*job
+	order   []string
+	seq     int
+	running int
+	closed  bool
+
+	jobsRecovered int
+	jobsResumed   int
+}
+
+// New validates the worker fleet, recovers any stored jobs and starts
+// the merge workers. Reachable workers that are not shard-capable
+// (crash resume disabled, or unordered resume delivery) are refused
+// outright; unreachable ones are tolerated and re-probed at dispatch
+// time. Call Close to stop the coordinator and release the store.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("coord: no workers configured")
+	}
+	st := cfg.Store
+	if st == nil {
+		st = store.NewMem()
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	c := &Coordinator{
+		cfg:     cfg,
+		reg:     newRegistry(cfg.Workers, cfg.HTTP, cfg.ProbeTimeout),
+		store:   st,
+		now:     time.Now,
+		baseCtx: ctx,
+		stop:    stop,
+		jobs:    map[string]*job{},
+	}
+	c.qcond = sync.NewCond(&c.mu)
+	if err := c.reg.sweep(ctx); err != nil {
+		stop()
+		return nil, err
+	}
+	if err := c.recover(); err != nil {
+		stop()
+		return nil, err
+	}
+	c.enforceRetention()
+	for range cfg.Jobs {
+		c.wg.Add(1)
+		go c.worker()
+	}
+	return c, nil
+}
+
+// recover rebuilds the job table from the store, mirroring the
+// single-node manager's recovery: terminal jobs replay byte-
+// identically, and an interrupted job re-enqueues as resuming when its
+// manifest carries a usable request — the merged spool's whole-line
+// count (torn tail truncated) is the resume point, the shard table's
+// Merged counters are rebased onto it, and the merge re-attaches to
+// the recorded worker jobs for only the missing suffix.
+func (c *Coordinator) recover() error {
+	ids, err := c.store.Jobs()
+	if err != nil {
+		return fmt.Errorf("%w: %v", service.ErrStorage, err)
+	}
+	for _, id := range ids {
+		spool, err := c.store.Open(id)
+		if err != nil {
+			return fmt.Errorf("%w: %v", service.ErrStorage, err)
+		}
+		raw, err := spool.Manifest()
+		if err != nil {
+			return fmt.Errorf("%w: %v", service.ErrStorage, err)
+		}
+		var mf manifest
+		if err := json.Unmarshal(raw, &mf); err != nil {
+			return fmt.Errorf("%w: manifest for %s: %v", service.ErrStorage, id, err)
+		}
+		st := mf.JobStatus
+		st.ID = id // the file name is authoritative
+		st.Recovered = true
+		j := &job{id: id, devices: st.Devices, spool: spool}
+		j.cond = sync.NewCond(&j.mu)
+		c.jobsRecovered++
+		interrupted := !st.State.Terminal()
+		if interrupted {
+			lines, linesErr := spool.Lines()
+			if linesErr == nil {
+				st.Completed = min(lines, st.Devices)
+			}
+			switch {
+			case linesErr != nil:
+				st.State = service.StateFailed
+				st.Error = fmt.Sprintf("interrupted by coordinator restart; merged spool unreadable: %v", linesErr)
+				t := c.now()
+				st.Finished = &t
+			case !c.cfg.NoResume && mf.Request != nil && c.resumable(*mf.Request):
+				j.req = *mf.Request
+				j.resume, j.resumeFrom = true, st.Completed
+				if len(st.Shards) == 0 {
+					st.Shards = planShards(j.req.FirstDevice, j.req.Devices, len(c.cfg.Workers), c.cfg.MinShard)
+				}
+				// The spool is authoritative over the shard counters: a
+				// crash between an append and the next shard-boundary
+				// checkpoint leaves Merged stale.
+				rebaseMerged(st.Shards, st.Completed)
+				st.State = service.StateResuming
+				st.Resumed, st.ResumedFrom = true, st.Completed
+				st.Error = ""
+				st.Started, st.Finished = nil, nil
+				c.jobsResumed++
+			default:
+				st.State = service.StateFailed
+				st.Error = fmt.Sprintf("interrupted by coordinator restart; %d/%d device results retained", st.Completed, st.Devices)
+				t := c.now()
+				st.Finished = &t
+			}
+		}
+		j.status = st
+		if interrupted {
+			j.mu.Lock()
+			err := j.persist()
+			j.mu.Unlock()
+			if err != nil {
+				return err
+			}
+		}
+		var seq int
+		if _, err := fmt.Sscanf(id, "job-%d", &seq); err == nil && seq > c.seq {
+			c.seq = seq
+		}
+		c.jobs[id] = j
+		c.order = append(c.order, id)
+		if j.resume {
+			c.backlog = append(c.backlog, j)
+		}
+	}
+	return nil
+}
+
+// resumable reports whether a recovered request can drive a resumed
+// merge. Unlike the single-node manager, any requested delivery
+// resumes: the coordinator always dispatches shards ordered and merges
+// in device order, so its spool is a device prefix regardless.
+func (c *Coordinator) resumable(req service.JobRequest) bool {
+	if req.Devices <= 0 {
+		return false
+	}
+	_, err := req.Resolve()
+	return err == nil
+}
+
+func (c *Coordinator) worker() {
+	defer c.wg.Done()
+	for {
+		c.mu.Lock()
+		for len(c.backlog) == 0 && !c.closed {
+			c.qcond.Wait()
+		}
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		j := c.backlog[0]
+		c.backlog = c.backlog[1:]
+		c.mu.Unlock()
+		c.run(j)
+	}
+}
+
+// run executes one coordinated job: dispatch, ordered merge, terminal
+// state — with the same timeout and cancellation mapping as the
+// single-node manager. Worker jobs of incomplete shards are cancelled
+// when the job ends abnormally.
+func (c *Coordinator) run(j *job) {
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if j.req.TimeoutSec > 0 {
+		ctx, cancel = context.WithTimeout(c.baseCtx, time.Duration(j.req.TimeoutSec*float64(time.Second)))
+	} else {
+		ctx, cancel = context.WithCancel(c.baseCtx)
+	}
+	defer cancel()
+	if !j.start(cancel, c.now()) {
+		return
+	}
+	c.mu.Lock()
+	c.running++
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.running--
+		c.mu.Unlock()
+	}()
+
+	err := c.merge(ctx, j)
+	switch {
+	case err == nil:
+		j.finish(service.StateDone, nil, c.now())
+	case errors.Is(err, context.DeadlineExceeded):
+		j.finish(service.StateFailed, fmt.Errorf("%w (timeout_sec=%g)", service.ErrJobTimeout, j.req.TimeoutSec), c.now())
+	case errors.Is(err, context.Canceled):
+		j.finish(service.StateCancelled, err, c.now())
+	default:
+		j.finish(service.StateFailed, err, c.now())
+	}
+	if err != nil {
+		c.cancelShardJobs(j)
+	}
+	c.enforceRetention()
+}
+
+// Submit validates a job request, plans its shard table and enqueues
+// it. The same fail-fast contract as the single-node manager: a bad
+// request never occupies a queue slot, a full queue returns
+// ErrQueueFull without blocking.
+func (c *Coordinator) Submit(req service.JobRequest) (service.JobStatus, error) {
+	if req.Devices <= 0 {
+		return service.JobStatus{}, fmt.Errorf("%w (got %d)", service.ErrBadDevices, req.Devices)
+	}
+	if req.FirstDevice < 0 {
+		return service.JobStatus{}, fmt.Errorf("%w (got %d)", service.ErrBadFirstDevice, req.FirstDevice)
+	}
+	if req.TimeoutSec < 0 {
+		return service.JobStatus{}, fmt.Errorf("%w (got %g)", service.ErrBadTimeout, req.TimeoutSec)
+	}
+	scheme, err := req.Resolve()
+	if err != nil {
+		return service.JobStatus{}, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return service.JobStatus{}, service.ErrShuttingDown
+	}
+	if len(c.backlog) >= c.cfg.Queue {
+		return service.JobStatus{}, fmt.Errorf("%w (capacity %d)", service.ErrQueueFull, c.cfg.Queue)
+	}
+	c.seq++
+	j := &job{
+		id:      fmt.Sprintf("job-%06d", c.seq),
+		req:     req,
+		devices: req.Devices,
+	}
+	j.cond = sync.NewCond(&j.mu)
+	j.status = service.JobStatus{
+		ID: j.id, State: service.StateQueued,
+		Plan: req.Plan.Name, Scheme: scheme,
+		Devices: req.Devices, FirstDevice: req.FirstDevice,
+		Shards:  planShards(req.FirstDevice, req.Devices, len(c.cfg.Workers), c.cfg.MinShard),
+		Created: c.now(),
+	}
+	mf, err := json.Marshal(manifest{JobStatus: j.status, Request: &j.req})
+	if err != nil {
+		return service.JobStatus{}, err
+	}
+	spool, err := c.store.Create(j.id, mf)
+	if err != nil {
+		return service.JobStatus{}, fmt.Errorf("%w: %v", service.ErrStorage, err)
+	}
+	j.spool = spool
+	accepted := j.snapshot()
+	c.backlog = append(c.backlog, j)
+	c.jobs[j.id] = j
+	c.order = append(c.order, j.id)
+	c.qcond.Signal()
+	return accepted, nil
+}
+
+func (c *Coordinator) lookup(id string) (*job, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", service.ErrUnknownJob, id)
+	}
+	return j, nil
+}
+
+// Status returns a job's current state, shard table included.
+func (c *Coordinator) Status(id string) (service.JobStatus, error) {
+	j, err := c.lookup(id)
+	if err != nil {
+		return service.JobStatus{}, err
+	}
+	return j.snapshot(), nil
+}
+
+// Jobs lists every retained coordinated job in submission order.
+func (c *Coordinator) Jobs() []service.JobStatus {
+	c.mu.Lock()
+	jobs := make([]*job, 0, len(c.order))
+	for _, id := range c.order {
+		jobs = append(jobs, c.jobs[id])
+	}
+	c.mu.Unlock()
+	out := make([]service.JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.snapshot()
+	}
+	return out
+}
+
+// Cancel stops a coordinated job; its dispatched worker jobs are
+// cancelled as the merge unwinds.
+func (c *Coordinator) Cancel(id string) (service.JobStatus, error) {
+	j, err := c.lookup(id)
+	if err != nil {
+		return service.JobStatus{}, err
+	}
+	c.mu.Lock()
+	for i, q := range c.backlog {
+		if q == j {
+			c.backlog = append(c.backlog[:i], c.backlog[i+1:]...)
+			break
+		}
+	}
+	c.mu.Unlock()
+	j.mu.Lock()
+	j.cancelled = true
+	switch j.status.State {
+	case service.StateQueued, service.StateResuming:
+		j.status.State = service.StateCancelled
+		j.status.Error = context.Canceled.Error()
+		t := c.now()
+		j.status.Finished = &t
+		j.persist() //nolint:errcheck // best effort: recovery marks a queued manifest failed anyway
+		j.cond.Broadcast()
+	case service.StateRunning:
+		j.cancelRun()
+	}
+	st := j.status
+	j.mu.Unlock()
+	return st, nil
+}
+
+// Follow streams a job's merged result lines from line offset onward;
+// see job.follow for the contract.
+func (c *Coordinator) Follow(ctx context.Context, id string, offset int, emit func([]byte) error) (string, error) {
+	j, err := c.lookup(id)
+	if err != nil {
+		return "", err
+	}
+	return j.follow(ctx, offset, emit)
+}
+
+// Diagnose forwards the one-shot to a capable worker: the coordinator
+// never diagnoses in-process, so /v1/diagnose capacity is the fleet's.
+func (c *Coordinator) Diagnose(ctx context.Context, req service.JobRequest) (*memtest.Result, error) {
+	if _, err := req.Resolve(); err != nil {
+		return nil, err
+	}
+	w, err := c.reg.pick(ctx, "")
+	if err != nil {
+		return nil, fmt.Errorf("%w: no capable worker: %v", service.ErrShuttingDown, err)
+	}
+	res, err := w.cli.Diagnose(ctx, req)
+	if err != nil {
+		return nil, forwardErr(err)
+	}
+	return res, nil
+}
+
+// forwardErr translates a worker-call failure into the sentinel the
+// server maps onto the matching HTTP status: worker 429s stay 429,
+// worker 5xx and transport failures become 500, anything else is the
+// client's mistake (400).
+func forwardErr(err error) error {
+	var api *client.APIError
+	if errors.As(err, &api) {
+		switch {
+		case api.StatusCode == http.StatusTooManyRequests:
+			return fmt.Errorf("%w: %s", service.ErrDiagnoseBusy, api.Message)
+		case api.StatusCode >= 500:
+			return fmt.Errorf("%w: %s", service.ErrDiagnose, api.Message)
+		}
+		return fmt.Errorf("coord: worker: %s", api.Message)
+	}
+	return fmt.Errorf("%w: %v", service.ErrDiagnose, err)
+}
+
+// Health reports the coordinator's own capacity and load plus the
+// per-worker fleet view; FleetWorkers and IdleWorkers aggregate the
+// capable workers' pools.
+func (c *Coordinator) Health() service.Health {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
+	defer cancel()
+	views, fleetWorkers, idle := c.reg.snapshot(ctx)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := service.Health{
+		Jobs: c.cfg.Jobs, Queue: c.cfg.Queue,
+		QueuedJobs: len(c.backlog), RunningJobs: c.running,
+		FleetWorkers:  fleetWorkers,
+		IdleWorkers:   idle,
+		JobsRecovered: c.jobsRecovered,
+		JobsResumed:   c.jobsResumed,
+		Workers:       views,
+	}
+	if !c.cfg.NoResume {
+		h.Resume = true
+		h.ResumeDelivery = "ordered"
+	}
+	if d, ok := c.store.(interface{ Durable() bool }); ok {
+		h.Durable = d.Durable()
+	}
+	return h
+}
+
+// enforceRetention mirrors the single-node manager's eviction: oldest
+// finished jobs go first, running and resuming jobs never.
+func (c *Coordinator) enforceRetention() {
+	if c.cfg.RetainJobs <= 0 && c.cfg.RetainBytes <= 0 {
+		return
+	}
+	c.mu.Lock()
+	var total int64
+	finished := 0
+	for _, id := range c.order {
+		j := c.jobs[id]
+		total += j.spool.Size()
+		if j.snapshot().State.Terminal() {
+			finished++
+		}
+	}
+	var evict []string
+	for _, id := range c.order {
+		over := (c.cfg.RetainJobs > 0 && finished > c.cfg.RetainJobs) ||
+			(c.cfg.RetainBytes > 0 && total > c.cfg.RetainBytes)
+		if !over {
+			break
+		}
+		j := c.jobs[id]
+		if !j.snapshot().State.Terminal() {
+			continue
+		}
+		evict = append(evict, id)
+		finished--
+		total -= j.spool.Size()
+		delete(c.jobs, id)
+	}
+	if len(evict) > 0 {
+		kept := c.order[:0]
+		for _, id := range c.order {
+			if _, ok := c.jobs[id]; ok {
+				kept = append(kept, id)
+			}
+		}
+		c.order = kept
+	}
+	c.mu.Unlock()
+	for _, id := range evict {
+		c.store.Remove(id) //nolint:errcheck // eviction is best effort; a leaked spool is re-evicted on restart
+	}
+}
+
+// Close stops accepting submissions, cancels every running merge,
+// waits for the workers to unwind, cancels the backlog and releases
+// the store. It is idempotent.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	backlog := c.backlog
+	c.backlog = nil
+	c.qcond.Broadcast()
+	c.mu.Unlock()
+	c.stop()
+	c.wg.Wait()
+	for _, j := range backlog {
+		j.mu.Lock()
+		j.cancelled = true
+		j.mu.Unlock()
+		j.finish(service.StateCancelled, service.ErrShuttingDown, c.now())
+	}
+	c.store.Close() //nolint:errcheck // nothing left to do with a failing store at shutdown
+}

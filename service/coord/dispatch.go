@@ -1,0 +1,182 @@
+package coord
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/service"
+	"repro/service/client"
+)
+
+// shard returns a copy of shard i's current state.
+func (j *job) shard(i int) service.ShardStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status.Shards[i]
+}
+
+// merge runs one coordinated job end to end: every shard without a
+// live worker job is dispatched up front — so the whole fleet computes
+// in parallel — and the shards are then drained strictly in device
+// order, each line appended to the merged spool as it arrives. The
+// merged stream is byte-identical to a single-node run of the same
+// request: workers run absolute device ranges (first_device), so
+// concatenating their ordered streams is exactly the single stream.
+func (c *Coordinator) merge(ctx context.Context, j *job) error {
+	for i := range j.snapshot().Shards {
+		sh := j.shard(i)
+		if sh.JobID == "" && sh.Lo+sh.Merged < sh.Hi {
+			if err := c.dispatch(ctx, j, i, ""); err != nil {
+				return err
+			}
+		}
+	}
+	for i := range j.snapshot().Shards {
+		if err := c.drainShard(ctx, j, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dispatch submits shard i's remaining device range [Lo+Merged, Hi) as
+// an ordered job on a capable worker, preferring workers other than
+// avoid. A worker that accepts records the assignment durably; one
+// that refuses (queue full, mid-restart) is skipped for the next
+// candidate, and dispatch fails only when every configured worker
+// refused.
+func (c *Coordinator) dispatch(ctx context.Context, j *job, i int, avoid string) error {
+	sh := j.shard(i)
+	lo := sh.Lo + sh.Merged
+	req := service.JobRequest{
+		Plan:        j.req.Plan,
+		Devices:     sh.Hi - lo,
+		FirstDevice: lo,
+		Scheme:      j.req.Scheme,
+		DRF:         j.req.DRF,
+		Seed:        j.req.Seed,
+		Workers:     j.req.Workers,
+		Delivery:    "ordered", // resume and merge both need an ordered spool
+		Repair:      j.req.Repair,
+	}
+	var lastErr error
+	for range c.reg.workers {
+		w, err := c.reg.pick(ctx, avoid)
+		if err != nil {
+			if lastErr == nil {
+				lastErr = err
+			}
+			break
+		}
+		st, err := w.cli.Submit(ctx, req)
+		if err != nil {
+			lastErr = err
+			avoid = w.url
+			if ctx.Err() != nil {
+				break
+			}
+			continue
+		}
+		j.mu.Lock()
+		j.status.Shards[i].Worker = w.url
+		j.status.Shards[i].JobID = st.ID
+		j.status.Shards[i].DispatchLo = lo
+		j.persist() //nolint:errcheck // the next persist (or recovery's re-dispatch) repairs a missed write
+		j.mu.Unlock()
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("coord: no workers configured")
+	}
+	return fmt.Errorf("coord: dispatch shard [%d,%d): %w", lo, sh.Hi, lastErr)
+}
+
+// drainShard streams shard i's worker job into the merged spool until
+// the shard is complete. The stream is self-healing (client reconnect
+// with offset), so a worker restart mid-shard heals invisibly; a
+// stream that still fails — reconnect budget exhausted, the worker job
+// lost or failed, a clean end short of the range — re-dispatches the
+// missing remainder [Lo+Merged, Hi) to another capable worker, up to
+// the configured re-dispatch budget.
+func (c *Coordinator) drainShard(ctx context.Context, j *job, i int) error {
+	for {
+		sh := j.shard(i)
+		size := sh.Hi - sh.Lo
+		if sh.Merged >= size {
+			return nil
+		}
+		if sh.JobID == "" {
+			// Recovered before dispatch, or cleared by a failed stream.
+			if err := c.dispatch(ctx, j, i, sh.Worker); err != nil {
+				return err
+			}
+			continue
+		}
+		var streamErr error
+		if w := c.reg.byURL(sh.Worker); w == nil {
+			streamErr = fmt.Errorf("coord: worker %s no longer configured", sh.Worker)
+		} else {
+			// The worker job's line k is device DispatchLo+k, so the next
+			// device this merge needs sits at this offset in its spool.
+			offset := sh.Lo + sh.Merged - sh.DispatchLo
+			for line, err := range w.cli.RawResults(ctx, sh.JobID,
+				client.WithOffset(offset), client.WithReconnect(c.cfg.Backoff)) {
+				if err != nil {
+					streamErr = err
+					break
+				}
+				if sh.Merged >= size {
+					streamErr = fmt.Errorf("coord: worker %s streamed past shard [%d,%d)", sh.Worker, sh.Lo, sh.Hi)
+					break
+				}
+				if err := j.append(line); err != nil {
+					return err // own storage failed; re-dispatching cannot help
+				}
+				sh.Merged++
+				j.mu.Lock()
+				j.status.Shards[i].Merged = sh.Merged
+				j.mu.Unlock()
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if streamErr == nil {
+			if sh.Merged >= size {
+				j.mu.Lock()
+				j.persist() //nolint:errcheck // shard-boundary checkpoint; the spool stays authoritative
+				j.mu.Unlock()
+				return nil
+			}
+			streamErr = fmt.Errorf("coord: worker %s job %s ended %d lines short of shard [%d,%d)",
+				sh.Worker, sh.JobID, size-sh.Merged, sh.Lo, sh.Hi)
+		}
+		j.mu.Lock()
+		j.status.Shards[i].Redispatches++
+		redispatches := j.status.Shards[i].Redispatches
+		j.status.Shards[i].JobID = ""
+		j.persist() //nolint:errcheck // shard-boundary checkpoint; the spool stays authoritative
+		j.mu.Unlock()
+		if redispatches > c.cfg.Redispatches {
+			return fmt.Errorf("coord: shard [%d,%d) abandoned after %d re-dispatches: %w",
+				sh.Lo, sh.Hi, c.cfg.Redispatches, streamErr)
+		}
+	}
+}
+
+// cancelShardJobs best-effort cancels the worker jobs of every
+// incomplete shard, so an abandoned coordinated job does not leave
+// workers diagnosing devices nobody will merge.
+func (c *Coordinator) cancelShardJobs(j *job) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, sh := range j.snapshot().Shards {
+		if sh.JobID == "" || sh.Merged >= sh.Hi-sh.Lo {
+			continue
+		}
+		if w := c.reg.byURL(sh.Worker); w != nil {
+			w.cli.Cancel(ctx, sh.JobID) //nolint:errcheck // the job may be done or the worker gone; either is fine
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package coord
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/service"
+	"repro/service/client"
+)
+
+// worker is one memtestd node the coordinator dispatches shards to.
+type worker struct {
+	url string
+	cli *client.Client
+
+	mu        sync.Mutex
+	probed    bool
+	reachable bool
+	capable   bool
+	lastErr   string
+	health    service.Health // last successful probe
+}
+
+// probe fetches the worker's /v1/healthz and records whether it is
+// shard-capable: crash resume enabled with ordered delivery. A shard
+// parked on a resume-disabled or unordered worker would not survive a
+// worker restart as a byte-identical prefix, so the coordinator
+// refuses to use one.
+func (w *worker) probe(ctx context.Context, timeout time.Duration) error {
+	pctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	h, err := w.cli.Health(pctx)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.probed = true
+	w.reachable = err == nil
+	switch {
+	case err != nil:
+		w.capable, w.lastErr = false, err.Error()
+	case !h.Resume:
+		w.capable, w.lastErr = false, "worker has crash resume disabled (-resume=false)"
+	case h.ResumeDelivery != "ordered":
+		w.capable, w.lastErr = false, fmt.Sprintf("worker resume delivery %q, need ordered", h.ResumeDelivery)
+	default:
+		w.capable, w.lastErr, w.health = true, "", h
+	}
+	if !w.capable {
+		return fmt.Errorf("coord: worker %s: %s", w.url, w.lastErr)
+	}
+	return nil
+}
+
+func (w *worker) snapshot() service.WorkerHealth {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return service.WorkerHealth{URL: w.url, Healthy: w.probed && w.capable, Error: w.lastErr}
+}
+
+// registry holds the configured worker fleet and hands out capable
+// workers round-robin.
+type registry struct {
+	workers      []*worker
+	probeTimeout time.Duration
+
+	mu   sync.Mutex
+	next int
+}
+
+func newRegistry(urls []string, hc *http.Client, probeTimeout time.Duration) *registry {
+	r := &registry{probeTimeout: probeTimeout}
+	for _, u := range urls {
+		r.workers = append(r.workers, &worker{url: u, cli: client.New(u, hc)})
+	}
+	return r
+}
+
+// byURL resolves a recovered shard's recorded worker; nil when the
+// worker is no longer configured (the shard re-dispatches instead).
+func (r *registry) byURL(u string) *worker {
+	for _, w := range r.workers {
+		if w.url == u {
+			return w
+		}
+	}
+	return nil
+}
+
+// pick probes workers round-robin and returns the first capable one,
+// preferring any worker other than avoid (the one whose stream just
+// failed); avoid itself is only returned when it is the sole capable
+// worker. It fails when no worker passes the capability probe,
+// carrying the last refusal.
+func (r *registry) pick(ctx context.Context, avoid string) (*worker, error) {
+	r.mu.Lock()
+	start := r.next
+	r.next = (r.next + 1) % len(r.workers)
+	r.mu.Unlock()
+	var lastErr error
+	var fallback *worker
+	for i := range r.workers {
+		w := r.workers[(start+i)%len(r.workers)]
+		if err := w.probe(ctx, r.probeTimeout); err != nil {
+			lastErr = err
+			continue
+		}
+		if w.url == avoid {
+			fallback = w
+			continue
+		}
+		return w, nil
+	}
+	if fallback != nil {
+		return fallback, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("coord: no workers configured")
+	}
+	return nil, lastErr
+}
+
+// sweep probes every worker concurrently and fails when any worker is
+// reachable but not shard-capable — the fail-fast startup refusal of
+// unordered or resume-disabled workers. Workers that are merely down
+// are tolerated: they may come up later, and pick re-probes on every
+// dispatch.
+func (r *registry) sweep(ctx context.Context) error {
+	var wg sync.WaitGroup
+	for _, w := range r.workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.probe(ctx, r.probeTimeout) //nolint:errcheck // the refusal is inspected below
+		}()
+	}
+	wg.Wait()
+	var bad []string
+	for _, w := range r.workers {
+		w.mu.Lock()
+		if w.reachable && !w.capable {
+			bad = append(bad, fmt.Sprintf("%s: %s", w.url, w.lastErr))
+		}
+		w.mu.Unlock()
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("coord: refusing shard-incapable workers: %s", strings.Join(bad, "; "))
+	}
+	return nil
+}
+
+// snapshot probes every worker concurrently and returns the fleet view
+// plus the summed capacity of the reachable workers.
+func (r *registry) snapshot(ctx context.Context) (views []service.WorkerHealth, fleetWorkers, idleWorkers int) {
+	var wg sync.WaitGroup
+	for _, w := range r.workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.probe(ctx, r.probeTimeout) //nolint:errcheck // the refusal is recorded in the snapshot
+		}()
+	}
+	wg.Wait()
+	views = make([]service.WorkerHealth, len(r.workers))
+	for i, w := range r.workers {
+		views[i] = w.snapshot()
+		w.mu.Lock()
+		if w.capable {
+			fleetWorkers += w.health.FleetWorkers
+			idleWorkers += w.health.IdleWorkers
+		}
+		w.mu.Unlock()
+	}
+	return views, fleetWorkers, idleWorkers
+}

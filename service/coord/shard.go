@@ -1,0 +1,44 @@
+package coord
+
+import "repro/service"
+
+// planShards splits the device range [first, first+devices) into at
+// most `workers` contiguous shards, each covering at least minShard
+// devices so tiny jobs do not pay dispatch overhead per handful of
+// devices (the final shards absorb the remainder one device each).
+// The split is deterministic in (first, devices, workers, minShard),
+// so a restarted coordinator re-derives the same table its manifest
+// recorded.
+func planShards(first, devices, workers, minShard int) []service.ShardStatus {
+	if minShard < 1 {
+		minShard = 1
+	}
+	n := min(max(devices/minShard, 1), max(workers, 1))
+	shards := make([]service.ShardStatus, n)
+	base, rem := devices/n, devices%n
+	lo := first
+	for i := range shards {
+		size := base
+		if i >= n-rem {
+			size++
+		}
+		shards[i] = service.ShardStatus{Lo: lo, Hi: lo + size}
+		lo += size
+	}
+	return shards
+}
+
+// rebaseMerged distributes a recovered job's spooled line count K over
+// the shard table in merge order: the merge appends shards strictly
+// sequentially, so the first K merged devices are exactly the shard
+// prefix. The manifest's per-shard Merged counters may lag the spool
+// (manifests persist on shard transitions, not per line); the spool is
+// authoritative.
+func rebaseMerged(shards []service.ShardStatus, merged int) {
+	for i := range shards {
+		size := shards[i].Hi - shards[i].Lo
+		m := min(merged, size)
+		shards[i].Merged = m
+		merged -= m
+	}
+}

@@ -1,0 +1,104 @@
+package coord
+
+import (
+	"testing"
+
+	"repro/service"
+)
+
+// TestPlanShardsCoversRangeContiguously: every plan partitions
+// [first, first+devices) exactly — contiguous, gap-free, in order.
+func TestPlanShardsCoversRangeContiguously(t *testing.T) {
+	for _, tc := range []struct {
+		first, devices, workers, minShard int
+		want                              int // shard count
+	}{
+		{0, 100, 4, 10, 4},  // enough devices: one shard per worker
+		{0, 100, 4, 60, 1},  // floor collapses to a single shard
+		{0, 100, 4, 30, 3},  // floor caps below worker count
+		{0, 7, 16, 1, 7},    // never more shards than devices
+		{0, 1, 8, 64, 1},    // one device, one shard
+		{500, 10, 3, 2, 3},  // offset ranges shard the same way
+		{0, 23, 4, 5, 4},    // remainder spreads over trailing shards
+		{0, 100, 1, 1, 1},   // single worker
+		{0, 1000, 8, 64, 8}, // big job saturates the fleet
+		{0, 129, 8, 64, 2},  // just past 2x floor
+	} {
+		shards := planShards(tc.first, tc.devices, tc.workers, tc.minShard)
+		if len(shards) != tc.want {
+			t.Errorf("planShards(%d,%d,%d,%d) = %d shards, want %d",
+				tc.first, tc.devices, tc.workers, tc.minShard, len(shards), tc.want)
+			continue
+		}
+		lo := tc.first
+		for i, sh := range shards {
+			if sh.Lo != lo {
+				t.Errorf("case %+v shard %d starts at %d, want %d", tc, i, sh.Lo, lo)
+			}
+			if sh.Hi <= sh.Lo {
+				t.Errorf("case %+v shard %d empty: [%d,%d)", tc, i, sh.Lo, sh.Hi)
+			}
+			lo = sh.Hi
+		}
+		if lo != tc.first+tc.devices {
+			t.Errorf("case %+v covers up to %d, want %d", tc, lo, tc.first+tc.devices)
+		}
+		// Shard sizes differ by at most one, smaller shards first, so a
+		// re-planned table after recovery lines up with the original.
+		minSz, maxSz := tc.devices, 0
+		for _, sh := range shards {
+			minSz = min(minSz, sh.Hi-sh.Lo)
+			maxSz = max(maxSz, sh.Hi-sh.Lo)
+		}
+		if maxSz-minSz > 1 {
+			t.Errorf("case %+v shard sizes spread %d..%d", tc, minSz, maxSz)
+		}
+	}
+}
+
+// TestPlanShardsDeterministic: the same inputs always produce the same
+// table — recovery re-plans a missing shard table and must agree with
+// what the crashed coordinator dispatched.
+func TestPlanShardsDeterministic(t *testing.T) {
+	a := planShards(10, 997, 7, 16)
+	b := planShards(10, 997, 7, 16)
+	if len(a) != len(b) {
+		t.Fatalf("shard counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("shard %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRebaseMerged: a merged-line count distributes over the shard
+// table as the device-order prefix it is.
+func TestRebaseMerged(t *testing.T) {
+	mk := func() []service.ShardStatus {
+		return []service.ShardStatus{
+			{Lo: 0, Hi: 10, Merged: 10}, // stale counters from the crashed run
+			{Lo: 10, Hi: 20, Merged: 7},
+			{Lo: 20, Hi: 30, Merged: 0},
+		}
+	}
+	for _, tc := range []struct {
+		merged int
+		want   [3]int
+	}{
+		{0, [3]int{0, 0, 0}},
+		{5, [3]int{5, 0, 0}},
+		{10, [3]int{10, 0, 0}},
+		{17, [3]int{10, 7, 0}},
+		{25, [3]int{10, 10, 5}},
+		{30, [3]int{10, 10, 10}},
+	} {
+		shards := mk()
+		rebaseMerged(shards, tc.merged)
+		for i, sh := range shards {
+			if sh.Merged != tc.want[i] {
+				t.Errorf("rebase(%d) shard %d merged %d, want %d", tc.merged, i, sh.Merged, tc.want[i])
+			}
+		}
+	}
+}

@@ -27,6 +27,11 @@ var (
 	ErrShuttingDown = errors.New("service: shutting down")
 	// ErrBadDevices: a job submission without a positive device count.
 	ErrBadDevices = errors.New("service: job needs a positive device count")
+	// ErrBadFirstDevice: a job submission with a negative first_device.
+	ErrBadFirstDevice = errors.New("service: first_device must be non-negative")
+	// ErrDiagnose: a one-shot diagnosis run itself failed (HTTP 500) —
+	// the request was fine, the engine was not.
+	ErrDiagnose = errors.New("service: diagnosis failed")
 	// ErrStorage: the job store failed (HTTP 500) — e.g. the data
 	// directory became unwritable mid-job.
 	ErrStorage = errors.New("service: job storage")
@@ -580,14 +585,15 @@ func (m *Manager) run(j *job) {
 		if err != nil {
 			return err
 		}
-		// A fresh job runs the full range; a resume re-runs only the
+		// A fresh job runs its full range (offset by first_device when
+		// it is a shard of a larger fleet); a resume re-runs only the
 		// missing suffix, appending to the spooled prefix — the final
 		// stream is byte-identical to a crash-free run.
-		lo := 0
+		lo := j.req.FirstDevice
 		if j.resume {
-			lo = j.resumeFrom
+			lo += j.resumeFrom
 			m.mu.Lock()
-			m.resumeDevicesRerun += int64(j.devices - lo)
+			m.resumeDevicesRerun += int64(j.devices - j.resumeFrom)
 			m.mu.Unlock()
 		}
 		// One encode buffer per run: every device result is marshalled
@@ -596,7 +602,7 @@ func (m *Manager) run(j *job) {
 		// store, no write syscall per result.
 		var encBuf bytes.Buffer
 		enc := json.NewEncoder(&encBuf)
-		for dr, err := range session.RunFleetRange(ctx, lo, j.devices) {
+		for dr, err := range session.RunFleetRange(ctx, lo, j.req.FirstDevice+j.devices) {
 			if err != nil {
 				return err
 			}
@@ -634,13 +640,16 @@ func (m *Manager) Submit(req JobRequest) (JobStatus, error) {
 	if req.Devices <= 0 {
 		return JobStatus{}, fmt.Errorf("%w (got %d)", ErrBadDevices, req.Devices)
 	}
+	if req.FirstDevice < 0 {
+		return JobStatus{}, fmt.Errorf("%w (got %d)", ErrBadFirstDevice, req.FirstDevice)
+	}
 	if req.TimeoutSec < 0 {
 		return JobStatus{}, fmt.Errorf("%w (got %g)", ErrBadTimeout, req.TimeoutSec)
 	}
 	// Build (and discard) a session to validate the plan and options
 	// up front; the real session is built at run time with the worker
 	// grant of that moment.
-	probe, err := req.session(1)
+	scheme, err := req.Resolve()
 	if err != nil {
 		return JobStatus{}, err
 	}
@@ -661,8 +670,8 @@ func (m *Manager) Submit(req JobRequest) (JobStatus, error) {
 	j.cond = sync.NewCond(&j.mu)
 	j.status = JobStatus{
 		ID: j.id, State: StateQueued,
-		Plan: req.Plan.Name, Scheme: probe.Engine().Name(),
-		Devices: req.Devices, Created: m.now(),
+		Plan: req.Plan.Name, Scheme: scheme,
+		Devices: req.Devices, FirstDevice: req.FirstDevice, Created: m.now(),
 	}
 	mf, err := j.manifestBytes()
 	if err != nil {
@@ -832,11 +841,13 @@ func (m *Manager) enforceRetention() {
 	}
 }
 
-// Health reports configured capacity and current load.
+// Health reports configured capacity, current load and resume
+// capability — the capability fields are what memtest-coord inspects
+// before trusting a worker with a shard.
 func (m *Manager) Health() Health {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return Health{
+	h := Health{
 		Jobs: m.cfg.Jobs, Queue: m.cfg.Queue,
 		QueuedJobs: len(m.backlog), RunningJobs: m.running,
 		Diagnosing:         len(m.diagSem),
@@ -845,6 +856,47 @@ func (m *Manager) Health() Health {
 		JobsRecovered:      m.jobsRecovered,
 		JobsResumed:        m.jobsResumed,
 		ResumeDevicesRerun: m.resumeDevicesRerun,
+	}
+	if !m.cfg.NoResume {
+		h.Resume = true
+		h.ResumeDelivery = "ordered"
+	}
+	if d, ok := m.store.(interface{ Durable() bool }); ok {
+		h.Durable = d.Durable()
+	}
+	return h
+}
+
+// Diagnose runs one device synchronously under a context that follows
+// both ctx (a disconnecting client aborts the engines directly) and
+// the manager's lifetime (shutdown aborts in-flight one-shots instead
+// of blocking the drain). One-shots draw from their own cfg.Jobs-sized
+// slot pool, so they are capacity-bounded like jobs; overload fails
+// with ErrDiagnoseBusy. A run the engine itself fails wraps
+// ErrDiagnose; a run aborted by shutdown wraps ErrShuttingDown.
+func (m *Manager) Diagnose(ctx context.Context, req JobRequest) (*memtest.Result, error) {
+	// One-shots run a single device, so the fleet-worker pool is not
+	// involved; the session only needs the plan and options validated.
+	session, err := req.session(1)
+	if err != nil {
+		return nil, err
+	}
+	dctx, release, err := m.StartDiagnose(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	res, err := session.RunAll(dctx)
+	switch {
+	case err == nil:
+		return res, nil
+	case ctx.Err() != nil:
+		return nil, ctx.Err()
+	case errors.Is(err, context.Canceled):
+		// The manager shut down under the request.
+		return nil, fmt.Errorf("%w: diagnosis aborted", ErrShuttingDown)
+	default:
+		return nil, fmt.Errorf("%w: %v", ErrDiagnose, err)
 	}
 }
 

@@ -14,15 +14,39 @@ import (
 // maxRequestBody bounds submission bodies; plans are small.
 const maxRequestBody = 1 << 20
 
-// Server is the memtestd HTTP front-end over one Manager. It is an
+// Backend is what the HTTP front-end serves: the single-node Manager,
+// or memtest-coord's fan-out coordinator — both speak the same wire
+// API, so every client (and the coordinator itself, which is a client
+// of its workers) works against either unchanged.
+type Backend interface {
+	// Submit validates and enqueues a fleet job.
+	Submit(req JobRequest) (JobStatus, error)
+	// Status returns one job's current state; Jobs lists every retained
+	// job in submission order.
+	Status(id string) (JobStatus, error)
+	Jobs() []JobStatus
+	// Cancel stops a job; see Manager.Cancel for the state contract.
+	Cancel(id string) (JobStatus, error)
+	// Follow streams a job's result lines from line offset onward until
+	// the job ends or ctx is cancelled; it returns the job's terminal
+	// error message and the follower's own error, exactly one of which
+	// is meaningful.
+	Follow(ctx context.Context, id string, offset int, emit func([]byte) error) (string, error)
+	// Diagnose runs one device synchronously.
+	Diagnose(ctx context.Context, req JobRequest) (*memtest.Result, error)
+	// Health reports capacity, load and capability.
+	Health() Health
+}
+
+// Server is the memtestd HTTP front-end over one Backend. It is an
 // http.Handler; see the package documentation for the route table.
 type Server struct {
-	m   *Manager
+	m   Backend
 	mux *http.ServeMux
 }
 
-// NewServer wires the /v1 routes over the manager.
-func NewServer(m *Manager) *Server {
+// NewServer wires the /v1 routes over the backend.
+func NewServer(m Backend) *Server {
 	s := &Server{m: m, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
@@ -59,7 +83,7 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, ErrShuttingDown):
 		status = http.StatusServiceUnavailable
-	case errors.Is(err, ErrStorage):
+	case errors.Is(err, ErrStorage), errors.Is(err, ErrDiagnose):
 		status = http.StatusInternalServerError
 	}
 	writeJSON(w, status, ErrorBody{Error: err.Error()})
@@ -174,43 +198,24 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleDiagnose runs one device synchronously under a context that
-// follows both the request (a disconnecting client aborts the engines
-// directly) and the manager's lifetime (shutdown aborts in-flight
-// one-shots instead of blocking the drain), and returns the full
-// memtest.Result. One-shots draw from their own cfg.Jobs-sized slot
-// pool, so they are capacity-bounded like jobs and overload answers
-// 429.
+// handleDiagnose runs one device synchronously via Backend.Diagnose
+// and returns the full memtest.Result; see Manager.Diagnose for the
+// capacity and cancellation contract. Run failures map to 500, busy
+// slots to 429, bad requests to 400.
 func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	var req JobRequest
 	if err := decode(w, r, &req); err != nil {
 		writeError(w, err)
 		return
 	}
-	// One-shots run a single device, so the fleet-worker pool is not
-	// involved; the session only needs the plan and options validated.
-	session, err := req.session(1)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	ctx, release, err := s.m.StartDiagnose(r.Context())
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	defer release()
-	res, err := session.RunAll(ctx)
+	res, err := s.m.Diagnose(r.Context(), req)
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusOK, res)
 	case r.Context().Err() != nil:
 		// Client gone; nobody is listening.
-	case errors.Is(err, context.Canceled):
-		// The manager shut down under the request.
-		writeError(w, fmt.Errorf("%w: diagnosis aborted", ErrShuttingDown))
 	default:
-		writeJSON(w, http.StatusInternalServerError, ErrorBody{Error: err.Error()})
+		writeError(w, err)
 	}
 }
 

@@ -105,7 +105,7 @@ func (s *Disk) Create(id string, manifest []byte) (Job, error) {
 		spoolPath:    s.spoolPath(id),
 		manifestPath: s.manifestPath(id),
 		w:            w, bw: bufio.NewWriterSize(w, spoolBufSize), r: r,
-		offsets:  []int64{0},
+		sparse:   []int64{0},
 		indexed:  true,
 		manifest: append([]byte(nil), manifest...),
 	}
@@ -138,23 +138,23 @@ func (s *Disk) Open(id string) (Job, error) {
 	return j, nil
 }
 
-// indexSpool scans a spool file and returns the line-offset index
-// (offsets[i] is the start of line i; the last entry is the end of the
-// indexed bytes). Trailing bytes with no newline terminator — a crash
-// mid-append — are truncated off the file so later appends cannot fuse
-// with them.
-func indexSpool(path string) ([]int64, error) {
+// indexSpool scans a spool file and returns its sparse line index:
+// the start offset of every indexStride-th line, plus the whole-line
+// count and the end of the indexed bytes. Trailing bytes with no
+// newline terminator — a crash mid-append — are truncated off the file
+// so later appends cannot fuse with them.
+func indexSpool(path string) (sparse []int64, lines int, end int64, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			// Manifest without spool (e.g. a partially deleted job):
 			// treat as an empty spool; the writer recreates the file.
-			return []int64{0}, nil
+			return []int64{0}, 0, 0, nil
 		}
-		return nil, fmt.Errorf("store: index spool: %w", err)
+		return nil, 0, 0, fmt.Errorf("store: index spool: %w", err)
 	}
 	defer f.Close()
-	offsets := []int64{0}
+	sparse = []int64{0}
 	var pos int64
 	br := bufio.NewReaderSize(f, 1<<16)
 	for {
@@ -162,19 +162,23 @@ func indexSpool(path string) ([]int64, error) {
 		pos += int64(len(chunk))
 		switch {
 		case err == nil:
-			offsets = append(offsets, pos)
+			lines++
+			end = pos
+			if lines%indexStride == 0 {
+				sparse = append(sparse, end)
+			}
 		case err == io.EOF || err == bufio.ErrBufferFull:
 			// ErrBufferFull: mid-line, keep scanning the same line.
 			if err == io.EOF {
-				if torn := pos - offsets[len(offsets)-1]; torn > 0 {
-					if err := os.Truncate(path, offsets[len(offsets)-1]); err != nil {
-						return nil, fmt.Errorf("store: truncate torn line: %w", err)
+				if torn := pos - end; torn > 0 {
+					if err := os.Truncate(path, end); err != nil {
+						return nil, 0, 0, fmt.Errorf("store: truncate torn line: %w", err)
 					}
 				}
-				return offsets, nil
+				return sparse, lines, end, nil
 			}
 		default:
-			return nil, fmt.Errorf("store: index spool: %w", err)
+			return nil, 0, 0, fmt.Errorf("store: index spool: %w", err)
 		}
 	}
 }
@@ -241,6 +245,10 @@ func (s *Disk) Close() error {
 	return nil
 }
 
+// Durable reports true: the data directory survives restarts, so a
+// manager over it can crash-resume.
+func (s *Disk) Durable() bool { return true }
+
 // errSpoolClosed reports an operation on a job whose files were
 // released by Remove (eviction) or store Close.
 var errSpoolClosed = fmt.Errorf("store: spool closed")
@@ -250,12 +258,21 @@ var errSpoolClosed = fmt.Errorf("store: spool closed")
 // per Flush/Read boundary) instead of one syscall per device result.
 const spoolBufSize = 1 << 16
 
+// indexStride is the sparse line-index granularity: one remembered
+// offset per indexStride lines. A Read locates its first line from the
+// nearest mark at or below it and scans forward over at most
+// indexStride-1 lines; the sequential-reader cache makes the common
+// tail-follower pattern an exact hit with no scan at all. 8 bytes per
+// 512 lines keeps a multi-billion-line spool's index in megabytes
+// instead of the gigabytes the old 8-bytes-per-line index cost.
+const indexStride = 512
+
 // diskJob is one on-disk spool: a buffered append writer, a pread
-// reader and the in-memory line-offset index (8 bytes per line — the
-// bounded footprint that replaces the old unbounded [][]byte result
-// buffer). The index and file handles materialize lazily on first use,
-// so recovering a directory of finished jobs costs nothing per job
-// until somebody actually reads one. The offset index counts appended
+// reader and a sparse in-memory line index (8 bytes per indexStride
+// lines — the bounded footprint that replaces the old 8-bytes-per-line
+// full index). The index and file handles materialize lazily on first
+// use, so recovering a directory of finished jobs costs nothing per
+// job until somebody actually reads one. The index counts appended
 // (possibly still-buffered) lines; Read flushes before its pread, so
 // readers never see a line the index promises but the file lacks.
 type diskJob struct {
@@ -267,10 +284,17 @@ type diskJob struct {
 	bw      *bufio.Writer
 	r       *os.File
 	indexed bool
-	// offsets[i] is the byte offset of line i's start; the final entry
-	// is the end of the spooled bytes, so line i spans
-	// [offsets[i], offsets[i+1]).
-	offsets []int64
+	// sparse[k] is the byte offset of line k*indexStride's start;
+	// lines is the whole-line count and end the spooled byte size
+	// (line data plus newline terminators).
+	sparse []int64
+	lines  int
+	end    int64
+	// cacheLine/cacheOff remember the exact start offset of the line
+	// one past the latest finished Read — the next batch of a
+	// sequential follower starts there, skipping the scan-forward.
+	cacheLine int
+	cacheOff  int64
 	// readers counts in-flight Read calls so close(false) — eviction —
 	// never yanks the read handle out from under an active pread; the
 	// last reader out closes it.
@@ -287,7 +311,7 @@ func (j *diskJob) ensure() error {
 	if j.indexed {
 		return nil
 	}
-	offsets, err := indexSpool(j.spoolPath)
+	sparse, lines, end, err := indexSpool(j.spoolPath)
 	if err != nil {
 		return err
 	}
@@ -300,7 +324,9 @@ func (j *diskJob) ensure() error {
 		w.Close()
 		return fmt.Errorf("store: reopen spool: %w", err)
 	}
-	j.w, j.bw, j.r, j.offsets, j.indexed = w, bufio.NewWriterSize(w, spoolBufSize), r, offsets, true
+	j.w, j.bw, j.r, j.indexed = w, bufio.NewWriterSize(w, spoolBufSize), r, true
+	j.sparse, j.lines, j.end = sparse, lines, end
+	j.cacheLine, j.cacheOff = 0, 0
 	return nil
 }
 
@@ -364,7 +390,11 @@ func (j *diskJob) Append(line []byte) error {
 	if err := j.bw.WriteByte('\n'); err != nil {
 		return fmt.Errorf("store: append: %w", err)
 	}
-	j.offsets = append(j.offsets, j.offsets[len(j.offsets)-1]+int64(len(line))+1)
+	j.lines++
+	j.end += int64(len(line)) + 1
+	if j.lines%indexStride == 0 {
+		j.sparse = append(j.sparse, j.end)
+	}
 	return nil
 }
 
@@ -374,7 +404,7 @@ func (j *diskJob) Lines() (int, error) {
 	if err := j.ensure(); err != nil {
 		return 0, err
 	}
-	return len(j.offsets) - 1, nil
+	return j.lines, nil
 }
 
 // Size avoids triggering the index: an unindexed spool is stat'd, so
@@ -384,7 +414,7 @@ func (j *diskJob) Size() int64 {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.indexed {
-		return j.offsets[len(j.offsets)-1]
+		return j.end
 	}
 	fi, err := os.Stat(j.spoolPath)
 	if err != nil {
@@ -404,16 +434,23 @@ func (j *diskJob) Read(from, to int, emit func([]byte) error) error {
 		j.mu.Unlock()
 		return err
 	}
-	lines := len(j.offsets) - 1
-	if from < 0 || to < from || to > lines {
+	if from < 0 || to < from || to > j.lines {
 		j.mu.Unlock()
-		return fmt.Errorf("%w: [%d, %d) of %d", ErrBadRange, from, to, lines)
+		return fmt.Errorf("%w: [%d, %d) of %d", ErrBadRange, from, to, j.lines)
 	}
 	if from == to {
 		j.mu.Unlock()
 		return nil
 	}
-	start, end, r := j.offsets[from], j.offsets[to], j.r
+	// Locate the nearest known line start at or below `from`: the
+	// sequential-reader cache when it covers us (a tail follower's next
+	// batch starts exactly where its last one ended — no scan at all),
+	// else the sparse index mark, at most indexStride-1 lines short.
+	startLine, start := (from/indexStride)*indexStride, j.sparse[from/indexStride]
+	if j.cacheLine >= startLine && j.cacheLine <= from {
+		startLine, start = j.cacheLine, j.cacheOff
+	}
+	end, r := j.end, j.r
 	j.readers++
 	j.mu.Unlock()
 	defer func() {
@@ -430,16 +467,47 @@ func (j *diskJob) Read(from, to int, emit func([]byte) error) error {
 	// appender's file offset, and an unlinked-but-open spool (a job
 	// evicted during this batch) still reads fine.
 	br := bufio.NewReaderSize(io.NewSectionReader(r, start, end-start), 1<<16)
+	pos := start
+	for i := startLine; i < from; i++ {
+		n, err := discardLine(br)
+		if err != nil {
+			return fmt.Errorf("store: seek line %d: %w", i, err)
+		}
+		pos += n
+	}
 	for i := from; i < to; i++ {
 		line, err := br.ReadBytes('\n')
 		if err != nil {
 			return fmt.Errorf("store: read line %d: %w", i, err)
 		}
+		pos += int64(len(line))
 		if err := emit(line[:len(line)-1]); err != nil {
 			return err
 		}
 	}
+	// Remember where line `to` starts so the follower's next batch
+	// resumes without a scan. Monotonic: racing batches keep the
+	// furthest mark (any cached pair is valid — lines are immutable).
+	j.mu.Lock()
+	if to > j.cacheLine {
+		j.cacheLine, j.cacheOff = to, pos
+	}
+	j.mu.Unlock()
 	return nil
+}
+
+// discardLine consumes one whole line (however long) from br and
+// reports how many bytes it spanned, newline included.
+func discardLine(br *bufio.Reader) (int64, error) {
+	var n int64
+	for {
+		chunk, err := br.ReadSlice('\n')
+		n += int64(len(chunk))
+		if err == bufio.ErrBufferFull {
+			continue // mid-line; keep consuming the same line
+		}
+		return n, err
+	}
 }
 
 // writeManifestFile replaces a manifest via write-to-temp + rename, so

@@ -157,6 +157,15 @@ func (s *Store) Remove(id string) error { return s.inner.Remove(id) }
 // locks, handles) to hand the directory to the next manager.
 func (s *Store) Close() error { return s.inner.Close() }
 
+// Durable forwards the inner store's durability so a faulty disk store
+// still reports Durable in /v1/healthz.
+func (s *Store) Durable() bool {
+	if d, ok := s.inner.(interface{ Durable() bool }); ok {
+		return d.Durable()
+	}
+	return false
+}
+
 // job decorates one spool with the store's armed faults.
 type job struct {
 	s     *Store

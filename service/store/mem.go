@@ -72,6 +72,10 @@ func (s *Mem) Remove(id string) error {
 // Close implements Store.
 func (s *Mem) Close() error { return nil }
 
+// Durable reports false: an in-memory spool dies with the process, so
+// a manager over it cannot crash-resume.
+func (s *Mem) Durable() bool { return false }
+
 // memJob is one in-memory spool.
 type memJob struct {
 	mu       sync.Mutex

@@ -83,7 +83,10 @@ type Job interface {
 	Manifest() ([]byte, error)
 }
 
-// Store is a collection of job spools keyed by ID.
+// Store is a collection of job spools keyed by ID. A store whose
+// spools survive process restarts additionally implements
+// `Durable() bool` returning true — the capability /v1/healthz reports
+// and memtest-coord requires of its workers.
 type Store interface {
 	// Create allocates a new empty spool with the given manifest. It
 	// fails with ErrJobExists for duplicate IDs.

@@ -18,6 +18,14 @@ type JobRequest struct {
 	// instances of the plan to diagnose. Required for jobs; ignored by
 	// /v1/diagnose, which always runs a single device.
 	Devices int `json:"devices,omitempty"`
+	// FirstDevice offsets the run: the job diagnoses devices
+	// [FirstDevice, FirstDevice+Devices) of the fleet instead of
+	// [0, Devices). Per-device seeds derive from the absolute device
+	// index, so a range job's stream is byte-identical to the same
+	// window of a full run — the property memtest-coord relies on to
+	// dispatch contiguous shards of one fleet to different workers and
+	// concatenate the streams. Defaults to 0 (a whole-fleet job).
+	FirstDevice int `json:"first_device,omitempty"`
 	// Scheme selects the diagnosis engine by registry name; empty
 	// means "proposed".
 	Scheme string `json:"scheme,omitempty"`
@@ -80,6 +88,19 @@ func (r JobRequest) session(maxWorkers int) (*memtest.Session, error) {
 	return memtest.New(r.Plan, opts...)
 }
 
+// Resolve validates the request by building (and discarding) a
+// session, returning the resolved engine name ("proposed" when Scheme
+// is empty). Errors wrap the memtest sentinel errors, so front-ends
+// report them as client mistakes. Manager.Submit and memtest-coord
+// both use it for the same fail-fast validation.
+func (r JobRequest) Resolve() (string, error) {
+	probe, err := r.session(1)
+	if err != nil {
+		return "", err
+	}
+	return probe.Engine().Name(), nil
+}
+
 // State is a job's lifecycle position.
 type State string
 
@@ -119,9 +140,12 @@ type JobStatus struct {
 	Plan   string `json:"plan"`
 	Scheme string `json:"scheme"`
 	// Devices is the requested fleet size; Completed counts device
-	// results spooled so far.
-	Devices   int `json:"devices"`
-	Completed int `json:"completed"`
+	// results spooled so far. FirstDevice echoes the submission's range
+	// offset: the stream covers devices [FirstDevice,
+	// FirstDevice+Devices).
+	Devices     int `json:"devices"`
+	FirstDevice int `json:"first_device,omitempty"`
+	Completed   int `json:"completed"`
 	// Workers is the fleet-worker grant the scheduler lent this job
 	// when it started: the whole pool on an idle manager, a fair split
 	// under load (dynamic sharing — idle job slots lend their workers
@@ -144,10 +168,40 @@ type JobStatus struct {
 	ResumedFrom int  `json:"resumed_from,omitempty"`
 	// Error is set for failed and cancelled jobs.
 	Error string `json:"error,omitempty"`
+	// Shards, on a memtest-coord job, is the per-shard dispatch table:
+	// how the coordinator split the device range across workers and how
+	// far each shard's merge has progressed. Empty on single-node jobs.
+	Shards []ShardStatus `json:"shards,omitempty"`
 	// Created/Started/Finished are the lifecycle timestamps.
 	Created  time.Time  `json:"created"`
 	Started  *time.Time `json:"started,omitempty"`
 	Finished *time.Time `json:"finished,omitempty"`
+}
+
+// ShardStatus describes one contiguous device range of a coordinated
+// job: which worker holds it, the worker-side job ID, and merge
+// progress.
+type ShardStatus struct {
+	// Lo and Hi are the absolute device range [Lo, Hi) this shard
+	// covers.
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// Worker is the base URL of the worker the shard is currently
+	// dispatched to; JobID is the worker-side job. Both are empty until
+	// the coordinator dispatches the shard.
+	Worker string `json:"worker,omitempty"`
+	JobID  string `json:"job_id,omitempty"`
+	// DispatchLo is the first device of the current worker job: Lo for
+	// the original dispatch, Lo+delivered after a re-dispatch picked up
+	// a dead worker's shard mid-range.
+	DispatchLo int `json:"dispatch_lo,omitempty"`
+	// Merged counts this shard's device results already appended to the
+	// coordinator's merged stream; the shard is complete when
+	// Lo+Merged == Hi.
+	Merged int `json:"merged"`
+	// Redispatches counts how many times the shard moved to a new
+	// worker after its stream failed past the reconnect budget.
+	Redispatches int `json:"redispatches,omitempty"`
 }
 
 // Health is the /v1/healthz body.
@@ -175,6 +229,31 @@ type Health struct {
 	JobsRecovered      int   `json:"jobs_recovered"`
 	JobsResumed        int   `json:"jobs_resumed"`
 	ResumeDevicesRerun int64 `json:"resume_devices_rerun"`
+	// Capability, not load: Resume reports whether crash resume is
+	// enabled (-resume, the default), ResumeDelivery the delivery order
+	// resume supports ("ordered"), and Durable whether the job store
+	// survives restarts (a -data-dir disk store). memtest-coord refuses
+	// workers that do not report Resume with ordered delivery — a shard
+	// parked on a resume-disabled worker would lose its spool on the
+	// first worker restart.
+	Resume         bool   `json:"resume"`
+	ResumeDelivery string `json:"resume_delivery,omitempty"`
+	Durable        bool   `json:"durable"`
+	// Workers, on a memtest-coord /v1/healthz, is the per-worker view
+	// of the fleet the coordinator shards over. Empty on single-node
+	// daemons.
+	Workers []WorkerHealth `json:"workers,omitempty"`
+}
+
+// WorkerHealth is a coordinator's view of one memtestd worker.
+type WorkerHealth struct {
+	// URL is the worker's base URL.
+	URL string `json:"url"`
+	// Healthy reports whether the last probe succeeded and the worker
+	// is shard-capable (resume enabled, ordered delivery); Error holds
+	// the probe failure or the capability the worker lacks.
+	Healthy bool   `json:"healthy"`
+	Error   string `json:"error,omitempty"`
 }
 
 // ErrorBody is the JSON error envelope every non-2xx response — and
