@@ -12,6 +12,7 @@
 //	              [-addr :8357] [-jobs 2] [-queue 16] [-min-shard 64]
 //	              [-redispatch 3] [-drain 15s] [-data-dir DIR]
 //	              [-retain-jobs N] [-retain-bytes N] [-resume=true]
+//	              [-log-level info] [-log-format text] [-debug-addr ADDR]
 //
 // Each job's device range splits into contiguous per-worker shards
 // dispatched as first_device range jobs; worker crashes heal via
@@ -21,20 +22,29 @@
 // re-merges only the missing suffix. Workers must run with crash
 // resume enabled (their default); reachable workers that report
 // resume disabled or unordered delivery are refused at startup.
+//
+// The coordinator always serves Prometheus metrics (coord_* series
+// plus the per-worker fleet view) at GET /metrics on the main
+// listener. -debug-addr additionally opens a second listener — bind it
+// to loopback — with net/http/pprof under /debug/pprof/ and a /metrics
+// mirror. Logs are structured (log/slog) on stderr; -log-level and
+// -log-format tune them.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/service"
 	"repro/service/client"
 	"repro/service/coord"
@@ -73,12 +83,26 @@ func main() {
 		retainJobs  = flag.Int("retain-jobs", 0, "finished jobs kept before the oldest are evicted (0 = unlimited)")
 		retainBytes = flag.Int64("retain-bytes", 0, "total merged result bytes kept before the oldest finished jobs are evicted (0 = unlimited)")
 		resume      = flag.Bool("resume", true, "resume crash-interrupted merges on startup by re-attaching to worker jobs; false recovers them as failed with partial results")
+		logLevel    = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		logFormat   = flag.String("log-format", "text", "log encoding: text (key=value) or json")
+		debugAddr   = flag.String("debug-addr", "", "optional second listener with /debug/pprof/ and /metrics; bind to loopback")
 	)
 	flag.Parse()
+
+	log, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memtest-coord: %v\n", err)
+		os.Exit(1)
+	}
+	fatal := func(msg string, err error) {
+		log.Error(msg, "error", err)
+		os.Exit(1)
+	}
 	if len(workers) == 0 {
-		log.Fatalf("memtest-coord: at least one -worker is required")
+		fatal("configuration", errors.New("at least one -worker is required"))
 	}
 
+	reg := obs.NewRegistry()
 	cfg := coord.Config{
 		Workers: workers,
 		Jobs:    *jobs, Queue: *queue,
@@ -86,21 +110,23 @@ func main() {
 		Backoff:    client.Backoff{Initial: *boInitial, Max: *boMax, Attempts: *boAttempts},
 		RetainJobs: *retainJobs, RetainBytes: *retainBytes,
 		NoResume: !*resume,
+		Metrics:  reg,
+		Logger:   log,
 	}
 	if *dataDir != "" {
 		st, err := store.NewDisk(*dataDir)
 		if err != nil {
-			log.Fatalf("memtest-coord: %v", err)
+			fatal("opening data dir", err)
 		}
 		cfg.Store = st
 	}
 	c, err := coord.New(cfg)
 	if err != nil {
-		log.Fatalf("memtest-coord: %v", err)
+		fatal("starting coordinator", err)
 	}
 	if *dataDir != "" {
 		h := c.Health()
-		log.Printf("memtest-coord: data dir %s: recovered %d jobs, resuming %d", *dataDir, h.JobsRecovered, h.JobsResumed)
+		log.Info("data dir recovered", "dir", *dataDir, "jobs_recovered", h.JobsRecovered, "jobs_resuming", h.JobsResumed)
 	}
 	srv := &http.Server{
 		Addr:    *addr,
@@ -111,28 +137,53 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
+	if *debugAddr != "" {
+		dbg := debugServer(*debugAddr, reg)
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Error("debug listener failed", "error", err)
+			}
+		}()
+		defer dbg.Close()
+		log.Info("debug listener on", "addr", *debugAddr)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("memtest-coord listening on %s (workers=%d jobs=%d queue=%d)", *addr, len(workers), *jobs, *queue)
+	log.Info("memtest-coord listening", "addr", *addr, "workers", len(workers), "jobs", *jobs, "queue", *queue, "version", obs.Version())
 
 	select {
 	case err := <-errCh:
 		c.Close()
-		log.Fatalf("memtest-coord: %v", err)
+		fatal("listener failed", err)
 	case <-ctx.Done():
 	}
-	log.Printf("memtest-coord: signal received, draining (timeout %s)", *drain)
+	log.Info("signal received, draining", "timeout", drain.String())
 	// Cancel merges first so open result streams terminate and the
 	// listener can actually drain, then close the listener.
 	c.Close()
 	sctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("memtest-coord: drain: %v", err)
+		log.Warn("drain incomplete", "error", err)
 	}
-	log.Printf("memtest-coord: stopped")
+	log.Info("stopped")
+}
+
+// debugServer builds the opt-in debug listener: net/http/pprof (which
+// only registers on http.DefaultServeMux) mounted explicitly on a
+// private mux, plus a /metrics mirror so one loopback port carries
+// both.
+func debugServer(addr string, reg *obs.Registry) *http.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", reg.Handler())
+	return &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 }

@@ -8,6 +8,7 @@
 //
 //	memtestd [-addr :8347] [-jobs 2] [-queue 16] [-workers 0] [-drain 15s]
 //	         [-data-dir DIR] [-retain-jobs N] [-retain-bytes N] [-resume=true]
+//	         [-log-level info] [-log-format text] [-debug-addr ADDR]
 //
 // Without -data-dir, jobs live in process memory and die with the
 // process. With it, every job's results spool to disk as they are
@@ -19,6 +20,12 @@
 // behaviour (interrupted jobs report failed, their partial results
 // still streamable).
 //
+// The daemon always serves Prometheus metrics at GET /metrics on the
+// main listener. -debug-addr additionally opens a second listener —
+// bind it to loopback — with net/http/pprof under /debug/pprof/ and a
+// /metrics mirror. Logs are structured (log/slog) on stderr;
+// -log-level and -log-format tune them.
+//
 // SIGINT/SIGTERM triggers a graceful shutdown: new submissions are
 // refused, running jobs are cancelled (the engines abort within one
 // poll interval), open result streams terminate with an error line,
@@ -29,13 +36,15 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/service"
 	"repro/service/store"
 )
@@ -51,28 +60,44 @@ func main() {
 		retainJobs  = flag.Int("retain-jobs", 0, "finished jobs kept before the oldest are evicted (0 = unlimited)")
 		retainBytes = flag.Int64("retain-bytes", 0, "total spooled result bytes kept before the oldest finished jobs are evicted (0 = unlimited)")
 		resume      = flag.Bool("resume", true, "complete crash-interrupted jobs on startup by re-running only their missing device suffix; false recovers them as failed with partial results")
+		logLevel    = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		logFormat   = flag.String("log-format", "text", "log encoding: text (key=value) or json")
+		debugAddr   = flag.String("debug-addr", "", "optional second listener with /debug/pprof/ and /metrics; bind to loopback")
 	)
 	flag.Parse()
 
+	log, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memtestd: %v\n", err)
+		os.Exit(1)
+	}
+	fatal := func(msg string, err error) {
+		log.Error(msg, "error", err)
+		os.Exit(1)
+	}
+
+	reg := obs.NewRegistry()
 	cfg := service.Config{
 		Jobs: *jobs, Queue: *queue, FleetWorkers: *workers,
 		RetainJobs: *retainJobs, RetainBytes: *retainBytes,
 		NoResume: !*resume,
+		Metrics:  reg,
+		Logger:   log,
 	}
 	if *dataDir != "" {
 		st, err := store.NewDisk(*dataDir)
 		if err != nil {
-			log.Fatalf("memtestd: %v", err)
+			fatal("opening data dir", err)
 		}
 		cfg.Store = st
 	}
 	m, err := service.NewManager(cfg)
 	if err != nil {
-		log.Fatalf("memtestd: %v", err)
+		fatal("starting manager", err)
 	}
 	if *dataDir != "" {
 		h := m.Health()
-		log.Printf("memtestd: data dir %s: recovered %d jobs, resuming %d", *dataDir, h.JobsRecovered, h.JobsResumed)
+		log.Info("data dir recovered", "dir", *dataDir, "jobs_recovered", h.JobsRecovered, "jobs_resuming", h.JobsResumed)
 	}
 	srv := &http.Server{
 		Addr:    *addr,
@@ -83,28 +108,53 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
+	if *debugAddr != "" {
+		dbg := debugServer(*debugAddr, reg)
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Error("debug listener failed", "error", err)
+			}
+		}()
+		defer dbg.Close()
+		log.Info("debug listener on", "addr", *debugAddr)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("memtestd listening on %s (jobs=%d queue=%d)", *addr, *jobs, *queue)
+	log.Info("memtestd listening", "addr", *addr, "jobs", *jobs, "queue", *queue, "version", obs.Version())
 
 	select {
 	case err := <-errCh:
 		m.Close()
-		log.Fatalf("memtestd: %v", err)
+		fatal("listener failed", err)
 	case <-ctx.Done():
 	}
-	log.Printf("memtestd: signal received, draining (timeout %s)", *drain)
+	log.Info("signal received, draining", "timeout", drain.String())
 	// Cancel jobs first so open result streams terminate and the
 	// listener can actually drain, then close the listener.
 	m.Close()
 	sctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("memtestd: drain: %v", err)
+		log.Warn("drain incomplete", "error", err)
 	}
-	log.Printf("memtestd: stopped")
+	log.Info("stopped")
+}
+
+// debugServer builds the opt-in debug listener: net/http/pprof (which
+// only registers on http.DefaultServeMux) mounted explicitly on a
+// private mux, plus a /metrics mirror so one loopback port carries
+// both.
+func debugServer(addr string, reg *obs.Registry) *http.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", reg.Handler())
+	return &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 }

@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+var versionOnce = sync.OnceValue(func() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	v := bi.Main.Version
+	if v == "" {
+		v = "(devel)"
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+			return v + "+" + s.Value[:12]
+		}
+	}
+	return v
+})
+
+// Version returns the binary's build version from the embedded build
+// info: the main module version, plus the VCS revision when the binary
+// was built inside a checkout. Healthz reports it so an operator can
+// tell which build a fleet node runs without shelling in.
+func Version() string { return versionOnce() }

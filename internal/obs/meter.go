@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// meterWindow is the rolling window, in seconds, a Meter averages
+// over. Ten seconds smooths scheduler jitter without hiding a stall.
+const meterWindow = 10
+
+// Meter measures a rolling event rate: Add records events as they
+// happen, Rate returns events per second averaged over the last
+// meterWindow complete seconds. It is a ring of per-second buckets
+// under one mutex — safe for concurrent use, and Add never allocates,
+// so it can sit on the device hot path. The zero Meter is ready to
+// use; a nil *Meter is a valid no-op.
+type Meter struct {
+	mu sync.Mutex
+	// One bucket per second, keyed by the unix second it holds; a
+	// bucket is lazily reset when its slot is reused for a new second.
+	// One extra slot beyond the window keeps the current (partial)
+	// second from evicting the oldest complete one.
+	secs    [meterWindow + 2]int64
+	buckets [meterWindow + 2]int64
+}
+
+// Add records n events now.
+func (m *Meter) Add(n int64) {
+	if m == nil {
+		return
+	}
+	m.addAt(time.Now().Unix(), n)
+}
+
+func (m *Meter) addAt(sec, n int64) {
+	i := sec % int64(len(m.buckets))
+	m.mu.Lock()
+	if m.secs[i] != sec {
+		m.secs[i] = sec
+		m.buckets[i] = 0
+	}
+	m.buckets[i] += n
+	m.mu.Unlock()
+}
+
+// Rate returns the average events/second over the last meterWindow
+// complete seconds (the current partial second is excluded, so a
+// steady producer reads steadily instead of sawtoothing).
+func (m *Meter) Rate() float64 {
+	if m == nil {
+		return 0
+	}
+	return m.rateAt(time.Now().Unix())
+}
+
+func (m *Meter) rateAt(now int64) float64 {
+	var total int64
+	m.mu.Lock()
+	for i := range m.secs {
+		if age := now - m.secs[i]; age >= 1 && age <= meterWindow {
+			total += m.buckets[i]
+		}
+	}
+	m.mu.Unlock()
+	return float64(total) / meterWindow
+}

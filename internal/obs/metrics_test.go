@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden pins the exact Prometheus text exposition the
+// registry renders: HELP/TYPE headers, name-sorted families,
+// label-sorted series, cumulative histogram buckets with merged le
+// labels.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs_submitted_total", "Jobs accepted.").Add(3)
+	r.Gauge("queue_depth", "Queued jobs.").Set(2)
+	r.Counter("jobs_finished_total", "Jobs finished.", "state", "done").Add(2)
+	r.Counter("jobs_finished_total", "Jobs finished.", "state", "failed").Inc()
+	r.GaugeFunc("devices_per_sec", "Rolling device rate.", func() float64 { return 1.5 })
+	h := r.Histogram("job_duration_seconds", "Job wall time.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(30)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP devices_per_sec Rolling device rate.
+# TYPE devices_per_sec gauge
+devices_per_sec 1.5
+# HELP job_duration_seconds Job wall time.
+# TYPE job_duration_seconds histogram
+job_duration_seconds_bucket{le="0.1"} 1
+job_duration_seconds_bucket{le="1"} 3
+job_duration_seconds_bucket{le="+Inf"} 4
+job_duration_seconds_sum 31.05
+job_duration_seconds_count 4
+# HELP jobs_finished_total Jobs finished.
+# TYPE jobs_finished_total counter
+jobs_finished_total{state="done"} 2
+jobs_finished_total{state="failed"} 1
+# HELP jobs_submitted_total Jobs accepted.
+# TYPE jobs_submitted_total counter
+jobs_submitted_total 3
+# HELP queue_depth Queued jobs.
+# TYPE queue_depth gauge
+queue_depth 2
+`
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestLabelCanonicalization: the same label set in any key order is
+// the same series, and values are escaped.
+func TestLabelCanonicalization(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "X.", "b", "2", "a", "1")
+	b := r.Counter("x_total", "X.", "a", "1", "b", "2")
+	if a != b {
+		t.Errorf("label order created two series")
+	}
+	a.Inc()
+	r.Gauge("esc", "E.", "v", "a\"b\\c\nd").Set(1)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `x_total{a="1",b="2"} 1`) {
+		t.Errorf("canonical series line missing:\n%s", out)
+	}
+	if !strings.Contains(out, `esc{v="a\"b\\c\nd"} 1`) {
+		t.Errorf("label escaping wrong:\n%s", out)
+	}
+}
+
+// TestConcurrentMutation hammers one counter, gauge, histogram and
+// meter from many goroutines (run under -race) and checks the totals.
+func TestConcurrentMutation(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "C.")
+	g := r.Gauge("g", "G.")
+	h := r.Histogram("h", "H.", []float64{1, 10})
+	var m Meter
+
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i % 20))
+				m.addAt(int64(1000+i%3), 1)
+				// Concurrent scrapes must be safe too.
+				if i%100 == 0 {
+					var buf bytes.Buffer
+					if err := r.WritePrometheus(&buf); err != nil {
+						t.Error(err)
+					}
+					m.rateAt(int64(1002))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+	wantSum := 0.0
+	for i := 0; i < per; i++ {
+		wantSum += float64(i % 20)
+	}
+	wantSum *= workers
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-6 {
+		t.Errorf("histogram sum = %g, want %g", got, wantSum)
+	}
+}
+
+// TestMeterRate: the rolling rate covers the last complete seconds and
+// excludes the current partial one.
+func TestMeterRate(t *testing.T) {
+	var m Meter
+	for sec := int64(100); sec < 100+meterWindow; sec++ {
+		m.addAt(sec, 50)
+	}
+	m.addAt(100+meterWindow, 9999) // current partial second: excluded
+	if got := m.rateAt(100 + meterWindow); got != 50 {
+		t.Errorf("steady rate = %g, want 50", got)
+	}
+	// Far in the future every bucket has aged out.
+	if got := m.rateAt(100 + 10*meterWindow); got != 0 {
+		t.Errorf("stale rate = %g, want 0", got)
+	}
+	var nilMeter *Meter
+	nilMeter.Add(1)
+	if got := nilMeter.Rate(); got != 0 {
+		t.Errorf("nil meter rate = %g, want 0", got)
+	}
+}
+
+// TestDisabledRegistryZeroAllocs pins the zero-overhead-when-disabled
+// invariant: nil-registry instruments and enabled hot-path updates
+// both run without a single allocation. This is the obs side of the
+// PR 5 hot-path pins — the engine loop can call these unconditionally.
+func TestDisabledRegistryZeroAllocs(t *testing.T) {
+	var disabled *Registry
+	nc := disabled.Counter("c_total", "C.")
+	ng := disabled.Gauge("g", "G.")
+	nh := disabled.Histogram("h", "H.", []float64{1})
+	disabled.GaugeFunc("f", "F.", func() float64 { return 0 })
+	if nc != nil || ng != nil || nh != nil {
+		t.Fatalf("disabled registry must hand out nil instruments")
+	}
+	r := NewRegistry()
+	c := r.Counter("c_total", "C.")
+	g := r.Gauge("g", "G.")
+	h := r.Histogram("h", "H.", []float64{1, 10, 100})
+	var m Meter
+	for name, f := range map[string]func(){
+		"nil instruments": func() {
+			nc.Inc()
+			nc.Add(3)
+			ng.Set(1)
+			ng.Add(-1)
+			nh.Observe(2)
+		},
+		"live instruments": func() {
+			c.Inc()
+			c.Add(3)
+			g.Set(1)
+			g.Add(-1)
+			h.Observe(2)
+			m.addAt(1000, 1)
+		},
+	} {
+		if allocs := testing.AllocsPerRun(200, f); allocs != 0 {
+			t.Errorf("%s: %v allocs per update, want 0", name, allocs)
+		}
+	}
+}
+
+func TestParseLevelAndLogger(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn,
+		"error": slog.LevelError, "": slog.LevelInfo,
+	} {
+		lv, err := ParseLevel(in)
+		if err != nil || lv != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, lv, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Errorf("ParseLevel accepted garbage")
+	}
+
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, "warn", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hidden")
+	log.Warn("shard re-dispatched", "job", "job-000001", "shard", 0, "worker", "http://w1")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Errorf("info leaked through warn level: %s", out)
+	}
+	if !strings.Contains(out, "job=job-000001") || !strings.Contains(out, "worker=http://w1") {
+		t.Errorf("context attrs missing: %s", out)
+	}
+
+	buf.Reset()
+	jlog, err := NewLogger(&buf, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jlog.Info("started", "job", "j1")
+	if !strings.Contains(buf.String(), `"job":"j1"`) {
+		t.Errorf("json format missing attr: %s", buf.String())
+	}
+
+	if _, err := NewLogger(&buf, "info", "xml"); err == nil {
+		t.Errorf("NewLogger accepted bogus format")
+	}
+	Discard().Info("dropped")
+}
+
+func TestVersionNonEmpty(t *testing.T) {
+	if Version() == "" {
+		t.Fatal("Version() is empty")
+	}
+}

@@ -36,6 +36,9 @@ type Session struct {
 	// memories instead of allocating fresh ones; RunFleetRange gives
 	// each worker's private Session copy its own.
 	builder *fleetBuilder
+	// observe, when non-nil, is called once per device as a fleet
+	// worker finishes diagnosing it (see WithDeviceObserver).
+	observe func(device int)
 }
 
 // Option configures a Session; see the With* constructors.
@@ -169,6 +172,22 @@ func WithFleetDelivery(d FleetDelivery) Option {
 			return fmt.Errorf("%w: %d", ErrBadFleetDelivery, int(d))
 		}
 		s.delivery = d
+		return nil
+	}
+}
+
+// WithDeviceObserver installs fn, called with the device index each
+// time a fleet worker finishes diagnosing a device — at compute time,
+// before any delivery ordering, so it sees live progress even while
+// ordered delivery is head-of-line blocked on an earlier device. fn is
+// called concurrently from every fleet worker and must be safe for
+// concurrent use; it should also be allocation-free if the caller
+// cares about the worker loop's steady-state alloc behaviour (an
+// atomic counter qualifies — this is memtestd's live-metrics hook).
+// A nil fn disables the hook.
+func WithDeviceObserver(fn func(device int)) Option {
+	return func(s *Session) error {
+		s.observe = fn
 		return nil
 	}
 }
@@ -408,6 +427,9 @@ func (s *Session) RunFleetRange(ctx context.Context, lo, hi int) iter.Seq2[Devic
 					var res *Result
 					if err == nil {
 						res = local.resultFrom(f, rep)
+						if local.observe != nil {
+							local.observe(d)
+						}
 					}
 					select {
 					case results <- struct {

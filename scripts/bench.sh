@@ -11,7 +11,7 @@
 # worker-pool path in the same capture (per-proc entries pair across
 # snapshots through benchjson's GOMAXPROCS-suffix normalization).
 set -e
-out="${1:-BENCH_pr2.json}"
+out="${1:-BENCH_local.json}"
 benchtime="${2:-1x}"
 cpus="${3:-1}"
 # Two stages, not a pipeline: a pipeline would discard go test's exit

@@ -72,6 +72,28 @@ func TestCompareAllocsMetricAndZeroGrowth(t *testing.T) {
 	}
 }
 
+func TestCompareThroughputDirection(t *testing.T) {
+	// "/sec" metrics are higher-is-better: a drop beyond the threshold
+	// regresses, a rise never does.
+	oldS := snap(Entry{Name: "B", NsPerOp: 1, Metrics: map[string]float64{"devices/sec": 1000}})
+	drop := snap(Entry{Name: "B", NsPerOp: 1, Metrics: map[string]float64{"devices/sec": 700}})
+	rise := snap(Entry{Name: "B", NsPerOp: 1, Metrics: map[string]float64{"devices/sec": 5000}})
+	deltas, _, _ := compareSnapshots(oldS, drop, "devices/sec", 0.15)
+	if len(deltas) != 1 || !deltas[0].Regressed {
+		t.Fatalf("-30%% devices/sec not flagged: %+v", deltas)
+	}
+	deltas, _, _ = compareSnapshots(oldS, rise, "devices/sec", 0.15)
+	if len(deltas) != 1 || deltas[0].Regressed {
+		t.Fatalf("5x devices/sec flagged as regression: %+v", deltas)
+	}
+	// A small dip inside the threshold passes.
+	dip := snap(Entry{Name: "B", NsPerOp: 1, Metrics: map[string]float64{"devices/sec": 900}})
+	deltas, _, _ = compareSnapshots(oldS, dip, "devices/sec", 0.15)
+	if len(deltas) != 1 || deltas[0].Regressed {
+		t.Fatalf("-10%% devices/sec flagged at a 15%% threshold: %+v", deltas)
+	}
+}
+
 func TestCompareCustomMetric(t *testing.T) {
 	oldS := snap(Entry{Name: "B", NsPerOp: 1, Metrics: map[string]float64{"cycles/run": 15664}})
 	newS := snap(Entry{Name: "B", NsPerOp: 1, Metrics: map[string]float64{"cycles/run": 15664}})

@@ -14,6 +14,11 @@
 //	go run ./scripts/benchjson -compare BENCH_pr2.json BENCH_new.json
 //	go run ./scripts/benchjson -compare -metric allocs/op -threshold 0 old.json new.json
 //
+// The gate knows the metric's direction: throughput units ending in
+// "/s" or "/sec" (e.g. "devices/sec") are higher-is-better, so a
+// regression there is a *drop* beyond the threshold; everything else
+// (ns/op, B/op, allocs/op, cycles/run) regresses by growing.
+//
 // Benchmarks present in only one snapshot are reported and skipped —
 // new benchmarks must not fail the gate — but a comparison that
 // matches zero benchmarks on the metric fails rather than passing
@@ -79,8 +84,17 @@ type Delta struct {
 	Old, New float64
 	// Ratio is New/Old - 1 (positive = slower/bigger).
 	Ratio float64
-	// Regressed is set when Ratio exceeds the threshold.
+	// Regressed is set when Ratio moves past the threshold in the
+	// metric's bad direction (up for costs, down for throughput).
 	Regressed bool
+}
+
+// higherIsBetter reports whether a metric is a throughput — a rate
+// whose unit ends in "/s" or "/sec", like "devices/sec" — where the
+// regression direction is a drop, not a rise. Cost metrics (ns/op,
+// B/op, allocs/op, cycles/run) regress by growing.
+func higherIsBetter(metric string) bool {
+	return strings.HasSuffix(metric, "/s") || strings.HasSuffix(metric, "/sec")
 }
 
 // stripProcs drops the trailing "-<GOMAXPROCS>" suffix `go test
@@ -140,10 +154,15 @@ func compareSnapshots(oldS, newS Snapshot, metric string, threshold float64) (de
 			d.Ratio = nv/ov - 1
 		case nv > 0:
 			// From zero to non-zero (e.g. 0 allocs/op grew): infinite
-			// relative growth, always a regression.
+			// relative growth — a regression for cost metrics, a strict
+			// improvement for throughputs.
 			d.Ratio = 1e9
 		}
-		d.Regressed = d.Ratio > threshold
+		if higherIsBetter(metric) {
+			d.Regressed = d.Ratio < -threshold
+		} else {
+			d.Regressed = d.Ratio > threshold
+		}
 		deltas = append(deltas, d)
 	}
 	for i, oe := range oldS.Benchmarks {
@@ -197,7 +216,11 @@ func runCompare(oldPath, newPath, metric string, threshold float64, w io.Writer)
 		fmt.Fprintf(w, "%-44s only in %s (skipped)\n", n, newPath)
 	}
 	if regressions > 0 {
-		fmt.Fprintf(w, "FAIL: %d benchmark(s) regressed > %.0f%% on %s\n", regressions, threshold*100, metric)
+		dir := "regressed >"
+		if higherIsBetter(metric) {
+			dir = "dropped >"
+		}
+		fmt.Fprintf(w, "FAIL: %d benchmark(s) %s %.0f%% on %s\n", regressions, dir, threshold*100, metric)
 		return 1
 	}
 	if len(deltas) == 0 {

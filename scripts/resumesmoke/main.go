@@ -10,7 +10,9 @@
 //   - a reconnecting client that was following the stream when the
 //     process died rides through the restart and sees one seamless,
 //     gap-free device sequence,
-//   - /v1/healthz accounts for the resume.
+//   - /v1/healthz accounts for the resume,
+//   - /metrics exposes live device counters mid-run and, after the
+//     restart, resume counters that agree with healthz.
 //
 // It exercises the same contract as the service package's resume tests
 // but with real processes, real SIGKILL and real files — the layer no
@@ -30,6 +32,8 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -142,7 +146,11 @@ func run() error {
 			return fmt.Errorf("job reached %q before the kill; plan too small for a kill window", cur.State)
 		}
 		if cur.Completed >= 5 {
-			log.Printf("resumesmoke: %d/%d devices spooled — sending SIGKILL", cur.Completed, req.Devices)
+			if cur.ElapsedSec <= 0 || cur.DevicesPerSec <= 0 {
+				return fmt.Errorf("running job carries no live progress: %+v", cur)
+			}
+			log.Printf("resumesmoke: %d/%d devices spooled (%.0f devices/s) — sending SIGKILL",
+				cur.Completed, req.Devices, cur.DevicesPerSec)
 			break
 		}
 		if time.Now().After(deadline) {
@@ -150,6 +158,14 @@ func run() error {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
+	// Mid-run scrape: the live daemon must already expose device
+	// throughput series.
+	if v, err := scrapeMetric(base, "devices_completed_total"); err != nil {
+		return fmt.Errorf("mid-run metrics: %w", err)
+	} else if v <= 0 {
+		return fmt.Errorf("mid-run devices_completed_total = %g, want > 0", v)
+	}
+	log.Printf("resumesmoke: mid-run /metrics shows devices flowing")
 	if err := gen1.Process.Kill(); err != nil {
 		return fmt.Errorf("SIGKILL: %w", err)
 	}
@@ -227,9 +243,67 @@ func run() error {
 	if h.JobsRecovered < 1 || h.JobsResumed < 1 || h.ResumeDevicesRerun < 1 {
 		return fmt.Errorf("healthz counters = %+v, want the resume accounted for", h)
 	}
+	if h.UptimeSec <= 0 || h.Version == "" {
+		return fmt.Errorf("healthz uptime/version missing: %+v", h)
+	}
+	// /metrics must agree with healthz on what the restart cost.
+	resumed, err := scrapeMetric(base, "jobs_resumed_total")
+	if err != nil {
+		return err
+	}
+	if int(resumed) != h.JobsResumed {
+		return fmt.Errorf("jobs_resumed_total = %g, healthz says %d", resumed, h.JobsResumed)
+	}
+	rerun, err := scrapeMetric(base, "resume_devices_rerun_total")
+	if err != nil {
+		return err
+	}
+	if rerun < 1 {
+		return fmt.Errorf("resume_devices_rerun_total = %g, want >= 1", rerun)
+	}
+	log.Printf("resumesmoke: /metrics agrees with healthz (resumed %g, %g devices re-run)", resumed, rerun)
 	log.Printf("resumesmoke: OK (recovered %d, resumed %d, %d devices re-run)",
 		h.JobsRecovered, h.JobsResumed, h.ResumeDevicesRerun)
 	return nil
+}
+
+// scrapeMetric fetches /metrics and sums every series of the named
+// family (all label sets).
+func scrapeMetric(base, name string) (float64, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("GET /metrics: HTTP %d", resp.StatusCode)
+	}
+	sum, found := 0.0, false
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "{") {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad sample %q: %v", line, err)
+		}
+		sum += v
+		found = true
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	if !found {
+		return 0, fmt.Errorf("metric %s absent from /metrics", name)
+	}
+	return sum, nil
 }
 
 // referenceLines runs the request's session in-process and returns the

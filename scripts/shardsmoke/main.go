@@ -12,7 +12,9 @@
 //   - a client that was following the merged stream when the worker
 //     died sees one seamless device sequence on a single connection —
 //     the re-dispatch is invisible to readers,
-//   - the shard table and /v1/healthz account for the failover.
+//   - the shard table and /v1/healthz account for the failover,
+//   - the coordinator's /metrics exposes merge progress mid-run and
+//     counts the re-dispatch after the kill.
 //
 // It exercises the same contract as the service/coord package tests
 // but with real processes, real sockets and a real SIGKILL — the
@@ -32,6 +34,8 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -180,6 +184,16 @@ func run() error {
 			if sh0.Merged >= sh0.Hi-sh0.Lo {
 				return fmt.Errorf("first shard finished before the kill; plan too small for a kill window")
 			}
+			// Mid-run observability: the merge counter moves while the
+			// job runs, and the status carries computed progress.
+			if merged, err := scrapeMetric(base, "coord_merged_lines_total"); err != nil {
+				return fmt.Errorf("mid-run metrics scrape: %w", err)
+			} else if merged <= 0 {
+				return fmt.Errorf("coord_merged_lines_total = %g mid-run, want > 0", merged)
+			}
+			if cur.ElapsedSec <= 0 || cur.DevicesPerSec <= 0 {
+				return fmt.Errorf("running job carries no live progress: %+v", cur)
+			}
 			victim = sh0.Worker
 			log.Printf("shardsmoke: %d/%d devices merged — SIGKILLing %s (shard [%d,%d))",
 				cur.Completed, req.Devices, victim, sh0.Lo, sh0.Hi)
@@ -234,6 +248,20 @@ func run() error {
 		return fmt.Errorf("no shard was re-dispatched off the killed worker: %+v", done.Shards)
 	}
 	log.Printf("shardsmoke: job done after %d re-dispatch(es)", moved)
+
+	// The failover is visible in the metrics: the re-dispatch counter
+	// matches the shard table and every merged device was counted.
+	if redisp, err := scrapeMetric(base, "coord_shard_redispatch_total"); err != nil {
+		return err
+	} else if int(redisp) < moved {
+		return fmt.Errorf("coord_shard_redispatch_total = %g, want >= %d", redisp, moved)
+	}
+	if merged, err := scrapeMetric(base, "coord_merged_lines_total"); err != nil {
+		return err
+	} else if int(merged) != req.Devices {
+		return fmt.Errorf("coord_merged_lines_total = %g, want %d", merged, req.Devices)
+	}
+	log.Printf("shardsmoke: /metrics counted the re-dispatch and all %d merged devices", req.Devices)
 
 	// Byte-identical across the worker death: the acceptance criterion.
 	got, err := rawLines(base + "/v1/jobs/" + st.ID + "/results")
@@ -331,6 +359,45 @@ func rawLines(url string) ([]string, error) {
 		}
 	}
 	return lines, sc.Err()
+}
+
+// scrapeMetric fetches base+"/metrics" and sums every series of one
+// family (all label sets), erroring when the family is absent.
+func scrapeMetric(base, name string) (float64, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("GET /metrics: HTTP %d", resp.StatusCode)
+	}
+	sum, found := 0.0, false
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "{") {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad sample %q: %v", line, err)
+		}
+		sum += v
+		found = true
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	if !found {
+		return 0, fmt.Errorf("metric %s absent from %s/metrics", name, base)
+	}
+	return sum, nil
 }
 
 // freePort grabs an ephemeral port and releases it for the daemon.

@@ -19,6 +19,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/memtest"
@@ -214,6 +215,30 @@ type resultsConfig struct {
 	cancelOnDisconnect bool
 	reconnect          bool
 	backoff            Backoff
+	stats              *StreamStats
+}
+
+// StreamStats accumulates a reconnecting stream's self-healing
+// activity. One StreamStats may be shared by any number of concurrent
+// streams (the fields are atomics); memtest-coord attaches one to every
+// shard stream and exposes the totals as coord_stream_* metrics.
+type StreamStats struct {
+	// Reconnects counts reconnect attempts after a retryable failure.
+	Reconnects atomic.Int64
+	// BackoffNanos sums the scheduled backoff sleeps, in nanoseconds
+	// (scheduled, not elapsed: a context cancelling mid-sleep still
+	// counted the full delay).
+	BackoffNanos atomic.Int64
+	// LinesResumed sums the already-delivered lines each reconnect
+	// skipped by re-requesting at ?offset= — the re-transfer the resume
+	// protocol avoided.
+	LinesResumed atomic.Int64
+}
+
+// WithStreamStats attaches a stats accumulator to the stream; pass the
+// same one to many streams for fleet-wide totals.
+func WithStreamStats(s *StreamStats) ResultsOption {
+	return func(c *resultsConfig) { c.stats = s }
 }
 
 // WithOffset skips the first n spooled result lines — the pagination
@@ -327,6 +352,7 @@ func (c *Client) RawResults(ctx context.Context, id string, opts ...ResultsOptio
 // continue.
 func (c *Client) follow(ctx context.Context, id string, rc resultsConfig, sink func(line []byte) (bool, error), fail func(error)) {
 	next := rc.offset // next spool line to request
+	resumedMark := next
 	attempts := 0
 	for {
 		n, err := c.streamOnce(ctx, id, rc, next, sink)
@@ -349,7 +375,14 @@ func (c *Client) follow(ctx context.Context, id string, rc resultsConfig, sink f
 				"memtestd: stream gave up after %d reconnect attempts: %w", attempts, err))
 			return
 		}
-		if !sleepCtx(ctx, rc.backoff.delay(attempts)) {
+		d := rc.backoff.delay(attempts)
+		if s := rc.stats; s != nil {
+			s.Reconnects.Add(1)
+			s.BackoffNanos.Add(int64(d))
+			s.LinesResumed.Add(int64(next - resumedMark))
+			resumedMark = next
+		}
+		if !sleepCtx(ctx, d) {
 			fail(ctx.Err())
 			return
 		}

@@ -305,3 +305,44 @@ func TestBackoffDelayBounds(t *testing.T) {
 		}
 	}
 }
+
+// TestStreamStatsAccumulate: the optional stats accumulator records
+// every reconnect attempt, the backoff it scheduled, and the already-
+// delivered lines the offset resume skipped re-transferring.
+func TestStreamStatsAccumulate(t *testing.T) {
+	s := &scriptedStream{
+		lines: deviceLines(6),
+		script: func(conn int) (int, bool) {
+			if conn <= 2 {
+				return 2, true // serve 2 lines, then cut
+			}
+			return 99, false
+		},
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	var stats StreamStats
+	n := 0
+	for _, err := range New(ts.URL, nil).Results(context.Background(), "job-000001",
+		WithReconnect(fastBackoff(5)), WithStreamStats(&stats)) {
+		if err != nil {
+			t.Fatalf("healed stream surfaced %v", err)
+		}
+		n++
+	}
+	if n != 6 {
+		t.Fatalf("delivered %d lines, want 6", n)
+	}
+	if got := stats.Reconnects.Load(); got != 2 {
+		t.Errorf("Reconnects = %d, want 2", got)
+	}
+	// Each reconnect skipped the 2 lines its connection had already
+	// delivered: 2 + 2.
+	if got := stats.LinesResumed.Load(); got != 4 {
+		t.Errorf("LinesResumed = %d, want 4", got)
+	}
+	if got := stats.BackoffNanos.Load(); got <= 0 {
+		t.Errorf("BackoffNanos = %d, want > 0", got)
+	}
+}

@@ -24,10 +24,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/memtest"
 	"repro/service"
 	"repro/service/client"
@@ -67,6 +69,15 @@ type Config struct {
 	// on the single-node manager. Zero keeps all.
 	RetainJobs  int
 	RetainBytes int64
+	// Metrics, when non-nil, receives the coordinator's instruments —
+	// shard dispatch and re-dispatch, merged lines and merge lag, the
+	// self-healing stream totals and the per-worker fleet view — for
+	// the /metrics endpoint. Nil disables instrumentation.
+	Metrics *obs.Registry
+	// Logger receives structured lifecycle events (accepted, started,
+	// shard dispatched / re-dispatched, finished) with job= and shard=
+	// context. Nil discards them.
+	Logger *slog.Logger
 	// NoResume disables coordinator restart resume: interrupted jobs
 	// recover as failed with their merged prefix streamable.
 	NoResume bool
@@ -98,6 +109,15 @@ type Coordinator struct {
 	reg   *registry
 	store store.Store
 	now   func() time.Time
+	// metrics is never nil; with Config.Metrics unset its instruments
+	// are nil no-ops. meter feeds the rolling merged-devices/s gauge;
+	// streamStats is shared by every shard stream; started anchors
+	// uptime.
+	metrics     *coordMetrics
+	log         *slog.Logger
+	meter       obs.Meter
+	streamStats client.StreamStats
+	started     time.Time
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -130,16 +150,23 @@ func New(cfg Config) (*Coordinator, error) {
 	if st == nil {
 		st = store.NewMem()
 	}
+	log := cfg.Logger
+	if log == nil {
+		log = obs.Discard()
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	c := &Coordinator{
 		cfg:     cfg,
 		reg:     newRegistry(cfg.Workers, cfg.HTTP, cfg.ProbeTimeout),
 		store:   st,
 		now:     time.Now,
+		metrics: newCoordMetrics(cfg.Metrics),
+		log:     log,
 		baseCtx: ctx,
 		stop:    stop,
 		jobs:    map[string]*job{},
 	}
+	c.started = c.now()
 	c.qcond = sync.NewCond(&c.mu)
 	if err := c.reg.sweep(ctx); err != nil {
 		stop()
@@ -149,6 +176,7 @@ func New(cfg Config) (*Coordinator, error) {
 		stop()
 		return nil, err
 	}
+	c.registerGauges(cfg.Metrics)
 	c.enforceRetention()
 	for range cfg.Jobs {
 		c.wg.Add(1)
@@ -156,6 +184,10 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	return c, nil
 }
+
+// Metrics returns the registry the coordinator was configured with
+// (nil when unmetered). The server mounts GET /metrics over it.
+func (c *Coordinator) Metrics() *obs.Registry { return c.cfg.Metrics }
 
 // recover rebuilds the job table from the store, mirroring the
 // single-node manager's recovery: terminal jobs replay byte-
@@ -223,6 +255,14 @@ func (c *Coordinator) recover() error {
 			}
 		}
 		j.status = st
+		switch {
+		case j.resume:
+			c.log.Info("job recovered, resuming merge", "job", id, "resume_from", j.resumeFrom, "devices", st.Devices)
+		case interrupted:
+			c.log.Warn("interrupted job recovered as failed", "job", id, "error", st.Error)
+		default:
+			c.log.Debug("job recovered", "job", id, "state", string(st.State))
+		}
 		if interrupted {
 			j.mu.Lock()
 			err := j.persist()
@@ -290,6 +330,11 @@ func (c *Coordinator) run(j *job) {
 	if !j.start(cancel, c.now()) {
 		return
 	}
+	if j.resume {
+		c.log.Info("job started", "job", j.id, "shards", len(j.snapshot().Shards), "resume_from", j.resumeFrom, "devices", j.devices)
+	} else {
+		c.log.Info("job started", "job", j.id, "shards", len(j.snapshot().Shards), "devices", j.devices)
+	}
 	c.mu.Lock()
 	c.running++
 	c.mu.Unlock()
@@ -313,6 +358,20 @@ func (c *Coordinator) run(j *job) {
 	if err != nil {
 		c.cancelShardJobs(j)
 	}
+	st := j.snapshot()
+	c.metrics.finished(st.State).Inc()
+	args := []any{"job", j.id, "state", string(st.State), "completed", st.Completed, "devices", st.Devices}
+	if st.Started != nil && st.Finished != nil {
+		d := st.Finished.Sub(*st.Started).Seconds()
+		c.metrics.jobDuration.Observe(d)
+		args = append(args, "duration_sec", d)
+	}
+	lvl := slog.LevelInfo
+	if st.State == service.StateFailed {
+		lvl = slog.LevelWarn
+		args = append(args, "error", st.Error)
+	}
+	c.log.Log(c.baseCtx, lvl, "job finished", args...)
 	c.enforceRetention()
 }
 
@@ -370,6 +429,8 @@ func (c *Coordinator) Submit(req service.JobRequest) (service.JobStatus, error) 
 	c.jobs[j.id] = j
 	c.order = append(c.order, j.id)
 	c.qcond.Signal()
+	c.metrics.jobsSubmitted.Inc()
+	c.log.Info("job accepted", "job", j.id, "devices", req.Devices, "shards", len(accepted.Shards), "queued", len(c.backlog))
 	return accepted, nil
 }
 
@@ -389,7 +450,9 @@ func (c *Coordinator) Status(id string) (service.JobStatus, error) {
 	if err != nil {
 		return service.JobStatus{}, err
 	}
-	return j.snapshot(), nil
+	st := j.snapshot()
+	st.FillProgress(c.now())
+	return st, nil
 }
 
 // Jobs lists every retained coordinated job in submission order.
@@ -401,8 +464,10 @@ func (c *Coordinator) Jobs() []service.JobStatus {
 	}
 	c.mu.Unlock()
 	out := make([]service.JobStatus, len(jobs))
+	now := c.now()
 	for i, j := range jobs {
 		out[i] = j.snapshot()
+		out[i].FillProgress(now)
 	}
 	return out
 }
@@ -502,6 +567,9 @@ func (c *Coordinator) Health() service.Health {
 		JobsRecovered: c.jobsRecovered,
 		JobsResumed:   c.jobsResumed,
 		Workers:       views,
+		UptimeSec:     c.now().Sub(c.started).Seconds(),
+		Version:       obs.Version(),
+		DevicesPerSec: c.meter.Rate(),
 	}
 	if !c.cfg.NoResume {
 		h.Resume = true
@@ -546,6 +614,7 @@ func (c *Coordinator) enforceRetention() {
 		delete(c.jobs, id)
 	}
 	if len(evict) > 0 {
+		c.metrics.evictions.Add(int64(len(evict)))
 		kept := c.order[:0]
 		for _, id := range c.order {
 			if _, ok := c.jobs[id]; ok {

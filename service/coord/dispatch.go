@@ -84,6 +84,8 @@ func (c *Coordinator) dispatch(ctx context.Context, j *job, i int, avoid string)
 		j.status.Shards[i].DispatchLo = lo
 		j.persist() //nolint:errcheck // the next persist (or recovery's re-dispatch) repairs a missed write
 		j.mu.Unlock()
+		c.metrics.shardDispatch.Inc()
+		c.log.Info("shard dispatched", "job", j.id, "shard", i, "worker", w.url, "job_id", st.ID, "lo", lo, "hi", sh.Hi)
 		return nil
 	}
 	if lastErr == nil {
@@ -121,7 +123,8 @@ func (c *Coordinator) drainShard(ctx context.Context, j *job, i int) error {
 			// device this merge needs sits at this offset in its spool.
 			offset := sh.Lo + sh.Merged - sh.DispatchLo
 			for line, err := range w.cli.RawResults(ctx, sh.JobID,
-				client.WithOffset(offset), client.WithReconnect(c.cfg.Backoff)) {
+				client.WithOffset(offset), client.WithReconnect(c.cfg.Backoff),
+				client.WithStreamStats(&c.streamStats)) {
 				if err != nil {
 					streamErr = err
 					break
@@ -133,6 +136,8 @@ func (c *Coordinator) drainShard(ctx context.Context, j *job, i int) error {
 				if err := j.append(line); err != nil {
 					return err // own storage failed; re-dispatching cannot help
 				}
+				c.metrics.mergedLines.Inc()
+				c.meter.Add(1)
 				sh.Merged++
 				j.mu.Lock()
 				j.status.Shards[i].Merged = sh.Merged
@@ -158,6 +163,9 @@ func (c *Coordinator) drainShard(ctx context.Context, j *job, i int) error {
 		j.status.Shards[i].JobID = ""
 		j.persist() //nolint:errcheck // shard-boundary checkpoint; the spool stays authoritative
 		j.mu.Unlock()
+		c.metrics.shardRedispatch.Inc()
+		c.log.Warn("shard stream failed, re-dispatching remainder",
+			"job", j.id, "shard", i, "worker", sh.Worker, "merged", sh.Merged, "redispatches", redispatches, "error", streamErr)
 		if redispatches > c.cfg.Redispatches {
 			return fmt.Errorf("coord: shard [%d,%d) abandoned after %d re-dispatches: %w",
 				sh.Lo, sh.Hi, c.cfg.Redispatches, streamErr)

@@ -6,10 +6,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/memtest"
 	"repro/service/store"
 )
@@ -74,6 +76,16 @@ type Config struct {
 	// Running jobs count toward the total but are never evicted. Zero
 	// keeps all.
 	RetainBytes int64
+	// Metrics, when non-nil, receives the manager's instruments —
+	// queue depth, jobs by state, device throughput, spool traffic,
+	// resume and retention counters — for the /metrics endpoint. Nil
+	// disables instrumentation entirely: every hot-path update
+	// degrades to a nil check, so an unmetered manager pays nothing.
+	Metrics *obs.Registry
+	// Logger receives structured job lifecycle events (accepted,
+	// started, finished, resumed, evicted) with job= context. Nil
+	// discards them.
+	Logger *slog.Logger
 	// NoResume disables crash resume. By default a recovered
 	// ordered-delivery job whose manifest says queued or running
 	// re-enqueues as resuming: the scheduler counts the spooled
@@ -280,6 +292,13 @@ type Manager struct {
 	cfg   Config
 	store store.Store
 	now   func() time.Time
+	// metrics is never nil; with Config.Metrics unset its instruments
+	// are nil no-ops. meter feeds the rolling devices/s gauge healthz
+	// reports even without a registry; started anchors uptime_sec.
+	metrics *metrics
+	log     *slog.Logger
+	meter   obs.Meter
+	started time.Time
 	// diagSem bounds concurrent one-shot diagnoses to cfg.Jobs, so
 	// /v1/diagnose cannot bypass the capacity the scheduler enforces
 	// for jobs.
@@ -329,22 +348,35 @@ func NewManager(cfg Config) (*Manager, error) {
 	if st == nil {
 		st = store.NewMem()
 	}
+	x := newMetrics(cfg.Metrics)
+	if cfg.Metrics != nil {
+		// Only a metered manager pays the decorator indirection.
+		st = measuredStore{Store: st, x: x}
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = obs.Discard()
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:     cfg,
 		store:   st,
 		now:     time.Now,
+		metrics: x,
+		log:     log,
 		diagSem: make(chan struct{}, cfg.Jobs),
 		baseCtx: ctx,
 		stop:    stop,
 		jobs:    map[string]*job{},
 		avail:   cfg.FleetWorkers,
 	}
+	m.started = m.now()
 	m.qcond = sync.NewCond(&m.mu)
 	if err := m.recover(); err != nil {
 		stop()
 		return nil, err
 	}
+	m.registerGauges(cfg.Metrics)
 	m.enforceRetention()
 	for range cfg.Jobs {
 		m.wg.Add(1)
@@ -352,6 +384,10 @@ func NewManager(cfg Config) (*Manager, error) {
 	}
 	return m, nil
 }
+
+// Metrics returns the registry the manager was configured with (nil
+// when unmetered). The server mounts GET /metrics over it.
+func (m *Manager) Metrics() *obs.Registry { return m.cfg.Metrics }
 
 // recover rebuilds the job table from the store. Store IDs sort in
 // creation order (zero-padded sequence numbers), and the sequence
@@ -431,6 +467,14 @@ func (m *Manager) recover() error {
 		// the last append) and stay unindexed until somebody reads
 		// them, so recovery costs O(jobs), not O(spooled bytes).
 		j.status = st
+		switch {
+		case j.resume:
+			m.log.Info("job recovered, resuming", "job", id, "resume_from", j.resumeFrom, "devices", st.Devices)
+		case interrupted:
+			m.log.Warn("interrupted job recovered as failed", "job", id, "error", st.Error)
+		default:
+			m.log.Debug("job recovered", "job", id, "state", string(st.State))
+		}
 		if interrupted {
 			j.mu.Lock()
 			err := j.persist()
@@ -539,7 +583,17 @@ func (m *Manager) claimWorkers(j *job) int {
 	}
 	share = max(share, 1)
 	m.avail -= share
+	m.metrics.workerGrants.Add(int64(share))
 	return share
+}
+
+// observeDevice is the per-device fleet-worker hook memtestd installs
+// on every session: one atomic counter bump and one meter tick per
+// diagnosed device, allocation-free (pinned by the memtest observer
+// alloc test).
+func (m *Manager) observeDevice(int) {
+	m.metrics.devicesDiagnosed.Inc()
+	m.meter.Add(1)
 }
 
 func (m *Manager) releaseWorkers(n int) {
@@ -569,6 +623,11 @@ func (m *Manager) run(j *job) {
 		// Cancelled while queued; Cancel already finished it.
 		return
 	}
+	if j.resume {
+		m.log.Info("job started", "job", j.id, "workers", granted, "resume_from", j.resumeFrom, "devices", j.devices)
+	} else {
+		m.log.Info("job started", "job", j.id, "workers", granted, "devices", j.devices)
+	}
 	m.mu.Lock()
 	m.running++
 	m.mu.Unlock()
@@ -580,8 +639,9 @@ func (m *Manager) run(j *job) {
 
 	err := func() error {
 		// The session is built at start time, not submit time, so the
-		// worker grant reflects the load of the moment it runs.
-		session, err := j.req.session(granted)
+		// worker grant reflects the load of the moment it runs. The
+		// device observer feeds the live throughput instruments.
+		session, err := j.req.session(granted, memtest.WithDeviceObserver(m.observeDevice))
 		if err != nil {
 			return err
 		}
@@ -615,6 +675,7 @@ func (m *Manager) run(j *job) {
 			if err := j.append(bytes.TrimSuffix(encBuf.Bytes(), []byte("\n"))); err != nil {
 				return err
 			}
+			m.metrics.devicesCompleted.Inc()
 		}
 		return nil
 	}()
@@ -630,6 +691,20 @@ func (m *Manager) run(j *job) {
 	default:
 		j.finish(StateFailed, err, m.now())
 	}
+	st := j.snapshot()
+	m.metrics.finished(st.State).Inc()
+	args := []any{"job", j.id, "state", string(st.State), "completed", st.Completed, "devices", st.Devices}
+	if st.Started != nil && st.Finished != nil {
+		d := st.Finished.Sub(*st.Started).Seconds()
+		m.metrics.jobDuration.Observe(d)
+		args = append(args, "duration_sec", d)
+	}
+	lvl := slog.LevelInfo
+	if st.State == StateFailed {
+		lvl = slog.LevelWarn
+		args = append(args, "error", st.Error)
+	}
+	m.log.Log(m.baseCtx, lvl, "job finished", args...)
 	m.enforceRetention()
 }
 
@@ -692,6 +767,8 @@ func (m *Manager) Submit(req JobRequest) (JobStatus, error) {
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
 	m.qcond.Signal()
+	m.metrics.jobsSubmitted.Inc()
+	m.log.Info("job accepted", "job", j.id, "devices", req.Devices, "plan", req.Plan.Name, "scheme", scheme, "queued", len(m.backlog))
 	return accepted, nil
 }
 
@@ -712,7 +789,9 @@ func (m *Manager) Status(id string) (JobStatus, error) {
 	if err != nil {
 		return JobStatus{}, err
 	}
-	return j.snapshot(), nil
+	st := j.snapshot()
+	st.FillProgress(m.now())
+	return st, nil
 }
 
 // Jobs lists every retained job in submission order, recovered jobs
@@ -725,8 +804,10 @@ func (m *Manager) Jobs() []JobStatus {
 	}
 	m.mu.Unlock()
 	out := make([]JobStatus, len(jobs))
+	now := m.now()
 	for i, j := range jobs {
 		out[i] = j.snapshot()
+		out[i].FillProgress(now)
 	}
 	return out
 }
@@ -824,6 +905,7 @@ func (m *Manager) enforceRetention() {
 		delete(m.jobs, id)
 	}
 	if len(evict) > 0 {
+		m.metrics.evictions.Add(int64(len(evict)))
 		kept := m.order[:0]
 		for _, id := range m.order {
 			if _, ok := m.jobs[id]; ok {
@@ -838,6 +920,7 @@ func (m *Manager) enforceRetention() {
 	// its handle in time (and keeps streaming) or sees 404.
 	for _, id := range evict {
 		m.store.Remove(id) //nolint:errcheck // eviction is best effort; a leaked spool is re-listed and re-evicted on restart
+		m.log.Debug("job evicted by retention", "job", id)
 	}
 }
 
@@ -856,6 +939,9 @@ func (m *Manager) Health() Health {
 		JobsRecovered:      m.jobsRecovered,
 		JobsResumed:        m.jobsResumed,
 		ResumeDevicesRerun: m.resumeDevicesRerun,
+		UptimeSec:          m.now().Sub(m.started).Seconds(),
+		Version:            obs.Version(),
+		DevicesPerSec:      m.meter.Rate(),
 	}
 	if !m.cfg.NoResume {
 		h.Resume = true

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"repro/internal/obs"
 	"repro/memtest"
 )
 
@@ -56,6 +57,14 @@ func NewServer(m Backend) *Server {
 	s.mux.HandleFunc("POST /v1/diagnose", s.handleDiagnose)
 	s.mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	// Backends that carry a metrics registry (a metered Manager or
+	// Coordinator) get GET /metrics on the same listener; unmetered
+	// backends serve 404 there, exactly as before.
+	if mp, ok := m.(interface{ Metrics() *obs.Registry }); ok {
+		if reg := mp.Metrics(); reg != nil {
+			s.mux.Handle("GET /metrics", reg.Handler())
+		}
+	}
 	return s
 }
 

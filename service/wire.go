@@ -55,9 +55,11 @@ type JobRequest struct {
 }
 
 // session builds the memtest session a request describes, clamping the
-// fleet worker count to maxWorkers. Errors wrap the memtest sentinel
-// errors, so the server can report them as client mistakes (HTTP 400).
-func (r JobRequest) session(maxWorkers int) (*memtest.Session, error) {
+// fleet worker count to maxWorkers. Extra options (the manager's device
+// observer, for one) are appended after the request's own. Errors wrap
+// the memtest sentinel errors, so the server can report them as client
+// mistakes (HTTP 400).
+func (r JobRequest) session(maxWorkers int, extra ...memtest.Option) (*memtest.Session, error) {
 	scheme := r.Scheme
 	if scheme == "" {
 		scheme = "proposed"
@@ -85,6 +87,7 @@ func (r JobRequest) session(maxWorkers int) (*memtest.Session, error) {
 	if r.Repair != nil {
 		opts = append(opts, memtest.WithRepair(*r.Repair))
 	}
+	opts = append(opts, extra...)
 	return memtest.New(r.Plan, opts...)
 }
 
@@ -176,6 +179,29 @@ type JobStatus struct {
 	Created  time.Time  `json:"created"`
 	Started  *time.Time `json:"started,omitempty"`
 	Finished *time.Time `json:"finished,omitempty"`
+	// ElapsedSec and DevicesPerSec are live progress, computed per
+	// response (never persisted): wall time since Started — still
+	// ticking on a running job, frozen at Finished on a terminal one —
+	// and Completed over that window.
+	ElapsedSec    float64 `json:"elapsed_sec,omitempty"`
+	DevicesPerSec float64 `json:"devices_per_sec,omitempty"`
+}
+
+// FillProgress computes the response-time progress fields from the
+// lifecycle timestamps. Idempotent, cheap, and never persisted — the
+// manifest writers marshal the status before any call to it.
+func (s *JobStatus) FillProgress(now time.Time) {
+	if s.Started == nil {
+		return
+	}
+	end := now
+	if s.Finished != nil {
+		end = *s.Finished
+	}
+	s.ElapsedSec = end.Sub(*s.Started).Seconds()
+	if s.ElapsedSec > 0 {
+		s.DevicesPerSec = float64(s.Completed) / s.ElapsedSec
+	}
 }
 
 // ShardStatus describes one contiguous device range of a coordinated
@@ -229,6 +255,13 @@ type Health struct {
 	JobsRecovered      int   `json:"jobs_recovered"`
 	JobsResumed        int   `json:"jobs_resumed"`
 	ResumeDevicesRerun int64 `json:"resume_devices_rerun"`
+	// UptimeSec is seconds since this process started; Version is the
+	// build's module version plus VCS revision when stamped;
+	// DevicesPerSec is the rolling device diagnosis rate over the last
+	// few seconds, maintained even when metrics are disabled.
+	UptimeSec     float64 `json:"uptime_sec"`
+	Version       string  `json:"version,omitempty"`
+	DevicesPerSec float64 `json:"devices_per_sec"`
 	// Capability, not load: Resume reports whether crash resume is
 	// enabled (-resume, the default), ResumeDelivery the delivery order
 	// resume supports ("ordered"), and Durable whether the job store
