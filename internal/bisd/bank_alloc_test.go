@@ -1,0 +1,74 @@
+package bisd
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/march"
+	"repro/internal/sram"
+)
+
+// TestBankRunnerSteadyStateAllocs pins the banked batch loop's
+// allocation budget: once the runner's shadows, SPCs and collectors
+// are fitted to the fleet shape, a full March pass over 64 clean lanes
+// may allocate only the per-lane result materialization the caller
+// retains (the Report struct and its fresh MemoryResult slice) plus
+// the reports slice itself — nothing per element, address or bit. At 3
+// allocs per device the schedule loop itself is provably alloc-free;
+// the sram-level TestBankOpsZeroAlloc pins the other half.
+func TestBankRunnerSteadyStateAllocs(t *testing.T) {
+	banks := []*sram.MemoryBank{
+		sram.NewMemoryBank(64, 16),
+		sram.NewMemoryBank(32, 8),
+	}
+	r := NewBankRunner()
+	test := march.MarchCW(16)
+	opt := ProposedOptions{ClockNs: 10}
+	run := func() {
+		if _, err := r.Run(banks, sram.BankLanes, test, opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // fit shadows, SPCs, collectors, scratch
+	allocs := testing.AllocsPerRun(5, run)
+	perDevice := allocs / sram.BankLanes
+	if perDevice > 3 {
+		t.Fatalf("steady-state batch run allocates %.0f times (%.2f/device), want <= 3/device",
+			allocs, perDevice)
+	}
+}
+
+// TestBankRunnerFaultyLanesAllocOnlyForRecords extends the pin to
+// faulty fleets: lanes with faults may additionally allocate only
+// their retained failure records and located sets (exact-size copies
+// at finish), still nothing per schedule step.
+func TestBankRunnerFaultyLanesAllocOnlyForRecords(t *testing.T) {
+	banks := []*sram.MemoryBank{sram.NewMemoryBank(48, 10)}
+	for l := 0; l < sram.BankLanes; l++ {
+		for _, f := range []fault.Fault{
+			{Class: fault.SA1, Victim: fault.Cell{Addr: l % 48, Bit: l % 10}},
+			{Class: fault.TFDown, Victim: fault.Cell{Addr: (l + 7) % 48, Bit: (l + 3) % 10}},
+		} {
+			if err := banks[0].Inject(l, f); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	r := NewBankRunner()
+	test := march.MarchCW(10)
+	opt := ProposedOptions{ClockNs: 10}
+	run := func() {
+		if _, err := r.Run(banks, sram.BankLanes, test, opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	allocs := testing.AllocsPerRun(5, run)
+	// Per lane: Report + MemoryResult slice + Failures copy + Located
+	// copy, plus the shared reports slice — comfortably under 8/device;
+	// per-record or per-step allocation would blow far past this.
+	if perDevice := allocs / sram.BankLanes; perDevice > 8 {
+		t.Fatalf("faulty-fleet batch run allocates %.0f times (%.2f/device), want <= 8/device",
+			allocs, perDevice)
+	}
+}

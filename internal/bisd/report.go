@@ -19,7 +19,6 @@ package bisd
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/fault"
 )
@@ -106,50 +105,73 @@ func (r *Report) TotalLocated() int {
 	return n
 }
 
-// collector gathers failure records and produces MemoryResults.
+// collector gathers failure records and produces MemoryResults. Records
+// accumulate in reusable per-memory scratch — the dedup map and direct
+// result appends this replaces paid a hash plus amortized slice growth
+// per record, which dominated the fleet batch path at tens of failures
+// per device and tens of thousands of devices per second — and finish
+// copies exact-size slices for the report to retain.
 type collector struct {
 	results []MemoryResult
-	seen    []map[fault.Cell]bool
+	// recs is the failure-record scratch, execution order.
+	recs [][]FailureRecord
+	// cells is the located set: unique failing cells, insertion order,
+	// sorted at finish. Uniqueness is a backwards linear scan — located
+	// sets are tiny (roughly the device's fault count) and the same
+	// cell fails in bursts, so the previous record usually matches
+	// immediately.
+	cells [][]fault.Cell
 }
 
 func newCollector(geoms []geometry) *collector {
-	c := &collector{seen: make([]map[fault.Cell]bool, len(geoms))}
-	for i := range geoms {
-		c.seen[i] = make(map[fault.Cell]bool)
+	c := &collector{
+		recs:  make([][]FailureRecord, len(geoms)),
+		cells: make([][]fault.Cell, len(geoms)),
 	}
 	c.reset(geoms)
 	return c
 }
 
 // reset prepares the collector for another run over the same fleet
-// shape: the dedup maps are cleared in place, while the result structs
+// shape: the scratch is truncated in place, while the result structs
 // are fresh — finish hands them to the report, which outlives the run.
 func (c *collector) reset(geoms []geometry) {
 	c.results = make([]MemoryResult, len(geoms))
 	for i, g := range geoms {
 		c.results[i] = MemoryResult{Index: i, Words: g.n, Width: g.c}
-		clear(c.seen[i])
+		c.recs[i] = c.recs[i][:0]
+		c.cells[i] = c.cells[i][:0]
 	}
 }
 
 type geometry struct{ n, c int }
 
 func (c *collector) record(rec FailureRecord) {
-	c.results[rec.Memory].Failures = append(c.results[rec.Memory].Failures, rec)
-	c.seen[rec.Memory][fault.Cell{Addr: rec.PhysicalAddr, Bit: rec.Bit}] = true
+	c.recs[rec.Memory] = append(c.recs[rec.Memory], rec)
+	c.recordCell(rec.Memory, fault.Cell{Addr: rec.PhysicalAddr, Bit: rec.Bit})
 }
 
 func (c *collector) recordCell(mem int, cell fault.Cell) {
-	c.seen[mem][cell] = true
+	cs := c.cells[mem]
+	for i := len(cs) - 1; i >= 0; i-- {
+		if cs[i] == cell {
+			return
+		}
+	}
+	c.cells[mem] = append(cs, cell)
 }
 
 func (c *collector) finish() []MemoryResult {
 	for i := range c.results {
-		cells := make([]fault.Cell, 0, len(c.seen[i]))
-		for cell := range c.seen[i] {
-			cells = append(cells, cell)
+		if n := len(c.recs[i]); n > 0 {
+			fs := make([]FailureRecord, n)
+			copy(fs, c.recs[i])
+			c.results[i].Failures = fs
 		}
-		sort.Slice(cells, func(a, b int) bool { return cells[a].Less(cells[b]) })
+		fault.SortCells(c.cells[i])
+		// Never nil: an empty located set must still marshal as [].
+		cells := make([]fault.Cell, len(c.cells[i]))
+		copy(cells, c.cells[i])
 		c.results[i].Located = cells
 	}
 	return c.results

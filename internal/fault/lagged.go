@@ -1,0 +1,242 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// laggedSource is a drop-in reimplementation of math/rand's additive
+// lagged-Fibonacci source (Mitchell & Reeds, tap 273 / length 607)
+// whose Seed is O(1) instead of O(607). The stock rngSource.Seed walks
+// a serial 1841-step Lehmer chain (x[n+1] = 48271*x[n] mod 2^31-1) to
+// refill all 607 state words eagerly — about 10µs on this class of
+// hardware, which dominated fleet builds that reseed one generator per
+// memory per device. But each state word depends only on three fixed
+// points of that chain:
+//
+//	vec[i] = (x[21+3i]<<40 ^ x[22+3i]<<20 ^ x[23+3i]) ^ cooked[i]
+//
+// and x[j] = 48271^j * x0 mod 2^31-1 is directly computable from a
+// precomputed powers table, so state words can be materialized lazily
+// on first touch. A fleet build draws a few dozen values per memory,
+// touching well under a tenth of the state; consumers that drain past
+// the full 607-word window pay nothing extra, since by then the
+// recurrence feeds on its own outputs.
+//
+// The output stream is bit-identical to rand.NewSource for every seed —
+// goldens, modeled cycle counts, and per-device fleet streams captured
+// before this source existed stay byte-for-byte valid. The stdlib's
+// seeding constant table is recovered from one observed rand.NewSource
+// stream at init (each output overwrites exactly one state slot with
+// the output value itself, so the pre-draw state back-solves), and an
+// init-time cross-check plus TestLaggedSourceMatchesMathRand pin the
+// equivalence.
+type laggedSource struct {
+	tap, feed int
+	x0        uint64 // Lehmer chain start for the current seed
+	epoch     uint32
+	mat       [lagLen]uint32 // epoch at which vec[i] became valid
+	vec       [lagLen]uint64
+}
+
+const (
+	lagLen   = 607
+	lagTap   = 273
+	lagMod   = 1<<31 - 1 // Mersenne prime 2^31-1
+	lagMul   = 48271     // MINSTD multiplier used by stdlib seedrand
+	lagSteps = 3*lagLen + 21
+)
+
+var (
+	lagPow    [lagSteps]uint64 // lagPow[j] = lagMul^j mod lagMod
+	lagCooked [lagLen]uint64   // stdlib rngCooked, recovered at init
+)
+
+// lagMulMod returns a*b mod 2^31-1 for a, b < 2^31 without division,
+// folding the Mersenne modulus: hi*2^31 + lo ≡ hi + lo (mod 2^31-1).
+func lagMulMod(a, b uint64) uint64 {
+	v := a * b // < 2^62, no overflow
+	v = v>>31 + v&lagMod
+	v = v>>31 + v&lagMod
+	if v >= lagMod {
+		v -= lagMod
+	}
+	return v
+}
+
+// lagLehmer composes the three Lehmer-chain points backing state word i
+// for a chain starting at x0, without the cooked XOR.
+func lagLehmer(x0 uint64, i int) uint64 {
+	a := lagMulMod(lagPow[21+3*i], x0)
+	b := lagMulMod(lagPow[22+3*i], x0)
+	c := lagMulMod(lagPow[23+3*i], x0)
+	return a<<40 ^ b<<20 ^ c
+}
+
+// lagSeedStart maps an arbitrary seed to the Lehmer chain start value,
+// mirroring rngSource.Seed exactly.
+func lagSeedStart(seed int64) uint64 {
+	seed %= lagMod
+	if seed < 0 {
+		seed += lagMod
+	}
+	if seed == 0 {
+		seed = 89482311
+	}
+	return uint64(seed)
+}
+
+// Seed rewinds the source to the deterministic stream of the given
+// seed in O(1): state words rematerialize lazily as they are touched.
+func (r *laggedSource) Seed(seed int64) {
+	r.tap = 0
+	r.feed = lagLen - lagTap
+	r.x0 = lagSeedStart(seed)
+	r.epoch++
+	if r.epoch == 0 { // wrapped: stamp everything stale
+		clear(r.mat[:])
+		r.epoch = 1
+	}
+}
+
+// at returns state word i, materializing it from the seed chain if it
+// has not been touched since the last Seed.
+func (r *laggedSource) at(i int) uint64 {
+	if r.mat[i] != r.epoch {
+		r.vec[i] = lagLehmer(r.x0, i) ^ lagCooked[i]
+		r.mat[i] = r.epoch
+	}
+	return r.vec[i]
+}
+
+func (r *laggedSource) Uint64() uint64 {
+	r.tap--
+	if r.tap < 0 {
+		r.tap += lagLen
+	}
+	r.feed--
+	if r.feed < 0 {
+		r.feed += lagLen
+	}
+	x := r.at(r.feed) + r.at(r.tap)
+	r.vec[r.feed] = x
+	r.mat[r.feed] = r.epoch
+	return x
+}
+
+func (r *laggedSource) Int63() int64 { return int64(r.Uint64() &^ (1 << 63)) }
+
+func init() {
+	lagPow[0] = 1
+	for j := 1; j < lagSteps; j++ {
+		lagPow[j] = lagMulMod(lagPow[j-1], lagMul)
+	}
+	recoverCooked()
+	lagSelfCheck()
+}
+
+// recoverCooked reconstructs the stdlib's unexported seeding table from
+// one observed rand.NewSource stream. Every output out[k] is the sum of
+// the two operand slots' values at that step, and the feed slot is then
+// overwritten with out[k] itself — so each operand is either an earlier
+// output (known) or a pre-draw original V[s] (unknown). Equations with
+// one unknown solve directly; sum equations between two originals
+// resolve once either side is solved elsewhere. All 607 originals
+// resolve within two passes, and cooked[i] = V[i] ^ lehmer(i).
+func recoverCooked() {
+	const seed = 1
+	src, ok := rand.NewSource(seed).(rand.Source64)
+	if !ok {
+		panic("fault: rand.NewSource no longer implements Source64; cannot calibrate laggedSource")
+	}
+	const steps = 2 * lagLen
+	out := make([]uint64, steps)
+	for k := range out {
+		out[k] = src.Uint64()
+	}
+
+	// Replay the index walk, classifying each step's operands.
+	type term struct {
+		slot  int  // original-slot index if !known
+		known bool // value is val instead of V[slot]
+		val   uint64
+	}
+	type equation struct {
+		sum  uint64
+		a, b term
+	}
+	eqs := make([]equation, 0, steps)
+	lastWrite := make([]int, lagLen) // output index holding slot's value, -1 = original
+	for s := range lastWrite {
+		lastWrite[s] = -1
+	}
+	tap, feed := 0, lagLen-lagTap
+	operand := func(s int) term {
+		if w := lastWrite[s]; w >= 0 {
+			return term{known: true, val: out[w]}
+		}
+		return term{slot: s}
+	}
+	for k := 0; k < steps; k++ {
+		tap--
+		if tap < 0 {
+			tap += lagLen
+		}
+		feed--
+		if feed < 0 {
+			feed += lagLen
+		}
+		eqs = append(eqs, equation{sum: out[k], a: operand(feed), b: operand(tap)})
+		lastWrite[feed] = k
+	}
+
+	var orig [lagLen]uint64
+	var solved [lagLen]bool
+	n := 0
+	for progress := true; progress && n < lagLen; {
+		progress = false
+		for _, eq := range eqs {
+			a, b := eq.a, eq.b
+			if !a.known && solved[a.slot] {
+				a = term{known: true, val: orig[a.slot]}
+			}
+			if !b.known && solved[b.slot] {
+				b = term{known: true, val: orig[b.slot]}
+			}
+			switch {
+			case a.known && b.known:
+				continue
+			case a.known:
+				a, b = b, a
+				fallthrough
+			case b.known:
+				orig[a.slot] = eq.sum - b.val
+				solved[a.slot] = true
+				n++
+				progress = true
+			}
+		}
+	}
+	if n != lagLen {
+		panic(fmt.Sprintf("fault: laggedSource calibration solved %d/%d state words", n, lagLen))
+	}
+	x0 := lagSeedStart(seed)
+	for i := range lagCooked {
+		lagCooked[i] = orig[i] ^ lagLehmer(x0, i)
+	}
+}
+
+// lagSelfCheck compares a short stream for a different seed against the
+// stdlib at startup, so a stdlib algorithm change fails loudly here
+// rather than silently shifting every downstream fault draw.
+func lagSelfCheck() {
+	const seed = 0x5eed5eed5eed
+	want := rand.NewSource(seed).(rand.Source64)
+	got := &laggedSource{}
+	got.Seed(seed)
+	for k := 0; k < 64; k++ {
+		if g, w := got.Uint64(), want.Uint64(); g != w {
+			panic(fmt.Sprintf("fault: laggedSource diverges from math/rand at draw %d: %#x != %#x", k, g, w))
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestLaggedSourceMatchesMathRand is the equivalence pin for the O(1)
+// reseed source: for seeds across the whole int64 range — including
+// negative, zero, and values that collide modulo 2^31-1 — the stream
+// must be bit-identical to rand.NewSource far past the 607-word state
+// window, where the recurrence has long stopped touching lazily
+// materialized words.
+func TestLaggedSourceMatchesMathRand(t *testing.T) {
+	seeds := []int64{
+		0, 1, -1, 2, 42, 89482311,
+		lagMod - 1, lagMod, lagMod + 1, -lagMod,
+		1 << 40, -(1 << 40), 1<<63 - 1, -1 << 63,
+		0x5eed5eed5eed5eed, -0x5eed5eed5eed5eed,
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 24; i++ {
+		seeds = append(seeds, rng.Int63()-rng.Int63())
+	}
+	got := &laggedSource{}
+	for _, seed := range seeds {
+		want := rand.NewSource(seed).(rand.Source64)
+		got.Seed(seed)
+		for k := 0; k < 2*lagLen; k++ {
+			if g, w := got.Uint64(), want.Uint64(); g != w {
+				t.Fatalf("seed %d: Uint64 draw %d = %#x, math/rand has %#x", seed, k, g, w)
+			}
+		}
+	}
+}
+
+// TestLaggedSourceInt63MatchesMathRand pins the Int63 masking and the
+// derived rand.Rand methods the generator actually uses (Intn's
+// rejection loop, Float64), which exercise partial-window consumption
+// patterns between reseeds.
+func TestLaggedSourceInt63MatchesMathRand(t *testing.T) {
+	src := &laggedSource{}
+	gotRng := rand.New(src)
+	for _, seed := range []int64{3, -77, 1 << 50} {
+		src.Seed(seed)
+		wantRng := rand.New(rand.NewSource(seed))
+		for k := 0; k < 300; k++ {
+			if g, w := gotRng.Int63(), wantRng.Int63(); g != w {
+				t.Fatalf("seed %d: Int63 draw %d = %d, math/rand has %d", seed, k, g, w)
+			}
+			if g, w := gotRng.Intn(k+3), wantRng.Intn(k+3); g != w {
+				t.Fatalf("seed %d: Intn draw %d = %d, math/rand has %d", seed, k, g, w)
+			}
+			if g, w := gotRng.Float64(), wantRng.Float64(); g != w {
+				t.Fatalf("seed %d: Float64 draw %d = %v, math/rand has %v", seed, k, g, w)
+			}
+		}
+	}
+}
+
+// TestLaggedSourceReseedRewindsExactly pins that Reseed after partial
+// and deep consumption restarts the exact stream — the property fleet
+// builders rely on when recycling one generator across devices.
+func TestLaggedSourceReseedRewindsExactly(t *testing.T) {
+	src := &laggedSource{}
+	src.Seed(123)
+	first := make([]uint64, 40)
+	for i := range first {
+		first[i] = src.Uint64()
+	}
+	for _, drain := range []int{0, 1, 17, lagLen + 5} {
+		src.Seed(456)
+		for i := 0; i < drain; i++ {
+			src.Uint64()
+		}
+		src.Seed(123)
+		for i, w := range first {
+			if g := src.Uint64(); g != w {
+				t.Fatalf("after draining %d words of another seed, replay draw %d = %#x, want %#x", drain, i, g, w)
+			}
+		}
+	}
+}
+
+func BenchmarkLaggedSourceReseedDraw(b *testing.B) {
+	src := &laggedSource{}
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		src.Seed(int64(i))
+		for k := 0; k < 32; k++ {
+			sink += src.Uint64()
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkMathRandReseedDraw(b *testing.B) {
+	src := rand.NewSource(0).(rand.Source64)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		src.Seed(int64(i))
+		for k := 0; k < 32; k++ {
+			sink += src.Uint64()
+		}
+	}
+	_ = sink
+}

@@ -1,0 +1,58 @@
+package sram
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/fault"
+)
+
+// Allocation pins for the bank's hot loop: every operation the banked
+// March schedule issues per element — writes in all three flavors,
+// retention holds, row sensing — must be allocation-free once the
+// bank's scratch has grown to the fleet's shape. The batch loop's
+// 0 allocs/device claim rests on these.
+func TestBankOpsZeroAlloc(t *testing.T) {
+	const n, c = 32, 12
+	b := NewMemoryBank(n, c)
+	faults := []fault.Fault{
+		{Class: fault.SA0, Victim: fault.Cell{Addr: 1, Bit: 2}},
+		{Class: fault.TFUp, Victim: fault.Cell{Addr: 3, Bit: 5}},
+		{Class: fault.CFid, Victim: fault.Cell{Addr: 4, Bit: 1},
+			Aggressor: fault.Cell{Addr: 7, Bit: 9}, Value: true},
+		{Class: fault.CFin, Victim: fault.Cell{Addr: 9, Bit: 0},
+			Aggressor: fault.Cell{Addr: 9, Bit: 3}, Dir: fault.Down},
+		{Class: fault.CFst, Victim: fault.Cell{Addr: 12, Bit: 4},
+			Aggressor: fault.Cell{Addr: 2, Bit: 8}, Value: true, AggState: true},
+		{Class: fault.DRF, Victim: fault.Cell{Addr: 20, Bit: 6}, Value: true},
+	}
+	for l := 0; l < BankLanes; l++ {
+		for _, f := range faults {
+			if err := b.Inject(l, f); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	w := fuzzBankPattern(c, 0xa5)
+	inv := bitvec.New(c)
+	inv.InvertFrom(w)
+	shadow := bitvec.New(c)
+	out := bitvec.New(c)
+	var bits []int32
+	var sensed []uint64
+	work := func() {
+		for addr := 0; addr < n; addr++ {
+			b.Write(addr, w)
+			b.WriteNWRC(addr, inv)
+			b.WriteWeak(addr, w)
+			bits, sensed = b.SenseRow(addr, bits[:0], sensed[:0])
+			b.ReadInto(addr, addr%BankLanes, shadow, out)
+		}
+		b.Hold(100)
+	}
+	work() // grow transition and sense scratch to steady state
+	if allocs := testing.AllocsPerRun(20, work); allocs != 0 {
+		t.Fatalf("steady-state bank ops allocate %.0f times per pass, want 0", allocs)
+	}
+}

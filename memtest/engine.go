@@ -79,6 +79,40 @@ type ReusableEngine interface {
 	NewRunner() EngineRunner
 }
 
+// BatchRunner is reusable per-worker state for bit-sliced batch
+// execution: up to Lanes same-plan devices are loaded one per lane and
+// diagnosed by a single schedule pass, returning one Report per lane.
+// The per-lane Reports must be byte-identical to what the engine's
+// per-device path would produce for each device alone. Like an
+// EngineRunner, a BatchRunner is NOT safe for concurrent use — each
+// fleet worker owns one.
+type BatchRunner interface {
+	// Lanes is the batch width (64 for the built-in bit-sliced bank).
+	Lanes() int
+	// Load stages one device's built fleet into the given lane.
+	// Load(0, f) starts a new batch: the runner (re)fits itself to f's
+	// geometry and clears all lanes. bankable=false reports a device
+	// whose faults the batch path cannot model (sram.ErrUnbankable
+	// classes); the caller must re-diagnose that device on the
+	// per-device path and discard its lane's report. A non-nil error is
+	// a hard failure for that device.
+	Load(lane int, f *Fleet) (bankable bool, err error)
+	// RunBatch diagnoses lanes [0, lanes) in one schedule pass and
+	// returns their Reports, index = lane.
+	RunBatch(ctx context.Context, lanes int, opt EngineOptions) ([]*Report, error)
+}
+
+// BatchEngine is implemented by engines that can advertise a bit-sliced
+// batch path. RunFleetRange detects it and groups its device window
+// into Lanes-wide batches, falling back to the per-device path only for
+// unbankable lanes; engines that don't implement it run per device.
+// The built-in "proposed" engine implements it.
+type BatchEngine interface {
+	Engine
+	// NewBatchRunner returns a fresh, unshared batch runner.
+	NewBatchRunner() BatchRunner
+}
+
 var (
 	engineMu sync.RWMutex
 	engines  = map[string]Engine{}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/bitvec"
 	"repro/internal/march"
 	"repro/internal/simulator"
+	"repro/internal/sram"
 )
 
 func init() {
@@ -83,6 +84,92 @@ func (pr *proposedRunner) Run(ctx context.Context, f *Fleet, opt EngineOptions) 
 		ClockNs:       opt.ClockNs,
 		DeliveryOrder: opt.DeliveryOrder,
 		Trace:         opt.Trace,
+		Ctx:           ctx,
+	})
+}
+
+// NewBatchRunner implements BatchEngine: the returned runner packs up
+// to sram.BankLanes devices into bit-sliced MemoryBanks (one per plan
+// memory, lane l = device l) and runs the March schedule once per
+// batch through a bisd.BankRunner. Per-lane reports are byte-identical
+// to the per-device path's (pinned by the fleet differential suite).
+func (proposedEngine) NewBatchRunner() BatchRunner {
+	return &proposedBatchRunner{r: bisd.NewBankRunner()}
+}
+
+type proposedBatchRunner struct {
+	r     *bisd.BankRunner
+	banks []*sram.MemoryBank
+	cMax  int
+
+	// Cached DefaultTest instantiation, as in proposedRunner.
+	test      MarchTest
+	testCMax  int
+	testDRF   bool
+	testValid bool
+}
+
+func (pb *proposedBatchRunner) Lanes() int { return sram.BankLanes }
+
+func (pb *proposedBatchRunner) Load(lane int, f *Fleet) (bankable bool, err error) {
+	if lane == 0 {
+		pb.fit(f)
+	}
+	bankable = true
+	for i, m := range f.mems {
+		ok, err := pb.banks[i].LoadLane(lane, m.Faults())
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			// An unbankable fault class (SOF/ADOF/CDF): the lane still
+			// runs in the bank, but its report is wrong and the caller
+			// re-diagnoses this device per-device. Lanes never interact,
+			// so the other lanes stay exact.
+			bankable = false
+		}
+	}
+	return bankable, nil
+}
+
+// fit sizes the banks to the fleet's geometry, reusing them (a cheap
+// O(special cells) Reset each) when it is unchanged — the steady state
+// for same-plan fleet batches.
+func (pb *proposedBatchRunner) fit(f *Fleet) {
+	match := len(pb.banks) == len(f.mems)
+	if match {
+		for i, m := range f.mems {
+			if pb.banks[i].N() != m.N() || pb.banks[i].C() != m.C() {
+				match = false
+				break
+			}
+		}
+	}
+	if match {
+		for _, b := range pb.banks {
+			b.Reset()
+		}
+		return
+	}
+	pb.banks = make([]*sram.MemoryBank, len(f.mems))
+	for i, m := range f.mems {
+		pb.banks[i] = sram.NewMemoryBank(m.N(), m.C())
+	}
+	pb.cMax = f.WidestWidth()
+}
+
+func (pb *proposedBatchRunner) RunBatch(ctx context.Context, lanes int, opt EngineOptions) ([]*Report, error) {
+	test := opt.Test
+	if test == nil {
+		if !pb.testValid || pb.testCMax != pb.cMax || pb.testDRF != opt.IncludeDRF {
+			pb.test = DefaultTest(pb.cMax, opt.IncludeDRF)
+			pb.testCMax, pb.testDRF, pb.testValid = pb.cMax, opt.IncludeDRF, true
+		}
+		test = &pb.test
+	}
+	return pb.r.Run(pb.banks, lanes, *test, bisd.ProposedOptions{
+		ClockNs:       opt.ClockNs,
+		DeliveryOrder: opt.DeliveryOrder,
 		Ctx:           ctx,
 	})
 }

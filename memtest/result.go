@@ -51,15 +51,22 @@ func (r *Result) TimeNs() float64 { return r.Report.TimeNs() }
 // evaluate scores one memory's raw engine outcome against the injected
 // ground truth and, when a budget is set, allocates repair.
 func (s *Session) evaluate(f *Fleet, rep *Report, i int) Diagnosis {
-	mr := &rep.Memories[i]
+	return s.evaluateMemory(f.plan.Memories[i].Name, f.truth[i], &rep.Memories[i])
+}
+
+// evaluateMemory is evaluate decoupled from the Fleet, so the banked
+// fleet path — whose builder memories are recycled lane to lane and
+// whose staged ground truth outlives the build — scores identically to
+// the per-device path.
+func (s *Session) evaluateMemory(name string, truth []fault.Fault, mr *MemoryReport) Diagnosis {
 	d := Diagnosis{
-		Name:  f.plan.Memories[i].Name,
+		Name:  name,
 		Words: mr.Words, Width: mr.Width,
 		Located:  mr.Located,
-		Injected: len(f.truth[i]),
+		Injected: len(truth),
 	}
 	victims := make(map[Cell]bool)
-	for _, ft := range f.truth[i] {
+	for _, ft := range truth {
 		if ft.Class == fault.DRF && !s.eopt.IncludeDRF {
 			continue
 		}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/repair"
 	"repro/internal/timing"
 )
@@ -39,6 +40,17 @@ type Session struct {
 	// observe, when non-nil, is called once per device as a fleet
 	// worker finishes diagnosing it (see WithDeviceObserver).
 	observe func(device int)
+	// noBatch forces the per-device fleet path even when the engine is
+	// a BatchEngine — the differential suite's reference arm.
+	noBatch bool
+	// divergeLane, when non-nil, forces the batch path to treat the
+	// given device as unbankable — a test hook exercising the
+	// lane-divergence slow path on plans that never draw unbankable
+	// fault classes.
+	divergeLane func(device int) bool
+	// truthBuf recycles the per-lane ground-truth staging across a
+	// worker's batches.
+	truthBuf [][][]fault.Fault
 }
 
 // Option configures a Session; see the With* constructors.
@@ -306,6 +318,14 @@ func (s *Session) RunAll(ctx context.Context) (*Result, error) {
 
 // resultFrom evaluates every memory of a completed run.
 func (s *Session) resultFrom(f *Fleet, rep *Report) *Result {
+	return s.resultFromTruth(f.truth, rep)
+}
+
+// resultFromTruth is resultFrom against staged ground truth: the banked
+// fleet path recycles its builder memories lane to lane, so by the time
+// a batch's reports come back only the per-lane truth (freshly
+// allocated per build) survives — which is all evaluation needs.
+func (s *Session) resultFromTruth(truth [][]fault.Fault, rep *Report) *Result {
 	res := &Result{
 		Engine: s.engine.Name(),
 		Scheme: s.engine.Describe(),
@@ -314,7 +334,7 @@ func (s *Session) resultFrom(f *Fleet, rep *Report) *Result {
 	}
 	var locatedPerMem [][]Cell
 	for i := range rep.Memories {
-		res.Memories = append(res.Memories, s.evaluate(f, rep, i))
+		res.Memories = append(res.Memories, s.evaluateMemory(s.plan.Memories[i].Name, truth[i], &rep.Memories[i]))
 		locatedPerMem = append(locatedPerMem, rep.Memories[i].Located)
 	}
 	if s.budget != (Budget{}) {
@@ -386,14 +406,7 @@ func (s *Session) RunFleetRange(ctx context.Context, lo, hi int) iter.Seq2[Devic
 			workers = devices
 		}
 
-		type slot struct {
-			res *Result
-			err error
-		}
-		results := make(chan struct {
-			device int
-			slot
-		}, workers)
+		results := make(chan fleetMsg, workers)
 		var next atomic.Int64
 		next.Store(int64(lo))
 		var wg sync.WaitGroup
@@ -403,8 +416,18 @@ func (s *Session) RunFleetRange(ctx context.Context, lo, hi int) iter.Seq2[Devic
 		// engine scratch state is built once per worker instead of per
 		// device, and a private fleet builder, so each device's
 		// memories recycle the worker's allocation instead of
-		// rebuilding ~an allocation per row per device.
+		// rebuilding ~an allocation per row per device. When the engine
+		// is a BatchEngine, workers claim whole bit-sliced batches
+		// instead of single devices: one schedule pass diagnoses up to
+		// BatchRunner.Lanes devices at once, and only unbankable lanes
+		// fall back to the per-device path. Both paths yield
+		// byte-identical per-device results, so the claiming granularity
+		// never shows in the stream.
 		reusable, _ := s.engine.(ReusableEngine)
+		batcher, _ := s.engine.(BatchEngine)
+		if s.noBatch {
+			batcher = nil
+		}
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
@@ -418,6 +441,31 @@ func (s *Session) RunFleetRange(ctx context.Context, lo, hi int) iter.Seq2[Devic
 				// cannot realistically fail; a nil builder just falls
 				// back to per-device fresh builds.
 				local.builder, _ = s.plan.newFleetBuilder()
+				send := func(device int, res *Result, err error) bool {
+					select {
+					case results <- fleetMsg{device, res, err}:
+						return true
+					case <-ctx.Done():
+						return false
+					}
+				}
+				if batcher != nil {
+					br := batcher.NewBatchRunner()
+					lanes := br.Lanes()
+					for {
+						d0 := int(next.Add(int64(lanes))) - lanes
+						if d0 >= hi || ctx.Err() != nil {
+							return
+						}
+						size := lanes
+						if hi-d0 < size {
+							size = hi - d0
+						}
+						if !local.runBatch(ctx, br, d0, size, send) {
+							return
+						}
+					}
+				}
 				for {
 					d := int(next.Add(1)) - 1
 					if d >= hi || ctx.Err() != nil {
@@ -431,12 +479,7 @@ func (s *Session) RunFleetRange(ctx context.Context, lo, hi int) iter.Seq2[Devic
 							local.observe(d)
 						}
 					}
-					select {
-					case results <- struct {
-						device int
-						slot
-					}{d, slot{res, err}}:
-					case <-ctx.Done():
+					if !send(d, res, err) {
 						return
 					}
 				}
@@ -470,7 +513,7 @@ func (s *Session) RunFleetRange(ctx context.Context, lo, hi int) iter.Seq2[Devic
 
 		// Reorder: yield strictly in device order so the stream is
 		// deterministic regardless of worker scheduling.
-		pending := make(map[int]slot)
+		pending := make(map[int]fleetMsg)
 		nextYield := lo
 		for nextYield < hi {
 			if sl, ok := pending[nextYield]; ok {
@@ -487,7 +530,7 @@ func (s *Session) RunFleetRange(ctx context.Context, lo, hi int) iter.Seq2[Devic
 			}
 			select {
 			case r := <-results:
-				pending[r.device] = r.slot
+				pending[r.device] = r
 			case <-ctx.Done():
 				<-done // workers exit on ctx; don't leak them
 				yield(DeviceResult{}, ctx.Err())
@@ -495,6 +538,94 @@ func (s *Session) RunFleetRange(ctx context.Context, lo, hi int) iter.Seq2[Devic
 			}
 		}
 	}
+}
+
+// fleetMsg is one device's outcome in flight from a fleet worker to
+// the delivery goroutine.
+type fleetMsg struct {
+	device int
+	res    *Result
+	err    error
+}
+
+// buildDevice builds one device's fleet on the worker's recycled
+// builder (falling back to a fresh build if none was created).
+func (s *Session) buildDevice(base int64) (*Fleet, error) {
+	if s.builder != nil {
+		return s.builder.build(base, true)
+	}
+	return s.plan.build(base, true)
+}
+
+// runBatch diagnoses devices [d0, d0+size) as one bit-sliced batch:
+// each device is built on the worker's pooled builder (the same build,
+// seeds and defect draw as the per-device path) and its fault list is
+// staged into lane d-d0; one RunBatch pass then produces every lane's
+// report. Lanes the batch cannot model — unbankable fault classes, or
+// a test-injected divergence — are re-diagnosed on the per-device slow
+// path, reusing the worker's pooled builder and runner. Results are
+// sent in ascending device order; on a build/load error, the already
+// staged lanes still run and deliver (ordered delivery would otherwise
+// deadlock waiting on them) before the failing device's error is sent.
+// It reports whether the worker should keep claiming batches.
+func (s *Session) runBatch(ctx context.Context, br BatchRunner, d0, size int, send func(int, *Result, error) bool) bool {
+	truths := s.truthBuf[:0]
+	var divergent uint64
+	loadErr := error(nil)
+	errDev := -1
+	for l := 0; l < size; l++ {
+		d := d0 + l
+		f, err := s.buildDevice(deviceSeed(s.seed, d))
+		if err == nil {
+			var bankable bool
+			bankable, err = br.Load(l, f)
+			if err == nil && (!bankable || (s.divergeLane != nil && s.divergeLane(d))) {
+				divergent |= 1 << uint(l)
+			}
+		}
+		if err != nil {
+			loadErr, errDev = err, d
+			break
+		}
+		// The builder recycles memories across builds, but each build's
+		// ground truth is freshly allocated, so staging it is safe.
+		truths = append(truths, f.truth)
+	}
+	s.truthBuf = truths
+	if loaded := len(truths); loaded > 0 {
+		reports, err := br.RunBatch(ctx, loaded, s.eopt)
+		if err != nil {
+			// A batch-level failure (cancellation, bad test) aborts every
+			// lane; attribute it to the batch's first device.
+			send(d0, nil, err)
+			return false
+		}
+		for l := 0; l < loaded; l++ {
+			d := d0 + l
+			var res *Result
+			if divergent>>uint(l)&1 != 0 {
+				f, rep, err := s.runOnce(ctx, deviceSeed(s.seed, d), true)
+				if err != nil {
+					send(d, nil, err)
+					return false
+				}
+				res = s.resultFrom(f, rep)
+			} else {
+				res = s.resultFromTruth(truths[l], reports[l])
+			}
+			if s.observe != nil {
+				s.observe(d)
+			}
+			if !send(d, res, nil) {
+				return false
+			}
+		}
+	}
+	if loadErr != nil {
+		send(errDev, nil, loadErr)
+		return false
+	}
+	return true
 }
 
 // deviceSeed derives device d's base seed from the session seed.

@@ -12,7 +12,9 @@
 //     gap-free device sequence,
 //   - /v1/healthz accounts for the resume,
 //   - /metrics exposes live device counters mid-run and, after the
-//     restart, resume counters that agree with healthz.
+//     restart, resume counters that agree with healthz,
+//   - a range job whose window starts mid-64-lane-batch (first_device
+//     37) streams the exact byte-identical suffix of the full run.
 //
 // It exercises the same contract as the service package's resume tests
 // but with real processes, real SIGKILL and real files — the layer no
@@ -262,6 +264,50 @@ func run() error {
 		return fmt.Errorf("resume_devices_rerun_total = %g, want >= 1", rerun)
 	}
 	log.Printf("resumesmoke: /metrics agrees with healthz (resumed %g, %g devices re-run)", resumed, rerun)
+
+	// Mid-batch shard seam: a range job starting at device 37 — inside
+	// the banked fleet engine's first 64-lane batch — must stream the
+	// exact suffix of the full run, the property memtest-coord's shard
+	// dispatch stands on no matter where its seams land.
+	rangeReq := req
+	rangeReq.FirstDevice, rangeReq.Devices = 37, 30
+	rst, err := c.Submit(ctx, rangeReq)
+	if err != nil {
+		return fmt.Errorf("submitting mid-batch range job: %w", err)
+	}
+	deadline = time.Now().Add(120 * time.Second)
+	for {
+		cur, err := c.Job(ctx, rst.ID)
+		if err != nil {
+			return fmt.Errorf("polling range job: %w", err)
+		}
+		if cur.State == service.StateDone {
+			break
+		}
+		if cur.State.Terminal() {
+			return fmt.Errorf("range job ended %q: %s", cur.State, cur.Error)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("range job never finished: %+v", cur)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	rgot, err := rawLines(base + "/v1/jobs/" + rst.ID + "/results")
+	if err != nil {
+		return err
+	}
+	rwant := want[rangeReq.FirstDevice : rangeReq.FirstDevice+rangeReq.Devices]
+	if len(rgot) != len(rwant) {
+		return fmt.Errorf("range stream has %d lines, want %d", len(rgot), len(rwant))
+	}
+	for i := range rwant {
+		if rgot[i] != rwant[i] {
+			return fmt.Errorf("range line %d differs from full-run suffix:\nserver   : %s\nreference: %s",
+				i, rgot[i], rwant[i])
+		}
+	}
+	log.Printf("resumesmoke: mid-batch range job [37,67) byte-identical to the full-run suffix")
+
 	log.Printf("resumesmoke: OK (recovered %d, resumed %d, %d devices re-run)",
 		h.JobsRecovered, h.JobsResumed, h.ResumeDevicesRerun)
 	return nil

@@ -215,6 +215,27 @@ func TestCoordFirstDeviceWindow(t *testing.T) {
 	}
 }
 
+// TestCoordShardSeamMidBatch: sharding 130 devices over two workers
+// puts the seam at device 65 — inside the banked fleet engine's second
+// 64-lane batch of a full run, while the second worker's own batches
+// start at 65. Per-device seeds derive from absolute indices, so the
+// merged stream must stay byte-identical to the single-session run no
+// matter where shard seams land relative to batch boundaries.
+func TestCoordShardSeamMidBatch(t *testing.T) {
+	req := service.JobRequest{Plan: testPlan(), Devices: 130, DRF: true, Seed: 17}
+	urls := []string{newWorker(t, service.Config{}).URL, newWorker(t, service.Config{}).URL}
+	cc, _, cts := newCoord(t, coord.Config{Workers: urls, MinShard: 3, Backoff: fastBackoff()})
+	st, err := cc.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareLines(t, rawStream(t, cts, st.ID), localLines(t, req))
+	fin := waitState(t, cc, st.ID, service.StateDone)
+	if len(fin.Shards) != 2 || fin.Shards[1].Lo != 65 {
+		t.Fatalf("shards = %+v, want two shards with the seam at device 65", fin.Shards)
+	}
+}
+
 // TestCoordRefusesIncapableWorker: a reachable worker with crash
 // resume disabled is refused at startup — its spool would not survive
 // a worker restart as a byte-identical prefix.

@@ -113,6 +113,61 @@ func TestCrashResumeByteIdentical(t *testing.T) {
 	}
 }
 
+// TestCrashResumeMidBatchByteIdentical re-runs the acceptance test at
+// banked-fleet scale: 150 devices put the crash point (37 durable
+// results) inside the fleet engine's first 64-lane batch, so the
+// resumed RunFleetRange(37, 150) restarts mid-batch — its batches are
+// offset from the original run's — and the stitched stream must still
+// be byte-identical to a crash-free run.
+func TestCrashResumeMidBatchByteIdentical(t *testing.T) {
+	inner := store.NewMem()
+	ctx := context.Background()
+	req := service.JobRequest{
+		Plan: testPlan(), Devices: 150, Seed: 33, Delivery: "ordered", DRF: true,
+		Workers: 1,
+	}
+
+	c1, fs1, _ := faultServer(t, inner, service.Config{Jobs: 1, Queue: 4})
+	fs1.CrashAfterAppends(37)
+	st, err := c1.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed := waitState(t, c1, st.ID, service.StateFailed)
+	if !strings.Contains(crashed.Error, "injected") {
+		t.Fatalf("crashed job error = %q, want the injected store fault", crashed.Error)
+	}
+
+	c2, m2, ts2 := memServer(t, inner, service.Config{Jobs: 1, Queue: 4})
+	defer func() { ts2.Close(); m2.Close() }()
+	resumed := waitState(t, c2, st.ID, service.StateDone)
+	if !resumed.Resumed || resumed.ResumedFrom != 37 {
+		t.Fatalf("resumed job = %+v, want resumed from device 37 (mid-batch)", resumed)
+	}
+	if resumed.Completed != req.Devices {
+		t.Fatalf("resumed job completed %d devices, want %d", resumed.Completed, req.Devices)
+	}
+
+	got := rawStream(t, ts2, st.ID)
+	want := localLines(t, req)
+	if len(got) != len(want) {
+		t.Fatalf("resumed stream has %d lines, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("resumed line %d differs:\nresumed: %s\nlocal  : %s", i, got[i], want[i])
+		}
+	}
+
+	h, err := c2.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ResumeDevicesRerun != int64(req.Devices-37) {
+		t.Fatalf("rerun counter = %d, want %d", h.ResumeDevicesRerun, req.Devices-37)
+	}
+}
+
 // TestResumeTornTailOnDisk drives the real file-level path: a zombie
 // manager loses its disk store mid-job, the spool gains a torn partial
 // line (the unflushed tail a crash shears), and the restarted manager
