@@ -1,0 +1,204 @@
+package chaos_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+// backend is a minimal NDJSON-speaking fake worker: /v1/healthz
+// answers JSON, any */results path streams `lines` numbered NDJSON
+// lines, everything else echoes its path.
+func backend(lines int) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"ok":true}`)
+	})
+	mux.HandleFunc("/v1/jobs/{id}/results", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		for i := range lines {
+			fmt.Fprintf(w, `{"device":%d,"payload":"0123456789abcdef"}`+"\n", i)
+		}
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, r.URL.Path)
+	})
+	return mux
+}
+
+func proxyFor(t *testing.T, target string, cfg chaos.Config) (*chaos.Proxy, *httptest.Server) {
+	t.Helper()
+	cfg.Target = target
+	p, err := chaos.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := httptest.NewServer(p)
+	t.Cleanup(ps.Close)
+	return p, ps
+}
+
+// readStream fetches one results stream and returns the complete lines
+// received and whether the body ended in a mid-stream error (severed
+// connection or torn tail).
+func readStream(t *testing.T, url string) (lines []string, torn bool) {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/jobs/j1/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		torn = true // severed mid-body: unexpected EOF, never a clean end
+	}
+	s := string(raw)
+	if !strings.HasSuffix(s, "\n") && len(s) > 0 {
+		torn = true // trailing fragment without its newline
+	}
+	for _, l := range strings.Split(s, "\n") {
+		if l != "" && strings.HasSuffix(l, "}") {
+			lines = append(lines, l)
+		}
+	}
+	return lines, torn
+}
+
+// TestChaosPassThrough: the zero config forwards streams byte-exact.
+func TestChaosPassThrough(t *testing.T) {
+	ts := httptest.NewServer(backend(20))
+	t.Cleanup(ts.Close)
+	p, ps := proxyFor(t, ts.URL, chaos.Config{})
+	lines, torn := readStream(t, ps.URL)
+	if torn || len(lines) != 20 {
+		t.Fatalf("pass-through stream: %d lines, torn=%v, want 20 clean", len(lines), torn)
+	}
+	if p.Drops()+p.Errors()+p.Stalls() != 0 {
+		t.Fatalf("zero config injected faults: drops=%d errors=%d stalls=%d", p.Drops(), p.Errors(), p.Stalls())
+	}
+}
+
+// TestChaosDropsAreSeededAndSevered: DropEvery severs streams
+// mid-body — the reader sees a truncated read, not a clean short
+// stream — and the drop schedule is a pure function of the seed.
+func TestChaosDropsAreSeededAndSevered(t *testing.T) {
+	ts := httptest.NewServer(backend(20))
+	t.Cleanup(ts.Close)
+	run := func(seed int64) []int {
+		p, ps := proxyFor(t, ts.URL, chaos.Config{Seed: seed, DropEvery: 2, TornTail: true})
+		var counts []int
+		for range 6 {
+			lines, _ := readStream(t, ps.URL)
+			counts = append(counts, len(lines))
+		}
+		if p.Drops() != 3 {
+			t.Fatalf("seed %d: %d drops over 6 streams at DropEvery 2, want 3", seed, p.Drops())
+		}
+		return counts
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different schedules: %v vs %v", a, b)
+		}
+	}
+	// Every dropped stream must read as severed, and short.
+	p, ps := proxyFor(t, ts.URL, chaos.Config{Seed: 7, DropEvery: 1, TornTail: true})
+	lines, torn := readStream(t, ps.URL)
+	if !torn || len(lines) >= 20 {
+		t.Fatalf("dropped stream: %d lines, torn=%v, want a severed short stream", len(lines), torn)
+	}
+	if p.Drops() != 1 {
+		t.Fatalf("drops = %d, want 1", p.Drops())
+	}
+}
+
+// TestChaosProbeWindow: exactly probes From..To fail 503; requests
+// outside the window pass through.
+func TestChaosProbeWindow(t *testing.T) {
+	ts := httptest.NewServer(backend(1))
+	t.Cleanup(ts.Close)
+	p, ps := proxyFor(t, ts.URL, chaos.Config{FailProbesFrom: 2, FailProbesTo: 4})
+	var codes []int
+	for range 6 {
+		resp, err := http.Get(ps.URL + "/v1/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		codes = append(codes, resp.StatusCode)
+	}
+	want := []int{200, 503, 503, 503, 200, 200}
+	for i := range want {
+		if codes[i] != want[i] {
+			t.Fatalf("probe %d -> %d, want %d (all: %v)", i+1, codes[i], want[i], codes)
+		}
+	}
+	if p.FailedProbes() != 3 {
+		t.Fatalf("failed probes = %d, want 3", p.FailedProbes())
+	}
+}
+
+// TestChaosStallOnce: the first stream stalls silently after K lines
+// and stays open; later streams are untouched.
+func TestChaosStallOnce(t *testing.T) {
+	ts := httptest.NewServer(backend(20))
+	t.Cleanup(ts.Close)
+	p, ps := proxyFor(t, ts.URL, chaos.Config{StallAfterLines: 3})
+
+	req, _ := http.NewRequest(http.MethodGet, ps.URL+"/v1/jobs/j1/results", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	var got []byte
+	for strings.Count(string(got), "\n") < 3 { // three full lines arrive, then silence
+		n, err := resp.Body.Read(buf)
+		got = append(got, buf[:n]...)
+		if err != nil {
+			t.Fatalf("stalled stream errored after %d bytes: %v", len(got), err)
+		}
+	}
+	resp.Body.Close() // reader walks away from the stalled stream
+	if p.Stalls() != 1 {
+		t.Fatalf("stalls = %d, want 1", p.Stalls())
+	}
+	lines, torn := readStream(t, ps.URL)
+	if torn || len(lines) != 20 {
+		t.Fatalf("second stream: %d lines, torn=%v, want 20 clean (stall fires once)", len(lines), torn)
+	}
+}
+
+// TestChaosErrorEvery: every Nth non-probe request 503s, the first is
+// always clean.
+func TestChaosErrorEvery(t *testing.T) {
+	ts := httptest.NewServer(backend(1))
+	t.Cleanup(ts.Close)
+	p, ps := proxyFor(t, ts.URL, chaos.Config{ErrorEvery: 3})
+	var codes []int
+	for range 7 {
+		resp, err := http.Get(ps.URL + "/anything")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		codes = append(codes, resp.StatusCode)
+	}
+	want := []int{200, 200, 503, 200, 200, 503, 200}
+	for i := range want {
+		if codes[i] != want[i] {
+			t.Fatalf("request %d -> %d, want %d (all: %v)", i+1, codes[i], want[i], codes)
+		}
+	}
+	if p.Errors() != 2 {
+		t.Fatalf("errors = %d, want 2", p.Errors())
+	}
+}

@@ -287,6 +287,38 @@ func (r *Registry) CounterFunc(name, help string, fn func() float64, kv ...strin
 	s.fn = fn
 }
 
+// Unregister removes the series with the given label set from the
+// named family, and the family itself once its last series is gone —
+// so per-entity instruments (a coordinator's per-worker gauges, say)
+// can follow dynamic membership without leaking dead series into every
+// scrape. Unknown names and label sets are ignored; nil registries are
+// no-ops.
+func (r *Registry) Unregister(name string, kv ...string) {
+	if r == nil {
+		return
+	}
+	labels := renderLabels(kv)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		return
+	}
+	if _, ok := f.byKey[labels]; !ok {
+		return
+	}
+	delete(f.byKey, labels)
+	for i, s := range f.series {
+		if s.labels == labels {
+			f.series = append(f.series[:i], f.series[i+1:]...)
+			break
+		}
+	}
+	if len(f.series) == 0 {
+		delete(r.families, name)
+	}
+}
+
 // formatValue renders a sample the way Prometheus expects.
 func formatValue(v float64) string {
 	switch {

@@ -90,7 +90,10 @@ func run() error {
 		}
 		addr := fmt.Sprintf("127.0.0.1:%d", port)
 		workerURLs[i] = "http://" + addr
-		cmd := exec.Command(memtestd, "-addr", addr)
+		// -workers 1 pins each node's advertised fleet pool so the
+		// coordinator's live-capacity planning yields exactly two shards
+		// regardless of the CI host's core count.
+		cmd := exec.Command(memtestd, "-addr", addr, "-workers", "1")
 		cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
 		if err := cmd.Start(); err != nil {
 			return fmt.Errorf("starting worker %d: %w", i, err)
@@ -116,6 +119,10 @@ func run() error {
 		"-min-shard", "50",
 		"-data-dir", filepath.Join(tmp, "coord-data"),
 		"-backoff-initial", "50ms", "-backoff-max", "400ms", "-backoff-attempts", "3",
+		// Fast probes so the cached fleet view notices the SIGKILL
+		// quickly; stealing off — this smoke proves the pure redispatch
+		// path heals the kill (chaossmoke covers stealing).
+		"-probe-interval", "100ms", "-steal-threshold", "0",
 	)
 	coordCmd.Stdout, coordCmd.Stderr = os.Stderr, os.Stderr
 	if err := coordCmd.Start(); err != nil {
@@ -287,22 +294,38 @@ func run() error {
 	}
 	log.Printf("shardsmoke: attached follower rode through the failover gap-free")
 
-	h, err := c.Health(ctx)
-	if err != nil {
-		return err
-	}
-	dead, alive := 0, 0
-	for _, w := range h.Workers {
-		if w.Healthy {
-			alive++
-		} else {
-			dead++
+	// Healthz serves the prober's cache, so give the background probe a
+	// few cycles to notice the corpse, then check both the fleet
+	// accounting and the probe-age freshness field.
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		h, err := c.Health(ctx)
+		if err != nil {
+			return err
 		}
+		dead, alive := 0, 0
+		for _, w := range h.Workers {
+			if w.Healthy {
+				alive++
+				if w.ProbeAgeSec < 0 || w.ProbeAgeSec > 10 {
+					return fmt.Errorf("live worker %s probe_age_sec = %g, want a fresh cached probe", w.URL, w.ProbeAgeSec)
+				}
+			} else {
+				dead++
+				if w.State != "down" && w.State != "quarantined" {
+					return fmt.Errorf("dead worker %s cached as state %q", w.URL, w.State)
+				}
+			}
+		}
+		if dead == 1 && alive == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("healthz workers = %+v, want one dead and one alive", h.Workers)
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
-	if dead != 1 || alive != 1 {
-		return fmt.Errorf("healthz workers = %+v, want one dead and one alive", h.Workers)
-	}
-	log.Printf("shardsmoke: OK (healthz reports the dead worker)")
+	log.Printf("shardsmoke: OK (healthz caches the dead worker with a fresh probe age)")
 	return nil
 }
 

@@ -161,6 +161,30 @@ func (c *Client) Health(ctx context.Context) (service.Health, error) {
 	return h, err
 }
 
+// AddWorker joins a memtestd worker to a coordinator's fleet
+// (POST /v1/workers) and returns the worker's probed state. Only
+// memtest-coord serves this route; a single-node memtestd answers 404.
+func (c *Client) AddWorker(ctx context.Context, workerURL string) (service.WorkerHealth, error) {
+	var wh service.WorkerHealth
+	err := c.do(ctx, http.MethodPost, "/v1/workers", service.WorkerRef{URL: workerURL}, &wh)
+	return wh, err
+}
+
+// RemoveWorker drops a worker from a coordinator's fleet
+// (DELETE /v1/workers?url=...); shards in flight on it re-dispatch to
+// the survivors.
+func (c *Client) RemoveWorker(ctx context.Context, workerURL string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/workers?url="+url.QueryEscape(workerURL), nil, nil)
+}
+
+// Workers fetches a coordinator's cached per-worker fleet view
+// (GET /v1/workers).
+func (c *Client) Workers(ctx context.Context) ([]service.WorkerHealth, error) {
+	var out []service.WorkerHealth
+	err := c.do(ctx, http.MethodGet, "/v1/workers", nil, &out)
+	return out, err
+}
+
 // Backoff shapes a reconnecting stream's retry schedule: delays double
 // from Initial up to Max with jitter (each sleep is drawn uniformly
 // from [d/2, d]), and the stream gives up after Attempts consecutive

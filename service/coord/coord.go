@@ -38,9 +38,12 @@ import (
 
 // Config sizes a Coordinator.
 type Config struct {
-	// Workers is the memtestd fleet to shard over, as base URLs
-	// (required). Workers must have crash resume enabled with ordered
-	// delivery; New refuses any reachable worker that does not.
+	// Workers seeds the worker membership table, as base URLs. Workers
+	// must have crash resume enabled with ordered delivery; New refuses
+	// any reachable worker that does not. The set is mutable at runtime
+	// via AddWorker / RemoveWorker (the POST/DELETE /v1/workers
+	// routes), so an empty seed is allowed — jobs just fail to dispatch
+	// until a worker joins.
 	Workers []string
 	// HTTP overrides the http.Client used for every worker call; nil
 	// selects http.DefaultClient.
@@ -61,6 +64,30 @@ type Config struct {
 	Backoff client.Backoff
 	// ProbeTimeout bounds one worker health probe (default 2s).
 	ProbeTimeout time.Duration
+	// ProbeInterval is the background prober's re-probe cadence for a
+	// healthy worker (default 2s). Dispatch and healthz read the cached
+	// result — neither ever blocks on a live probe.
+	ProbeInterval time.Duration
+	// ProbeBackoffMax caps the per-worker exponential probe backoff a
+	// failing worker accumulates (default 30s).
+	ProbeBackoffMax time.Duration
+	// QuarantineAfter is how many consecutive probe failures — or
+	// active->down flaps — move a worker to quarantined (default 3),
+	// where pick skips it until RejoinAfter consecutive clean probes.
+	QuarantineAfter int
+	// RejoinAfter is the consecutive clean probes a quarantined worker
+	// needs to rejoin the active set (default 2).
+	RejoinAfter int
+	// StealThreshold enables straggler work-stealing when positive: a
+	// shard whose unmerged remainder exceeds StealThreshold times the
+	// fleet's median shard remainder — with an idle capable worker
+	// available — has that remainder re-split via the shard planner and
+	// dispatched as new ordered range jobs, the superseded worker job
+	// cancelled. Zero disables stealing.
+	StealThreshold float64
+	// StealInterval is how often the steal monitor sizes up a running
+	// job's shards (default 1s).
+	StealInterval time.Duration
 	// Store persists the coordinator's own manifests and merged spools.
 	// Nil selects in-memory (jobs die with the process); a disk store
 	// makes coordinated jobs survive coordinator restarts.
@@ -99,6 +126,24 @@ func (c Config) withDefaults() Config {
 	if c.ProbeTimeout <= 0 {
 		c.ProbeTimeout = 2 * time.Second
 	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.ProbeBackoffMax <= 0 {
+		c.ProbeBackoffMax = 30 * time.Second
+	}
+	if c.ProbeBackoffMax < c.ProbeInterval {
+		c.ProbeBackoffMax = c.ProbeInterval
+	}
+	if c.QuarantineAfter <= 0 {
+		c.QuarantineAfter = 3
+	}
+	if c.RejoinAfter <= 0 {
+		c.RejoinAfter = 2
+	}
+	if c.StealInterval <= 0 {
+		c.StealInterval = time.Second
+	}
 	return c
 }
 
@@ -136,16 +181,15 @@ type Coordinator struct {
 	jobsResumed   int
 }
 
-// New validates the worker fleet, recovers any stored jobs and starts
-// the merge workers. Reachable workers that are not shard-capable
-// (crash resume disabled, or unordered resume delivery) are refused
-// outright; unreachable ones are tolerated and re-probed at dispatch
-// time. Call Close to stop the coordinator and release the store.
+// New seeds and sweeps the worker membership table, recovers any
+// stored jobs, and starts the merge workers plus the background
+// prober that owns worker health from here on. Reachable workers that
+// are not shard-capable (crash resume disabled, or unordered resume
+// delivery) are refused outright; unreachable ones are tolerated — the
+// prober keeps re-probing them with backoff. Call Close to stop the
+// coordinator and release the store.
 func New(cfg Config) (*Coordinator, error) {
 	cfg = cfg.withDefaults()
-	if len(cfg.Workers) == 0 {
-		return nil, fmt.Errorf("coord: no workers configured")
-	}
 	st := cfg.Store
 	if st == nil {
 		st = store.NewMem()
@@ -157,7 +201,7 @@ func New(cfg Config) (*Coordinator, error) {
 	ctx, stop := context.WithCancel(context.Background())
 	c := &Coordinator{
 		cfg:     cfg,
-		reg:     newRegistry(cfg.Workers, cfg.HTTP, cfg.ProbeTimeout),
+		reg:     newRegistry(cfg.Workers, cfg.HTTP, cfg),
 		store:   st,
 		now:     time.Now,
 		metrics: newCoordMetrics(cfg.Metrics),
@@ -177,12 +221,83 @@ func New(cfg Config) (*Coordinator, error) {
 		return nil, err
 	}
 	c.registerGauges(cfg.Metrics)
+	for _, w := range c.reg.list() {
+		c.registerWorkerGauges(w)
+	}
 	c.enforceRetention()
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.reg.prober(ctx)
+	}()
 	for range cfg.Jobs {
 		c.wg.Add(1)
 		go c.worker()
 	}
 	return c, nil
+}
+
+// planWorkers is the live shard-sizing input: the active workers'
+// summed idle device-worker pools from the prober's cached health, so
+// a degraded fleet plans fewer, larger shards instead of parking
+// ranges on capacity that is not there. Falls back to the active
+// worker count when nothing reports idle capacity, and to 1 when the
+// whole fleet is dark (the job then waits on dispatch, not planning).
+func (c *Coordinator) planWorkers() int {
+	idle, active := c.reg.capacity()
+	if idle <= 0 {
+		idle = active
+	}
+	return max(idle, 1)
+}
+
+// AddWorker joins a memtestd node to the fleet by base URL. It is
+// idempotent; a fresh join is probed inline so the returned view (and
+// the next dispatch) reflects the worker's actual state.
+func (c *Coordinator) AddWorker(rawURL string) (service.WorkerHealth, error) {
+	u, err := normalizeWorkerURL(rawURL)
+	if err != nil {
+		return service.WorkerHealth{}, err
+	}
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return service.WorkerHealth{}, service.ErrShuttingDown
+	}
+	w, fresh := c.reg.add(u)
+	if fresh {
+		c.registerWorkerGauges(w)
+		c.reg.probeOne(c.baseCtx, w) //nolint:errcheck // the view below reports the outcome
+		v := w.view(c.now())
+		c.log.Info("worker joined", "worker", u, "state", v.State, "error", v.Error)
+		return v, nil
+	}
+	return w.view(c.now()), nil
+}
+
+// RemoveWorker drops a worker from the fleet. Shards currently
+// dispatched to it are not interrupted here — their streams fail the
+// membership lookup and re-dispatch to the survivors.
+func (c *Coordinator) RemoveWorker(rawURL string) error {
+	u, err := normalizeWorkerURL(rawURL)
+	if err != nil {
+		return err
+	}
+	w := c.reg.remove(u)
+	if w == nil {
+		return fmt.Errorf("%w: %q", service.ErrUnknownWorker, rawURL)
+	}
+	c.unregisterWorkerGauges(u)
+	c.log.Info("worker removed", "worker", u)
+	return nil
+}
+
+// Workers returns the cached per-worker fleet view — the same rows
+// Health carries, served from the prober's cache.
+func (c *Coordinator) Workers() []service.WorkerHealth {
+	views, _, _ := c.reg.snapshot()
+	return views
 }
 
 // Metrics returns the registry the coordinator was configured with
@@ -236,7 +351,7 @@ func (c *Coordinator) recover() error {
 				j.req = *mf.Request
 				j.resume, j.resumeFrom = true, st.Completed
 				if len(st.Shards) == 0 {
-					st.Shards = planShards(j.req.FirstDevice, j.req.Devices, len(c.cfg.Workers), c.cfg.MinShard)
+					st.Shards = planShards(j.req.FirstDevice, j.req.Devices, c.planWorkers(), c.cfg.MinShard)
 				}
 				// The spool is authoritative over the shard counters: a
 				// crash between an append and the next shard-boundary
@@ -344,6 +459,11 @@ func (c *Coordinator) run(j *job) {
 		c.mu.Unlock()
 	}()
 
+	if c.cfg.StealThreshold > 0 {
+		// The steal monitor lives exactly as long as this run: cancel
+		// (deferred above) stops it when the merge returns.
+		go c.stealMonitor(ctx, j)
+	}
 	err := c.merge(ctx, j)
 	switch {
 	case err == nil:
@@ -412,7 +532,7 @@ func (c *Coordinator) Submit(req service.JobRequest) (service.JobStatus, error) 
 		ID: j.id, State: service.StateQueued,
 		Plan: req.Plan.Name, Scheme: scheme,
 		Devices: req.Devices, FirstDevice: req.FirstDevice,
-		Shards:  planShards(req.FirstDevice, req.Devices, len(c.cfg.Workers), c.cfg.MinShard),
+		Shards:  planShards(req.FirstDevice, req.Devices, c.planWorkers(), c.cfg.MinShard),
 		Created: c.now(),
 	}
 	mf, err := json.Marshal(manifest{JobStatus: j.status, Request: &j.req})
@@ -521,7 +641,7 @@ func (c *Coordinator) Diagnose(ctx context.Context, req service.JobRequest) (*me
 	if _, err := req.Resolve(); err != nil {
 		return nil, err
 	}
-	w, err := c.reg.pick(ctx, "")
+	w, err := c.reg.pick(nil, "")
 	if err != nil {
 		return nil, fmt.Errorf("%w: no capable worker: %v", service.ErrShuttingDown, err)
 	}
@@ -552,11 +672,10 @@ func forwardErr(err error) error {
 
 // Health reports the coordinator's own capacity and load plus the
 // per-worker fleet view; FleetWorkers and IdleWorkers aggregate the
-// capable workers' pools.
+// active workers' pools. The fleet view is the prober's cache — a
+// healthz scrape never fans out worker probes.
 func (c *Coordinator) Health() service.Health {
-	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
-	defer cancel()
-	views, fleetWorkers, idle := c.reg.snapshot(ctx)
+	views, fleetWorkers, idle := c.reg.snapshot()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	h := service.Health{

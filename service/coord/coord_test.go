@@ -164,7 +164,10 @@ func TestCoordStreamByteIdenticalAcrossWorkerCounts(t *testing.T) {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
 			urls := make([]string, workers)
 			for i := range urls {
-				urls[i] = newWorker(t, service.Config{Jobs: 2, Queue: 8}).URL
+				// FleetWorkers 1 pins each worker's advertised idle pool, so
+				// the live capacity-driven shard plan is exactly one shard
+				// per worker regardless of the host's CPU count.
+				urls[i] = newWorker(t, service.Config{Jobs: 2, Queue: 8, FleetWorkers: 1}).URL
 			}
 			cc, _, cts := newCoord(t, coord.Config{
 				Workers: urls, MinShard: 3, Backoff: fastBackoff(),
@@ -203,7 +206,7 @@ func TestCoordStreamByteIdenticalAcrossWorkerCounts(t *testing.T) {
 // range offset.
 func TestCoordFirstDeviceWindow(t *testing.T) {
 	req := service.JobRequest{Plan: testPlan(), Devices: 10, FirstDevice: 5, Seed: 3}
-	urls := []string{newWorker(t, service.Config{}).URL, newWorker(t, service.Config{}).URL}
+	urls := []string{newWorker(t, service.Config{FleetWorkers: 1}).URL, newWorker(t, service.Config{FleetWorkers: 1}).URL}
 	cc, _, cts := newCoord(t, coord.Config{Workers: urls, MinShard: 3, Backoff: fastBackoff()})
 	st, err := cc.Submit(context.Background(), req)
 	if err != nil {
@@ -223,7 +226,7 @@ func TestCoordFirstDeviceWindow(t *testing.T) {
 // matter where shard seams land relative to batch boundaries.
 func TestCoordShardSeamMidBatch(t *testing.T) {
 	req := service.JobRequest{Plan: testPlan(), Devices: 130, DRF: true, Seed: 17}
-	urls := []string{newWorker(t, service.Config{}).URL, newWorker(t, service.Config{}).URL}
+	urls := []string{newWorker(t, service.Config{FleetWorkers: 1}).URL, newWorker(t, service.Config{FleetWorkers: 1}).URL}
 	cc, _, cts := newCoord(t, coord.Config{Workers: urls, MinShard: 3, Backoff: fastBackoff()})
 	st, err := cc.Submit(context.Background(), req)
 	if err != nil {
@@ -315,14 +318,14 @@ func TestCoordWorkerDeathRedispatchesShard(t *testing.T) {
 	req := service.JobRequest{Plan: testPlan(), Devices: 30, Seed: 11}
 	want := localLines(t, req)
 
-	mA, err := service.NewManager(service.Config{Jobs: 2, Queue: 8})
+	mA, err := service.NewManager(service.Config{Jobs: 2, Queue: 8, FleetWorkers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	ks := &killSwitch{h: service.NewServer(mA), remaining: 5}
 	wA := httptest.NewServer(ks)
 	t.Cleanup(func() { wA.Close(); mA.Close() })
-	wB := newWorker(t, service.Config{Jobs: 2, Queue: 8})
+	wB := newWorker(t, service.Config{Jobs: 2, Queue: 8, FleetWorkers: 1})
 
 	cc, _, cts := newCoord(t, coord.Config{
 		Workers: []string{wA.URL, wB.URL}, MinShard: 5, Backoff: fastBackoff(),
@@ -354,8 +357,8 @@ func TestCoordRestartResumesMergedStream(t *testing.T) {
 	req := service.JobRequest{Plan: testPlan(), Devices: 24, Seed: 5}
 	want := localLines(t, req)
 	urls := []string{
-		newWorker(t, service.Config{Jobs: 2, Queue: 8}).URL,
-		newWorker(t, service.Config{Jobs: 2, Queue: 8}).URL,
+		newWorker(t, service.Config{Jobs: 2, Queue: 8, FleetWorkers: 1}).URL,
+		newWorker(t, service.Config{Jobs: 2, Queue: 8, FleetWorkers: 1}).URL,
 	}
 	dir := t.TempDir()
 
@@ -454,6 +457,12 @@ func TestCoordHealthReportsFleet(t *testing.T) {
 	for _, w := range h.Workers {
 		if !w.Healthy {
 			t.Fatalf("worker %s unhealthy: %s", w.URL, w.Error)
+		}
+		if w.State != "active" {
+			t.Fatalf("worker %s state = %q, want active", w.URL, w.State)
+		}
+		if w.ProbeAgeSec < 0 || w.ProbeAgeSec > 60 {
+			t.Fatalf("worker %s probe_age_sec = %g, want a fresh probe", w.URL, w.ProbeAgeSec)
 		}
 	}
 	if !h.Resume || h.ResumeDelivery != "ordered" {

@@ -16,6 +16,14 @@ func (j *job) shard(i int) service.ShardStatus {
 	return j.status.Shards[i]
 }
 
+// shardCount reads the current shard-table length; the table can grow
+// mid-merge when a steal re-splits a straggler's remainder.
+func (j *job) shardCount() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.status.Shards)
+}
+
 // merge runs one coordinated job end to end: every shard without a
 // live worker job is dispatched up front — so the whole fleet computes
 // in parallel — and the shards are then drained strictly in device
@@ -23,8 +31,10 @@ func (j *job) shard(i int) service.ShardStatus {
 // merged stream is byte-identical to a single-node run of the same
 // request: workers run absolute device ranges (first_device), so
 // concatenating their ordered streams is exactly the single stream.
+// The drain loop re-reads the table length every step because the
+// steal monitor may insert stolen sub-shards behind the drain point.
 func (c *Coordinator) merge(ctx context.Context, j *job) error {
-	for i := range j.snapshot().Shards {
+	for i := range j.shardCount() {
 		sh := j.shard(i)
 		if sh.JobID == "" && sh.Lo+sh.Merged < sh.Hi {
 			if err := c.dispatch(ctx, j, i, ""); err != nil {
@@ -32,7 +42,7 @@ func (c *Coordinator) merge(ctx context.Context, j *job) error {
 			}
 		}
 	}
-	for i := range j.snapshot().Shards {
+	for i := 0; i < j.shardCount(); i++ {
 		if err := c.drainShard(ctx, j, i); err != nil {
 			return err
 		}
@@ -41,28 +51,19 @@ func (c *Coordinator) merge(ctx context.Context, j *job) error {
 }
 
 // dispatch submits shard i's remaining device range [Lo+Merged, Hi) as
-// an ordered job on a capable worker, preferring workers other than
-// avoid. A worker that accepts records the assignment durably; one
-// that refuses (queue full, mid-restart) is skipped for the next
-// candidate, and dispatch fails only when every configured worker
-// refused.
+// an ordered job on an active worker, preferring workers other than
+// avoid (the one whose stream just failed). Every worker that refuses
+// the submission (queue full, mid-restart) joins the round's refused
+// set so it cannot be re-picked and re-refused; dispatch fails only
+// when no worker outside that set is active.
 func (c *Coordinator) dispatch(ctx context.Context, j *job, i int, avoid string) error {
 	sh := j.shard(i)
 	lo := sh.Lo + sh.Merged
-	req := service.JobRequest{
-		Plan:        j.req.Plan,
-		Devices:     sh.Hi - lo,
-		FirstDevice: lo,
-		Scheme:      j.req.Scheme,
-		DRF:         j.req.DRF,
-		Seed:        j.req.Seed,
-		Workers:     j.req.Workers,
-		Delivery:    "ordered", // resume and merge both need an ordered spool
-		Repair:      j.req.Repair,
-	}
+	req := c.shardRequest(j, lo, sh.Hi)
+	refused := map[string]bool{}
 	var lastErr error
-	for range c.reg.workers {
-		w, err := c.reg.pick(ctx, avoid)
+	for {
+		w, err := c.reg.pick(refused, avoid)
 		if err != nil {
 			if lastErr == nil {
 				lastErr = err
@@ -72,7 +73,7 @@ func (c *Coordinator) dispatch(ctx context.Context, j *job, i int, avoid string)
 		st, err := w.cli.Submit(ctx, req)
 		if err != nil {
 			lastErr = err
-			avoid = w.url
+			refused[w.url] = true
 			if ctx.Err() != nil {
 				break
 			}
@@ -88,10 +89,23 @@ func (c *Coordinator) dispatch(ctx context.Context, j *job, i int, avoid string)
 		c.log.Info("shard dispatched", "job", j.id, "shard", i, "worker", w.url, "job_id", st.ID, "lo", lo, "hi", sh.Hi)
 		return nil
 	}
-	if lastErr == nil {
-		lastErr = fmt.Errorf("coord: no workers configured")
-	}
 	return fmt.Errorf("coord: dispatch shard [%d,%d): %w", lo, sh.Hi, lastErr)
+}
+
+// shardRequest derives the worker job request for the device range
+// [lo, hi) of coordinated job j.
+func (c *Coordinator) shardRequest(j *job, lo, hi int) service.JobRequest {
+	return service.JobRequest{
+		Plan:        j.req.Plan,
+		Devices:     hi - lo,
+		FirstDevice: lo,
+		Scheme:      j.req.Scheme,
+		DRF:         j.req.DRF,
+		Seed:        j.req.Seed,
+		Workers:     j.req.Workers,
+		Delivery:    "ordered", // resume and merge both need an ordered spool
+		Repair:      j.req.Repair,
+	}
 }
 
 // drainShard streams shard i's worker job into the merged spool until
@@ -100,12 +114,17 @@ func (c *Coordinator) dispatch(ctx context.Context, j *job, i int, avoid string)
 // stream that still fails — reconnect budget exhausted, the worker job
 // lost or failed, a clean end short of the range — re-dispatches the
 // missing remainder [Lo+Merged, Hi) to another capable worker, up to
-// the configured re-dispatch budget.
+// the configured re-dispatch budget. The shard's Hi can shrink under a
+// running stream when the steal monitor re-splits the remainder, so
+// every append is bounds-checked atomically (job.appendShard) and the
+// shard is re-read after every stream end before any failure handling.
 func (c *Coordinator) drainShard(ctx context.Context, j *job, i int) error {
 	for {
 		sh := j.shard(i)
-		size := sh.Hi - sh.Lo
-		if sh.Merged >= size {
+		if sh.Merged >= sh.Hi-sh.Lo {
+			j.mu.Lock()
+			j.persist() //nolint:errcheck // shard-boundary checkpoint; the spool stays authoritative
+			j.mu.Unlock()
 			return nil
 		}
 		if sh.JobID == "" {
@@ -116,46 +135,67 @@ func (c *Coordinator) drainShard(ctx context.Context, j *job, i int) error {
 			continue
 		}
 		var streamErr error
+		interrupted := false
 		if w := c.reg.byURL(sh.Worker); w == nil {
-			streamErr = fmt.Errorf("coord: worker %s no longer configured", sh.Worker)
+			streamErr = fmt.Errorf("coord: worker %s no longer a fleet member", sh.Worker)
 		} else {
+			// Each attempt gets its own cancelable context, registered on
+			// the job so the steal monitor can interrupt a drain that is
+			// parked on a stalled stream it just stole the remainder of.
+			attemptCtx, cancelAttempt := context.WithCancel(ctx)
+			j.setDrain(i, cancelAttempt)
 			// The worker job's line k is device DispatchLo+k, so the next
 			// device this merge needs sits at this offset in its spool.
 			offset := sh.Lo + sh.Merged - sh.DispatchLo
-			for line, err := range w.cli.RawResults(ctx, sh.JobID,
+			for line, err := range w.cli.RawResults(attemptCtx, sh.JobID,
 				client.WithOffset(offset), client.WithReconnect(c.cfg.Backoff),
 				client.WithStreamStats(&c.streamStats)) {
 				if err != nil {
 					streamErr = err
 					break
 				}
-				if sh.Merged >= size {
-					streamErr = fmt.Errorf("coord: worker %s streamed past shard [%d,%d)", sh.Worker, sh.Lo, sh.Hi)
-					break
+				ok, full, aerr := j.appendShard(i, line)
+				if aerr != nil {
+					j.clearDrain()
+					cancelAttempt()
+					return aerr // own storage failed; re-dispatching cannot help
 				}
-				if err := j.append(line); err != nil {
-					return err // own storage failed; re-dispatching cannot help
+				if !ok {
+					// The shard filled up under us (a steal moved Hi down to
+					// the merge point); the line belongs to a stolen shard's
+					// worker job now. Stop consuming.
+					break
 				}
 				c.metrics.mergedLines.Inc()
 				c.meter.Add(1)
-				sh.Merged++
-				j.mu.Lock()
-				j.status.Shards[i].Merged = sh.Merged
-				j.mu.Unlock()
+				if full {
+					break
+				}
 			}
+			j.clearDrain()
+			interrupted = attemptCtx.Err() != nil && ctx.Err() == nil
+			cancelAttempt()
 		}
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		// Re-read before judging the stream: a steal may have shrunk
+		// [Lo,Hi) mid-stream, completing the shard regardless of how the
+		// stream ended (including the JobError from the superseded worker
+		// job being cancelled).
+		sh = j.shard(i)
+		if sh.Merged >= sh.Hi-sh.Lo {
+			j.mu.Lock()
+			j.persist() //nolint:errcheck // shard-boundary checkpoint; the spool stays authoritative
+			j.mu.Unlock()
+			return nil
+		}
+		if interrupted {
+			continue // the steal monitor cut the attempt; re-evaluate
+		}
 		if streamErr == nil {
-			if sh.Merged >= size {
-				j.mu.Lock()
-				j.persist() //nolint:errcheck // shard-boundary checkpoint; the spool stays authoritative
-				j.mu.Unlock()
-				return nil
-			}
 			streamErr = fmt.Errorf("coord: worker %s job %s ended %d lines short of shard [%d,%d)",
-				sh.Worker, sh.JobID, size-sh.Merged, sh.Lo, sh.Hi)
+				sh.Worker, sh.JobID, sh.Hi-sh.Lo-sh.Merged, sh.Lo, sh.Hi)
 		}
 		j.mu.Lock()
 		j.status.Shards[i].Redispatches++

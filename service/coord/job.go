@@ -30,6 +30,14 @@ type job struct {
 	status    service.JobStatus
 	cancelRun context.CancelFunc // set while running
 	cancelled bool               // cancel requested (before or during the run)
+
+	// drainIdx/drainCancel name the shard whose stream the merge loop is
+	// currently draining and the cancel for that single attempt; the
+	// steal monitor uses them to un-park a drain whose remainder it just
+	// re-assigned (the stream may be stalled and would otherwise never
+	// notice its shard shrank).
+	drainIdx    int
+	drainCancel context.CancelFunc
 }
 
 func (j *job) snapshot() service.JobStatus {
@@ -82,18 +90,45 @@ func (j *job) start(cancel context.CancelFunc, now time.Time) bool {
 	return true
 }
 
-// append spools one merged device line and wakes followers. A spool
-// failure aborts the job: results the coordinator cannot retain must
-// not silently vanish from late readers.
-func (j *job) append(line []byte) error {
-	if err := j.spool.Append(line); err != nil {
-		return fmt.Errorf("%w: %v", service.ErrStorage, err)
-	}
+// appendShard spools one merged device line for shard i and wakes
+// followers. The boundary check, the spool append and the counters are
+// one critical section on purpose: the steal monitor moves shard
+// boundaries under j.mu, so an append that checked Hi outside the lock
+// could spool a line past a freshly shrunk shard and duplicate it with
+// the stolen shard's stream. Returns accepted=false when the shard is
+// already full (the line belongs to a stolen shard's worker job now),
+// full=true when this line completed the shard, and a non-nil error
+// only for a spool failure — results the coordinator cannot retain
+// must not silently vanish from late readers.
+func (j *job) appendShard(i int, line []byte) (accepted, full bool, err error) {
 	j.mu.Lock()
+	defer j.mu.Unlock()
+	sh := &j.status.Shards[i]
+	if sh.Lo+sh.Merged >= sh.Hi {
+		return false, true, nil
+	}
+	if err := j.spool.Append(line); err != nil {
+		return false, false, fmt.Errorf("%w: %v", service.ErrStorage, err)
+	}
+	sh.Merged++
 	j.status.Completed++
 	j.cond.Broadcast()
+	return true, sh.Lo+sh.Merged >= sh.Hi, nil
+}
+
+// setDrain registers the cancel func for the drain attempt on shard i;
+// clearDrain unregisters it. Only the merge goroutine writes these (one
+// drain at a time), the steal monitor fires the cancel under j.mu.
+func (j *job) setDrain(i int, cancel context.CancelFunc) {
+	j.mu.Lock()
+	j.drainIdx, j.drainCancel = i, cancel
 	j.mu.Unlock()
-	return nil
+}
+
+func (j *job) clearDrain() {
+	j.mu.Lock()
+	j.drainIdx, j.drainCancel = 0, nil
+	j.mu.Unlock()
 }
 
 // finish moves the job to a terminal state, persists the final

@@ -1,0 +1,259 @@
+package coord_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/service"
+	"repro/service/client"
+	"repro/service/coord"
+)
+
+// waitWorkerState polls the coordinator's cached fleet view until the
+// worker at url reaches the wanted membership state.
+func waitWorkerState(t *testing.T, c *coord.Coordinator, url, want string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		for _, w := range c.Workers() {
+			if w.URL == url && w.State == want {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker %s never reached state %q; fleet: %+v", url, want, c.Workers())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestCoordMembershipEndpoints: the fleet is mutable at runtime —
+// POST /v1/workers joins a worker (idempotently), GET lists the cached
+// view, DELETE removes one; unknown workers are 404, garbage URLs 400,
+// and a joined worker immediately takes shards.
+func TestCoordMembershipEndpoints(t *testing.T) {
+	w1 := newWorker(t, service.Config{FleetWorkers: 1})
+	w2 := newWorker(t, service.Config{FleetWorkers: 1})
+	cc, _, _ := newCoord(t, coord.Config{
+		Workers: []string{w1.URL}, MinShard: 1, Backoff: fastBackoff(),
+	})
+	ctx := context.Background()
+
+	wh, err := cc.AddWorker(ctx, w2.URL+"/") // trailing slash normalizes away
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wh.URL != w2.URL || wh.State != "active" {
+		t.Fatalf("joined worker = %+v, want %s active", wh, w2.URL)
+	}
+	if _, err := cc.AddWorker(ctx, w2.URL); err != nil {
+		t.Fatalf("re-join not idempotent: %v", err)
+	}
+	ws, err := cc.Workers(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 {
+		t.Fatalf("fleet lists %d workers, want 2", len(ws))
+	}
+
+	// The joined worker takes shards right away: 2 devices over 2 idle
+	// workers plans 2 shards, one per worker.
+	req := service.JobRequest{Plan: testPlan(), Devices: 2, Seed: 9}
+	st, err := cc.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitState(t, cc, st.ID, service.StateDone)
+	used := map[string]bool{}
+	for _, sh := range fin.Shards {
+		used[sh.Worker] = true
+	}
+	if !used[w2.URL] {
+		t.Fatalf("joined worker never dispatched to; shards: %+v", fin.Shards)
+	}
+
+	if err := cc.RemoveWorker(ctx, w2.URL); err != nil {
+		t.Fatal(err)
+	}
+	if ws, err = cc.Workers(ctx); err != nil || len(ws) != 1 {
+		t.Fatalf("after remove: workers=%d err=%v, want 1/nil", len(ws), err)
+	}
+	var api *client.APIError
+	if err := cc.RemoveWorker(ctx, w2.URL); !errors.As(err, &api) || api.StatusCode != http.StatusNotFound {
+		t.Fatalf("removing a non-member = %v, want 404", err)
+	}
+	if _, err := cc.AddWorker(ctx, "not a url"); !errors.As(err, &api) || api.StatusCode != http.StatusBadRequest {
+		t.Fatalf("joining a garbage URL = %v, want 400", err)
+	}
+
+	// A single-node memtestd has no mutable fleet: membership routes 404.
+	resp, err := http.Post(w1.URL+"/v1/workers", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("POST /v1/workers on a worker = %d, want 404", resp.StatusCode)
+	}
+}
+
+// flakyWorker proxies a real worker and can be switched to answer
+// everything 503 — the scripted outage the quarantine machinery sees.
+type flakyWorker struct {
+	h http.Handler
+
+	mu   sync.Mutex
+	down bool
+}
+
+func (f *flakyWorker) setDown(down bool) {
+	f.mu.Lock()
+	f.down = down
+	f.mu.Unlock()
+}
+
+func (f *flakyWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	down := f.down
+	f.mu.Unlock()
+	if down {
+		http.Error(w, `{"error":"outage"}`, http.StatusServiceUnavailable)
+		return
+	}
+	f.h.ServeHTTP(w, r)
+}
+
+// TestCoordQuarantineLifecycle walks the whole membership state
+// machine: a worker that keeps failing probes is quarantined, dispatch
+// skips it (jobs land wholly on the survivor), the quarantine gauge
+// reports it, and after enough consecutive clean probes it rejoins and
+// takes shards again.
+func TestCoordQuarantineLifecycle(t *testing.T) {
+	mB, err := service.NewManager(service.Config{Jobs: 2, Queue: 8, FleetWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := &flakyWorker{h: service.NewServer(mB)}
+	wB := httptest.NewServer(flaky)
+	t.Cleanup(func() { wB.Close(); mB.Close() })
+	wA := newWorker(t, service.Config{Jobs: 2, Queue: 8, FleetWorkers: 1})
+
+	reg := obs.NewRegistry()
+	cc, c, ts := newCoord(t, coord.Config{
+		Workers:  []string{wA.URL, wB.URL},
+		MinShard: 1, Backoff: fastBackoff(),
+		ProbeInterval:   5 * time.Millisecond,
+		ProbeBackoffMax: 10 * time.Millisecond,
+		QuarantineAfter: 2,
+		RejoinAfter:     2,
+		Metrics:         reg,
+	})
+	ctx := context.Background()
+	waitWorkerState(t, c, wB.URL, "active")
+
+	// Outage: consecutive probe failures cross QuarantineAfter.
+	flaky.setDown(true)
+	waitWorkerState(t, c, wB.URL, "quarantined")
+
+	if got := scrapeMetric(t, ts, "coord_worker_quarantined"); got != 1 {
+		t.Fatalf("coord_worker_quarantined sum = %g, want 1", got)
+	}
+
+	// Dispatch skips the quarantined worker: every shard of a sharded
+	// job lands on the survivor.
+	st, err := cc.Submit(ctx, service.JobRequest{Plan: testPlan(), Devices: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitState(t, cc, st.ID, service.StateDone)
+	for _, sh := range fin.Shards {
+		if sh.Worker != wA.URL {
+			t.Fatalf("shard [%d,%d) dispatched to quarantined worker %s", sh.Lo, sh.Hi, sh.Worker)
+		}
+	}
+
+	// Recovery: RejoinAfter consecutive clean probes readmit it...
+	flaky.setDown(false)
+	waitWorkerState(t, c, wB.URL, "active")
+	if got := scrapeMetric(t, ts, "coord_worker_quarantined"); got != 0 {
+		t.Fatalf("coord_worker_quarantined sum after rejoin = %g, want 0", got)
+	}
+
+	// ...and it takes shards again.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		st, err := cc.Submit(ctx, service.JobRequest{Plan: testPlan(), Devices: 2, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fin := waitState(t, cc, st.ID, service.StateDone)
+		used := map[string]bool{}
+		for _, sh := range fin.Shards {
+			used[sh.Worker] = true
+		}
+		if used[wB.URL] {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rejoined worker never re-dispatched to; shards: %+v", fin.Shards)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// scrapeMetric fetches /metrics from the coordinator's server and sums
+// one family.
+func scrapeMetric(t *testing.T, ts *httptest.Server, name string) float64 {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return metricValue(t, string(raw), name)
+}
+
+// TestCoordHealthzServesCachedProbes: a healthz scrape reads the
+// prober's cache — it must return promptly even while every worker
+// probe hangs to its timeout.
+func TestCoordHealthzServesCachedProbes(t *testing.T) {
+	hang := func(w http.ResponseWriter, r *http.Request) { <-r.Context().Done() }
+	urls := make([]string, 3)
+	for i := range urls {
+		ws := httptest.NewServer(http.HandlerFunc(hang))
+		t.Cleanup(ws.Close)
+		urls[i] = ws.URL
+	}
+	_, c, _ := newCoord(t, coord.Config{
+		Workers:       urls,
+		ProbeTimeout:  100 * time.Millisecond,
+		ProbeInterval: 5 * time.Millisecond,
+	})
+	start := time.Now()
+	for range 20 {
+		h := c.Health()
+		if len(h.Workers) != 3 {
+			t.Fatalf("healthz lists %d workers, want 3", len(h.Workers))
+		}
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("20 healthz scrapes took %v; scrapes must not block on live probes", elapsed)
+	}
+	for _, w := range c.Workers() {
+		if w.State != "down" && w.State != "quarantined" {
+			t.Fatalf("hanging worker %s cached as %q", w.URL, w.State)
+		}
+	}
+}

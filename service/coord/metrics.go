@@ -19,6 +19,7 @@ type coordMetrics struct {
 	mergedLines     *obs.Counter
 	shardDispatch   *obs.Counter
 	shardRedispatch *obs.Counter
+	shardSteals     *obs.Counter
 	evictions       *obs.Counter
 	jobDuration     *obs.Histogram
 }
@@ -32,6 +33,7 @@ func newCoordMetrics(reg *obs.Registry) *coordMetrics {
 		mergedLines:     reg.Counter("coord_merged_lines_total", "Worker result lines merged into coordinated spools, in device order."),
 		shardDispatch:   reg.Counter("coord_shard_dispatch_total", "Shard ranges submitted to workers (first dispatches and re-dispatches)."),
 		shardRedispatch: reg.Counter("coord_shard_redispatch_total", "Shards moved to a new worker after a stream failed past the reconnect budget."),
+		shardSteals:     reg.Counter("coord_shard_steals_total", "Straggler shard remainders re-split and re-dispatched to idle workers."),
 		evictions:       reg.Counter("coord_retention_evictions_total", "Finished coordinated jobs evicted by the retention caps."),
 		jobDuration:     reg.Histogram("coord_job_duration_seconds", "Coordinated job wall time from start to terminal state.", obs.DurationBuckets),
 	}
@@ -106,24 +108,66 @@ func (c *Coordinator) registerGauges(reg *obs.Registry) {
 	reg.CounterFunc("coord_stream_lines_resumed_total", "Already-merged lines shard reconnects skipped via offset resume.", func() float64 {
 		return float64(c.streamStats.LinesResumed.Load())
 	})
-	for _, w := range c.reg.workers {
-		reg.GaugeFunc("coord_worker_up", "1 when the worker's last probe found it reachable and shard-capable.", func() float64 {
-			w.mu.Lock()
-			defer w.mu.Unlock()
-			if w.probed && w.capable {
-				return 1
-			}
-			return 0
-		}, "worker", w.url)
-		reg.GaugeFunc("coord_worker_fleet_workers", "Device-worker pool the worker reported on its last successful probe.", func() float64 {
-			w.mu.Lock()
-			defer w.mu.Unlock()
-			return float64(w.health.FleetWorkers)
-		}, "worker", w.url)
-		reg.GaugeFunc("coord_worker_idle_workers", "Idle device workers the worker reported on its last successful probe.", func() float64 {
-			w.mu.Lock()
-			defer w.mu.Unlock()
-			return float64(w.health.IdleWorkers)
-		}, "worker", w.url)
+}
+
+// registerWorkerGauges wires one worker's per-URL scrape-time series.
+// Called for every seed at startup and for each mid-flight join; the
+// matching unregisterWorkerGauges drops the series when the worker
+// leaves, so the /metrics page always mirrors the membership table.
+func (c *Coordinator) registerWorkerGauges(w *worker) {
+	reg := c.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("coord_worker_up", "1 when the worker is active: last probe reachable, shard-capable and not quarantined.", func() float64 {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		if w.state == stateActive {
+			return 1
+		}
+		return 0
+	}, "worker", w.url)
+	reg.GaugeFunc("coord_worker_quarantined", "1 while the worker is quarantined for flapping or failing probes.", func() float64 {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		if w.state == stateQuarantined {
+			return 1
+		}
+		return 0
+	}, "worker", w.url)
+	reg.GaugeFunc("coord_worker_probe_age_seconds", "Seconds since the prober last finished probing the worker; -1 before the first probe.", func() float64 {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		if w.lastProbe.IsZero() {
+			return -1
+		}
+		return c.now().Sub(w.lastProbe).Seconds()
+	}, "worker", w.url)
+	reg.GaugeFunc("coord_worker_fleet_workers", "Device-worker pool the worker reported on its last successful probe.", func() float64 {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		return float64(w.health.FleetWorkers)
+	}, "worker", w.url)
+	reg.GaugeFunc("coord_worker_idle_workers", "Idle device workers the worker reported on its last successful probe.", func() float64 {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		return float64(w.health.IdleWorkers)
+	}, "worker", w.url)
+}
+
+// unregisterWorkerGauges drops a removed worker's per-URL series.
+func (c *Coordinator) unregisterWorkerGauges(url string) {
+	reg := c.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	for _, name := range []string{
+		"coord_worker_up",
+		"coord_worker_quarantined",
+		"coord_worker_probe_age_seconds",
+		"coord_worker_fleet_workers",
+		"coord_worker_idle_workers",
+	} {
+		reg.Unregister(name, "worker", url)
 	}
 }

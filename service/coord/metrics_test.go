@@ -44,8 +44,8 @@ func metricValue(t *testing.T, body, name string) float64 {
 // series — dispatch, merged lines, per-worker fleet gauges — on
 // /metrics after a sharded job completes.
 func TestCoordMetricsEndpoint(t *testing.T) {
-	w1 := newWorker(t, service.Config{Jobs: 2})
-	w2 := newWorker(t, service.Config{Jobs: 2})
+	w1 := newWorker(t, service.Config{Jobs: 2, FleetWorkers: 1})
+	w2 := newWorker(t, service.Config{Jobs: 2, FleetWorkers: 1})
 	c, _, ts := newCoord(t, coord.Config{
 		Workers:  []string{w1.URL, w2.URL},
 		MinShard: 2,

@@ -1,6 +1,7 @@
 package coord
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/service"
@@ -52,6 +53,44 @@ func TestPlanShardsCoversRangeContiguously(t *testing.T) {
 		}
 		if maxSz-minSz > 1 {
 			t.Errorf("case %+v shard sizes spread %d..%d", tc, minSz, maxSz)
+		}
+	}
+}
+
+// TestPlanWorkersDegradedFleet: shard sizing follows the prober's
+// cached live capacity — the summed idle device-worker pools of the
+// active workers — so a degraded fleet plans fewer, larger shards
+// instead of parking ranges on workers that are down or quarantined.
+func TestPlanWorkersDegradedFleet(t *testing.T) {
+	type wk struct {
+		state string
+		idle  int
+	}
+	for _, tc := range []struct {
+		name    string
+		fleet   []wk
+		want    int // planWorkers
+		devices int
+		shards  int // resulting planShards count at MinShard 64
+	}{
+		{"full fleet", []wk{{stateActive, 4}, {stateActive, 4}, {stateActive, 4}}, 12, 1024, 12},
+		{"one survivor", []wk{{stateActive, 4}, {stateDown, 4}, {stateQuarantined, 4}}, 4, 1024, 4},
+		{"busy but alive", []wk{{stateActive, 0}, {stateActive, 0}}, 2, 1024, 2},
+		{"all dark", []wk{{stateDown, 4}, {stateQuarantined, 4}}, 1, 1024, 1},
+		{"empty fleet", nil, 1, 1024, 1},
+	} {
+		r := &registry{}
+		for i, f := range tc.fleet {
+			w := &worker{url: fmt.Sprintf("http://w%d", i), state: f.state}
+			w.health.IdleWorkers = f.idle
+			r.workers = append(r.workers, w)
+		}
+		c := &Coordinator{reg: r, cfg: Config{MinShard: 64}}
+		if got := c.planWorkers(); got != tc.want {
+			t.Errorf("%s: planWorkers = %d, want %d", tc.name, got, tc.want)
+		}
+		if got := len(planShards(0, tc.devices, c.planWorkers(), c.cfg.MinShard)); got != tc.shards {
+			t.Errorf("%s: planShards -> %d shards, want %d", tc.name, got, tc.shards)
 		}
 	}
 }

@@ -44,6 +44,12 @@ var (
 	ErrJobTimeout = errors.New("service: job deadline exceeded")
 	// ErrBadTimeout: a job submission with a negative timeout_sec.
 	ErrBadTimeout = errors.New("service: timeout_sec must be non-negative")
+	// ErrUnknownWorker: a membership request named a worker URL the
+	// coordinator does not have (HTTP 404).
+	ErrUnknownWorker = errors.New("service: unknown worker")
+	// ErrBadWorkerURL: a membership request with an unusable worker URL
+	// (HTTP 400).
+	ErrBadWorkerURL = errors.New("service: bad worker url")
 )
 
 // Config sizes a Manager.

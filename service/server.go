@@ -39,6 +39,23 @@ type Backend interface {
 	Health() Health
 }
 
+// Membership is the optional backend extension behind the fleet
+// membership routes. A backend implementing it (memtest-coord's
+// coordinator) gets POST/GET/DELETE /v1/workers mounted: join a worker
+// mid-flight, list the cached per-worker view, or remove one (its
+// in-flight shards re-dispatch to the survivors). The single-node
+// Manager does not implement it, so a memtestd serves 404 there.
+type Membership interface {
+	// AddWorker joins a worker by base URL (idempotent) and returns its
+	// probed state.
+	AddWorker(url string) (WorkerHealth, error)
+	// RemoveWorker drops a worker from the membership table;
+	// ErrUnknownWorker when no such worker is configured.
+	RemoveWorker(url string) error
+	// Workers returns the cached per-worker fleet view.
+	Workers() []WorkerHealth
+}
+
 // Server is the memtestd HTTP front-end over one Backend. It is an
 // http.Handler; see the package documentation for the route table.
 type Server struct {
@@ -65,6 +82,38 @@ func NewServer(m Backend) *Server {
 			s.mux.Handle("GET /metrics", reg.Handler())
 		}
 	}
+	// Backends with a mutable worker fleet (memtest-coord) get the
+	// membership routes; single-node backends serve 404 there.
+	if mem, ok := m.(Membership); ok {
+		s.mux.HandleFunc("POST /v1/workers", func(w http.ResponseWriter, r *http.Request) {
+			var ref WorkerRef
+			if err := decode(w, r, &ref); err != nil {
+				writeError(w, err)
+				return
+			}
+			wh, err := mem.AddWorker(ref.URL)
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, wh)
+		})
+		s.mux.HandleFunc("GET /v1/workers", func(w http.ResponseWriter, _ *http.Request) {
+			writeJSON(w, http.StatusOK, mem.Workers())
+		})
+		s.mux.HandleFunc("DELETE /v1/workers", func(w http.ResponseWriter, r *http.Request) {
+			u := r.URL.Query().Get("url")
+			if u == "" {
+				writeError(w, fmt.Errorf("%w: DELETE /v1/workers needs ?url=", ErrBadWorkerURL))
+				return
+			}
+			if err := mem.RemoveWorker(u); err != nil {
+				writeError(w, err)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		})
+	}
 	return s
 }
 
@@ -88,7 +137,7 @@ func writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDiagnoseBusy):
 		status = http.StatusTooManyRequests
-	case errors.Is(err, ErrUnknownJob):
+	case errors.Is(err, ErrUnknownJob), errors.Is(err, ErrUnknownWorker):
 		status = http.StatusNotFound
 	case errors.Is(err, ErrShuttingDown):
 		status = http.StatusServiceUnavailable

@@ -175,6 +175,10 @@ type JobStatus struct {
 	// how the coordinator split the device range across workers and how
 	// far each shard's merge has progressed. Empty on single-node jobs.
 	Shards []ShardStatus `json:"shards,omitempty"`
+	// Steals, on a memtest-coord job, counts straggler rescues: each
+	// steal re-split one slow shard's unmerged remainder onto idle
+	// workers and extended the shard table with the stolen sub-ranges.
+	Steals int `json:"steals,omitempty"`
 	// Created/Started/Finished are the lifecycle timestamps.
 	Created  time.Time  `json:"created"`
 	Started  *time.Time `json:"started,omitempty"`
@@ -228,6 +232,11 @@ type ShardStatus struct {
 	// Redispatches counts how many times the shard moved to a new
 	// worker after its stream failed past the reconnect budget.
 	Redispatches int `json:"redispatches,omitempty"`
+	// Stolen marks a shard created by the work-stealing path: its range
+	// is a re-split piece of a straggling shard's unmerged remainder,
+	// dispatched to an idle worker while the victim shard was shrunk to
+	// what it had already merged.
+	Stolen bool `json:"stolen,omitempty"`
 }
 
 // Health is the /v1/healthz body.
@@ -278,7 +287,10 @@ type Health struct {
 	Workers []WorkerHealth `json:"workers,omitempty"`
 }
 
-// WorkerHealth is a coordinator's view of one memtestd worker.
+// WorkerHealth is a coordinator's view of one memtestd worker. It is
+// the cached state the background prober maintains: healthz scrapes
+// and shard dispatch read it without issuing a single worker HTTP
+// probe.
 type WorkerHealth struct {
 	// URL is the worker's base URL.
 	URL string `json:"url"`
@@ -287,6 +299,21 @@ type WorkerHealth struct {
 	// the probe failure or the capability the worker lacks.
 	Healthy bool   `json:"healthy"`
 	Error   string `json:"error,omitempty"`
+	// State is the prober's membership state: "active" (dispatchable),
+	// "down" (recent probe failed; re-probed with backoff),
+	// "quarantined" (flapping or shard-incapable; needs consecutive
+	// clean probes to rejoin) or "unknown" (never probed).
+	State string `json:"state,omitempty"`
+	// ProbeAgeSec is seconds since the worker's last completed health
+	// probe, or -1 before the first — the freshness of everything
+	// above.
+	ProbeAgeSec float64 `json:"probe_age_sec"`
+}
+
+// WorkerRef is the body of POST /v1/workers — the membership join
+// request naming one memtestd base URL.
+type WorkerRef struct {
+	URL string `json:"url"`
 }
 
 // ErrorBody is the JSON error envelope every non-2xx response — and
